@@ -1,0 +1,54 @@
+"""Ablation: GMX tile-size sweep (DESIGN.md §5, paper §6.3).
+
+Sweeps T ∈ {4, 8, 16, 32, 64} over the same workload and reports the
+instruction count, DP footprint, and hardware design point per T: the
+quadratic instruction reduction and linear latency growth that justify the
+paper's T = 32 choice for 64-bit registers.
+"""
+
+from repro.eval.reporting import render_table
+from repro.hw.frequency import design_point
+from repro.sim.cost_model import expected_distance, predict_full_gmx
+
+TILE_SIZES = (4, 8, 16, 32, 64)
+LENGTH = 5_000
+ERROR = 0.15
+
+
+def sweep():
+    distance = expected_distance(LENGTH, ERROR)
+    rows = []
+    for tile_size in TILE_SIZES:
+        stats = predict_full_gmx(
+            LENGTH, LENGTH, traceback=True, distance=distance,
+            tile_size=tile_size,
+        )
+        point = design_point(tile_size)
+        rows.append(
+            {
+                "tile_size": tile_size,
+                "instructions": stats.total_instructions,
+                "gmx_ops": stats.instructions["gmx"],
+                "dp_footprint_kb": stats.dp_bytes_peak / 1024,
+                "ac_latency_cycles": point.ac_stages,
+                "tb_latency_cycles": point.tb_stages,
+                "area_mm2": point.area_mm2,
+                "peak_gcups": point.peak_gcups,
+            }
+        )
+    return rows
+
+
+def test_abl_tile_size(benchmark, save_table):
+    rows = benchmark(sweep)
+    save_table(
+        "abl_tile_size",
+        render_table(rows, title="Ablation — GMX tile-size sweep (5 kbp @ 15 %)"),
+    )
+    by_t = {row["tile_size"]: row for row in rows}
+    # Quadratic instruction reduction with T...
+    assert by_t[8]["gmx_ops"] / by_t[32]["gmx_ops"] > 12
+    # ...but only linear latency growth (§6.3).
+    assert by_t[64]["ac_latency_cycles"] <= 3 * by_t[32]["ac_latency_cycles"]
+    # And a T× footprint reduction.
+    assert by_t[8]["dp_footprint_kb"] > 3 * by_t[32]["dp_footprint_kb"]

@@ -1,0 +1,27 @@
+"""§7.3 scalability: 1 Mbp pairs at 15 % error on the RTL SoC.
+
+Paper: Banded(GMX) reaches 20 alignments/s and Windowed(GMX) 374, 1.58×
+the GenASM accelerator; Full(GMX) is excluded because it would need over
+10 GB of memory on the 1 GB SoC.
+"""
+
+from repro.eval import scalability_1mbp
+from repro.eval.reporting import render_table
+
+
+def test_exp_1mbp_scalability(benchmark, save_table):
+    rows = benchmark(scalability_1mbp)
+    save_table(
+        "exp_1mbp_scalability",
+        render_table(rows, title="§7.3 — 1 Mbp scalability (modelled)"),
+    )
+    by_aligner = {row["aligner"]: row for row in rows}
+    banded = by_aligner["Banded(GMX)"]["alignments_per_second"]
+    windowed = by_aligner["Windowed(GMX)"]["alignments_per_second"]
+    genasm = by_aligner["GenASM accelerator"]["alignments_per_second"]
+    benchmark.extra_info["banded_aps"] = banded
+    benchmark.extra_info["windowed_aps"] = windowed
+    benchmark.extra_info["windowed_vs_genasm"] = windowed / genasm
+    assert windowed > banded  # paper: 374 vs 20
+    assert 0.8 < windowed / genasm < 3.0  # paper: 1.58×
+    assert by_aligner["Full(GMX) (excluded)"]["dp_footprint_mb"] > 10_240

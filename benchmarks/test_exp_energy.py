@@ -1,0 +1,34 @@
+"""Extension: energy per alignment (quantifying §7.3's efficiency claim).
+
+The paper gives GMX's power (8.47 mW, 2.1 % of the SoC) but no per-task
+energy; this bench derives nJ/alignment and GCUPS/W per aligner on the RTL
+SoC from the anchored power model.  GMX's tile instructions should beat
+the scalar bit-parallel kernels by well over an order of magnitude per
+DP cell.
+"""
+
+from repro.eval import energy_table
+from repro.eval.reporting import render_table
+
+
+def test_exp_energy(benchmark, save_table):
+    rows = benchmark(energy_table)
+    save_table(
+        "exp_energy",
+        render_table(
+            rows,
+            title="Extension — energy per alignment (RTL SoC, 2 kbp @ 15 %)",
+        ),
+    )
+    by_aligner = {row["aligner"]: row for row in rows}
+    gmx = by_aligner["Full(GMX)"]
+    bpm = by_aligner["Full(BPM)"]
+    dp = by_aligner["Full(DP)"]
+    benchmark.extra_info["gmx_nj"] = gmx["nj_per_alignment"]
+    benchmark.extra_info["bpm_nj"] = bpm["nj_per_alignment"]
+    assert gmx["pj_per_cell"] < bpm["pj_per_cell"] / 10
+    assert gmx["pj_per_cell"] < dp["pj_per_cell"] / 100
+    assert (
+        by_aligner["Windowed(GMX)"]["nj_per_alignment"]
+        < by_aligner["Windowed(GenASM-CPU)"]["nj_per_alignment"] / 20
+    )

@@ -1,0 +1,23 @@
+"""§3.1 memory-footprint example: 10 kbp pair at 0.1 % error.
+
+Paper: 381.4 MB (classical DP), 119.2 MB (Bitap), 47.6 MB (BPM); GMX
+stores only tile edges — a 16× reduction over BPM at T = 32.
+"""
+
+import pytest
+
+from repro.eval import memory_footprint_rows
+from repro.eval.reporting import render_table
+
+
+def test_exp_memory_footprint(benchmark, save_table):
+    rows = benchmark(memory_footprint_rows)
+    save_table(
+        "exp_memory_footprint",
+        render_table(rows, title="§3.1 — DP-state footprint, 10 kbp @ 0.1 %"),
+    )
+    by_algo = {row["algorithm"]: row for row in rows}
+    assert by_algo["Classical DP"]["footprint_mib"] == pytest.approx(381.5, abs=0.5)
+    assert by_algo["Bitap"]["footprint_mib"] == pytest.approx(119.2, abs=0.5)
+    assert by_algo["BPM"]["footprint_mib"] == pytest.approx(47.7, abs=0.5)
+    assert by_algo["GMX (T=32)"]["reduction_vs_bpm"] == pytest.approx(16.0)

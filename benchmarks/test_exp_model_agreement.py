@@ -1,0 +1,56 @@
+"""Extension: detailed-vs-analytic model agreement artifact.
+
+The figure pipeline trusts the fast analytic timing path; this bench
+produces the evidence table — per kernel and system, cycles from the
+micro-op pipeline + cache replay versus the closed-form model — so the
+agreement that `tests/sim/test_system.py` asserts is also visible as a
+regenerated artifact.
+"""
+
+from repro.eval.reporting import render_table
+from repro.sim.core_model import estimate_kernel
+from repro.sim.cost_model import expected_distance, predict_bpm, predict_full_gmx
+from repro.sim.soc import GEM5_INORDER, GEM5_OOO
+from repro.sim.system import simulate_kernel_detailed
+
+POINTS = ((512, 0.15), (1_024, 0.15))
+KERNELS = (("full-gmx", predict_full_gmx), ("bpm", predict_bpm))
+SYSTEMS = (GEM5_INORDER, GEM5_OOO)
+
+
+def sweep():
+    rows = []
+    for length, error in POINTS:
+        distance = expected_distance(length, error)
+        for kernel, predictor in KERNELS:
+            stats = predictor(
+                length, length, traceback=True, distance=distance
+            )
+            for system in SYSTEMS:
+                detailed = simulate_kernel_detailed(
+                    kernel, length, length, system
+                )
+                analytic = estimate_kernel(stats, system.core, system.memory)
+                rows.append(
+                    {
+                        "kernel": kernel,
+                        "length": length,
+                        "system": system.name,
+                        "detailed_cycles": int(detailed.cycles),
+                        "analytic_cycles": int(analytic.cycles),
+                        "ratio": detailed.cycles / analytic.cycles,
+                    }
+                )
+    return rows
+
+
+def test_exp_model_agreement(benchmark, save_table):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_table(
+        "exp_model_agreement",
+        render_table(
+            rows, title="Extension — detailed vs analytic timing agreement"
+        ),
+    )
+    for row in rows:
+        assert 0.3 < row["ratio"] < 3.0, row

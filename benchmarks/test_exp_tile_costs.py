@@ -1,0 +1,21 @@
+"""§4.2 per-tile cost comparison across algorithmic strategies.
+
+Paper: a T×T tile costs 5T² full-integer instructions (DP), 7T³ bit ops
+(Bitap), 17T² (BPM) or 12T² (GMX-Tile); storage is 32T²/T³/4T²/4T bits.
+"""
+
+from repro.eval import tile_cost_table
+from repro.eval.reporting import render_table
+
+
+def test_exp_tile_costs(benchmark, save_table):
+    rows = benchmark(tile_cost_table)
+    save_table(
+        "exp_tile_costs",
+        render_table(rows, title="§4.2 — per-tile operation/storage costs (T=32)"),
+    )
+    by_algo = {row["algorithm"]: row for row in rows}
+    assert by_algo["GMX-Tile"]["ops_per_tile"] < by_algo["BPM"]["ops_per_tile"]
+    # T× storage reduction: 4T bits (GMX edges) vs 4T² bits (BPM), T = 32.
+    assert by_algo["GMX-Tile"]["bits_per_tile"] * 32 == by_algo["BPM"]["bits_per_tile"]
+    assert by_algo["Bitap"]["ops_per_tile"] > by_algo["BPM"]["ops_per_tile"]

@@ -1,0 +1,38 @@
+"""Figure 10: gem5-InOrder throughput, software baselines vs GMX.
+
+Regenerates the alignments/second of every aligner (Full/Banded/Windowed ×
+{DP, BPM, Edlib, GenASM-CPU, GMX}) on the 5 short and 10 long datasets, and
+the per-family geomean speedups the paper's §7.2 text quotes (18×/597×
+short, 42×/2436× long for the Full family, etc.).
+"""
+
+from repro.eval import figure10, speedup_summary
+from repro.eval.reporting import render_table
+from repro.sim.soc import GEM5_INORDER
+
+
+def test_fig10_inorder_throughput(benchmark, save_table):
+    rows = benchmark(figure10)
+    summary = speedup_summary(rows)
+    save_table(
+        "fig10_inorder_throughput",
+        render_table(
+            rows,
+            columns=["dataset", "aligner", "alignments_per_second"],
+            title=f"Figure 10 — {GEM5_INORDER.name} throughput (modelled)",
+        )
+        + "\n\n"
+        + render_table(summary, title="Per-family geomean GMX speedups"),
+    )
+    by_family = {
+        (row["family"], row["kind"]): row["geomean_speedup"] for row in summary
+    }
+    benchmark.extra_info["gmx_vs_bpm_short"] = by_family[
+        ("Full(GMX) vs Full(BPM)", "short")
+    ]
+    benchmark.extra_info["gmx_vs_bpm_long"] = by_family[
+        ("Full(GMX) vs Full(BPM)", "long")
+    ]
+    # Paper: Full(GMX) 18× over Full(BPM) short, 42× long — same regime.
+    assert 5 < by_family[("Full(GMX) vs Full(BPM)", "short")] < 100
+    assert by_family[("Full(GMX) vs Full(DP)", "long")] > 300

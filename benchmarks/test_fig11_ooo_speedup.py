@@ -1,0 +1,25 @@
+"""Figure 11: throughput improvement of gem5-OoO over gem5-InOrder.
+
+Paper: a wide out-of-order core yields 2.4–6.4× over the in-order design,
+consistently across baselines and GMX-enhanced implementations.
+"""
+
+from repro.eval import figure11
+from repro.eval.reporting import render_table
+
+
+def test_fig11_ooo_speedup(benchmark, save_table):
+    rows = benchmark(figure11)
+    save_table(
+        "fig11_ooo_speedup",
+        render_table(
+            rows,
+            columns=["dataset", "aligner", "inorder_aps", "ooo_aps", "ooo_speedup"],
+            title="Figure 11 — gem5-OoO vs gem5-InOrder speedup (modelled)",
+        ),
+    )
+    speedups = [row["ooo_speedup"] for row in rows]
+    benchmark.extra_info["min_speedup"] = min(speedups)
+    benchmark.extra_info["max_speedup"] = max(speedups)
+    assert min(speedups) > 2.0  # paper lower bound 2.4×
+    assert max(speedups) < 10.0  # paper upper bound 6.4×

@@ -1,0 +1,36 @@
+"""Figure 12: 16-core scaling (top) and DDR4 bandwidth demand (bottom).
+
+Paper: all implementations scale linearly except Full(BPM) — whose DP
+matrices overflow the caches past ~10 kbp and saturate the two DDR4
+controllers (>65 % of the 47.8 GB/s peak) — and Windowed(GMX), whose tiny
+per-character compute raises contention.
+"""
+
+from repro.eval import figure12
+from repro.eval.reporting import render_table
+
+
+def test_fig12_multicore(benchmark, save_table):
+    results = benchmark(figure12)
+    save_table(
+        "fig12_multicore",
+        render_table(
+            results["scaling"],
+            columns=["aligner", "length", "threads", "speedup"],
+            title="Figure 12 (top) — 16-core scaling (modelled)",
+        )
+        + "\n\n"
+        + render_table(
+            results["bandwidth"],
+            columns=["aligner", "length", "bandwidth_gbs", "utilization"],
+            title="Figure 12 (bottom) — DDR4 bandwidth at 16 threads",
+        ),
+    )
+    at16 = {
+        (row["aligner"], row["length"]): row["speedup"]
+        for row in results["scaling"]
+        if row["threads"] == 16
+    }
+    benchmark.extra_info["bpm_10k_speedup"] = at16[("Full(BPM)", 10_000)]
+    benchmark.extra_info["gmx_10k_speedup"] = at16[("Full(GMX)", 10_000)]
+    assert at16[("Full(BPM)", 10_000)] < at16[("Full(GMX)", 10_000)] / 1.5

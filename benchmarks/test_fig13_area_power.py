@@ -1,0 +1,24 @@
+"""Figure 13: post-P&R area/power breakdown of the GMX-enhanced SoC.
+
+Paper anchors: GMX total 0.0216 mm² (1.7 % of the SoC; 0.008 mm² GMX-AC +
+0.0108 mm² GMX-TB) and 8.47 mW (2.1 % of SoC power) in GF 22nm at 1 GHz.
+"""
+
+import pytest
+
+from repro.eval import figure13
+from repro.eval.reporting import render_table
+
+
+def test_fig13_area_power(benchmark, save_table):
+    rows = benchmark(figure13)
+    save_table(
+        "fig13_area_power",
+        render_table(rows, title="Figure 13 — SoC area/power breakdown"),
+    )
+    gmx = next(row for row in rows if row["component"] == "GMX total")
+    benchmark.extra_info["gmx_area_mm2"] = gmx["area_mm2"]
+    benchmark.extra_info["gmx_power_mw"] = gmx["power_mw"]
+    assert gmx["area_mm2"] == pytest.approx(0.0216)
+    assert gmx["power_mw"] == pytest.approx(8.47, rel=0.01)
+    assert gmx["area_fraction"] == pytest.approx(0.017, rel=0.02)

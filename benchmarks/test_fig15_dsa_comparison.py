@@ -1,0 +1,29 @@
+"""Figure 15: throughput per PE — GMX core vs GenASM vault vs Darwin GACT.
+
+Paper (§7.4, W = 96, O = 32): GMX performs 1.3–1.9× better than GenASM and
+7.2–16.2× better than Darwin per PE, with throughput/area 0.35–0.52× the
+DSAs while adding only 0.0216 mm² to an existing core.
+"""
+
+from repro.eval import figure15
+from repro.eval.reporting import render_table
+
+
+def test_fig15_dsa_comparison(benchmark, save_table):
+    rows = benchmark(figure15)
+    save_table(
+        "fig15_dsa_comparison",
+        render_table(
+            rows,
+            title="Figure 15 — per-PE throughput vs DSAs (modelled)",
+        ),
+    )
+    ratios_genasm = [row["gmx_vs_genasm"] for row in rows]
+    ratios_darwin = [row["gmx_vs_darwin"] for row in rows]
+    tpa = [row["gmx_tpa_vs_genasm"] for row in rows]
+    benchmark.extra_info["gmx_vs_genasm"] = sum(ratios_genasm) / len(rows)
+    benchmark.extra_info["gmx_vs_darwin"] = sum(ratios_darwin) / len(rows)
+    # Paper bands (with model slack).
+    assert all(1.0 < r < 3.0 for r in ratios_genasm)
+    assert all(5.0 < r < 25.0 for r in ratios_darwin)
+    assert all(0.25 < r < 0.7 for r in tpa)

@@ -1,0 +1,91 @@
+"""Capstone: the paper's abstract/key-results claims in one artifact.
+
+Abstract: "speed-ups from 25–265× scaling to megabyte-long sequences ...
+a single GMX-enabled core achieves a throughput per area between
+0.35–0.52× that of state-of-the-art DSAs ... 16× memory footprint
+reduction ... 1.7 % of the overall area while consuming just 8.47 mW."
+
+This bench regenerates each quantity from the models and writes the
+side-by-side table; detailed per-figure assessments live in EXPERIMENTS.md.
+"""
+
+from repro.eval import (
+    figure10,
+    figure15,
+    memory_footprint_rows,
+    speedup_summary,
+)
+from repro.eval.reporting import render_table
+from repro.hw.floorplan import soc_report
+
+
+def collect():
+    rows = []
+    summary = speedup_summary(figure10())
+    speedups = [row["geomean_speedup"] for row in summary]
+    rows.append(
+        {
+            "claim": "GMX speedups over software (family geomeans)",
+            "paper": "25–265x (headline); 18–13253x (per family)",
+            "measured": f"{min(speedups):.0f}–{max(speedups):.0f}x",
+        }
+    )
+    fig15 = figure15()
+    tpa = [row["gmx_tpa_vs_genasm"] for row in fig15]
+    rows.append(
+        {
+            "claim": "throughput/area vs state-of-the-art DSAs",
+            "paper": "0.35–0.52x",
+            "measured": f"{min(tpa):.2f}–{max(tpa):.2f}x",
+        }
+    )
+    footprint = {row["algorithm"]: row for row in memory_footprint_rows()}
+    rows.append(
+        {
+            "claim": "DP memory footprint vs BPM (10 kbp)",
+            "paper": "16x reduction",
+            "measured": f"{footprint['GMX (T=32)']['reduction_vs_bpm']:.1f}x",
+        }
+    )
+    report = soc_report(32)
+    rows.append(
+        {
+            "claim": "GMX silicon cost",
+            "paper": "0.0216 mm2 (1.7%), 8.47 mW",
+            "measured": (
+                f"{report.gmx_area:.4f} mm2 "
+                f"({report.gmx_area_fraction:.1%}), "
+                f"{report.gmx_power:.2f} mW"
+            ),
+        }
+    )
+    genasm_ratio = [row["gmx_vs_genasm"] for row in fig15]
+    darwin_ratio = [row["gmx_vs_darwin"] for row in fig15]
+    rows.append(
+        {
+            "claim": "per-PE throughput vs GenASM / Darwin",
+            "paper": "1.3–1.9x / 7.2–16.2x",
+            "measured": (
+                f"{min(genasm_ratio):.2f}x / {min(darwin_ratio):.1f}x"
+            ),
+        }
+    )
+    return rows
+
+
+def test_headline_claims(benchmark, save_table):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    save_table(
+        "headline_claims",
+        render_table(
+            rows,
+            columns=["claim", "paper", "measured"],
+            title="Key results — paper vs this reproduction",
+        ),
+    )
+    by_claim = {row["claim"]: row for row in rows}
+    assert by_claim["DP memory footprint vs BPM (10 kbp)"]["measured"].startswith(
+        "16.0"
+    )
+    assert "0.0216" in by_claim["GMX silicon cost"]["measured"]
+    assert "8.47" in by_claim["GMX silicon cost"]["measured"]

@@ -1,0 +1,84 @@
+"""Wall-clock microbenchmarks of the functional kernels themselves.
+
+Unlike the figure benches (which report *modelled* cycles), these time the
+actual Python kernels via pytest-benchmark — useful for tracking this
+library's own performance across changes.
+"""
+
+import random
+
+import pytest
+
+from repro.align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+from repro.baselines import BpmAligner, EdlibAligner
+from repro.core.tile import boundary_deltas, build_peq, compute_tile
+from repro.workloads.generator import generate_pair
+
+
+@pytest.fixture(scope="module")
+def pair_1k():
+    return generate_pair(1_000, 0.10, random.Random(7))
+
+
+@pytest.fixture(scope="module")
+def chunk_pair():
+    rng = random.Random(8)
+    pattern = "".join(rng.choice("ACGT") for _ in range(32))
+    text = "".join(rng.choice("ACGT") for _ in range(32))
+    return pattern, text
+
+
+def test_bench_tile_kernel(benchmark, chunk_pair):
+    pattern, text = chunk_pair
+    peq = build_peq(pattern)
+    dv = boundary_deltas(32)
+    dh = boundary_deltas(32)
+    benchmark(compute_tile, pattern, text, dv, dh, tile_size=32, peq=peq)
+
+
+def test_bench_full_gmx_1k(benchmark, pair_1k):
+    aligner = FullGmxAligner()
+    result = benchmark.pedantic(
+        aligner.align, args=(pair_1k.pattern, pair_1k.text), rounds=2,
+        iterations=1,
+    )
+    assert result.exact
+
+
+def test_bench_banded_gmx_1k(benchmark, pair_1k):
+    aligner = BandedGmxAligner()
+    result = benchmark.pedantic(
+        aligner.align, args=(pair_1k.pattern, pair_1k.text), rounds=2,
+        iterations=1,
+    )
+    assert result.exact
+
+
+def test_bench_windowed_gmx_1k(benchmark, pair_1k):
+    aligner = WindowedGmxAligner()
+    result = benchmark.pedantic(
+        aligner.align, args=(pair_1k.pattern, pair_1k.text), rounds=2,
+        iterations=1,
+    )
+    result.alignment.validate()
+
+
+def test_bench_bpm_1k(benchmark, pair_1k):
+    aligner = BpmAligner()
+    result = benchmark.pedantic(
+        aligner.align,
+        args=(pair_1k.pattern, pair_1k.text),
+        kwargs={"traceback": False},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.exact
+
+
+def test_bench_edlib_1k(benchmark, pair_1k):
+    aligner = EdlibAligner()
+    result = benchmark.pedantic(
+        aligner.align, args=(pair_1k.pattern, pair_1k.text), rounds=2,
+        iterations=1,
+    )
+    assert result.exact

@@ -1,0 +1,19 @@
+"""Table 1: RTL-InOrder SoC configuration and system parameters."""
+
+from repro.eval import table1
+from repro.eval.reporting import render_table
+from repro.sim.soc import RTL_INORDER
+
+
+def test_tab01_soc_config(benchmark, save_table):
+    rows = benchmark(table1)
+    save_table(
+        "tab01_soc_config",
+        render_table(rows, title="Table 1 — RTL-InOrder SoC configuration"),
+    )
+    parameters = {row["parameter"]: row["value"] for row in rows}
+    assert "32 KB" in parameters["Data cache"]
+    assert "512 KBytes" in parameters["LLC"]
+    # The modelled system mirrors the table.
+    assert RTL_INORDER.memory.levels[0].size_bytes == 32 * 1024
+    assert RTL_INORDER.memory.levels[-1].size_bytes == 512 * 1024

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Noisy long-read overlap alignment — the assembly use case (§2.1).
+
+De-novo assemblers align pairs of long, error-prone reads (ONT/PacBio CLR,
+5–15 % error) end-to-end to confirm overlaps.  This is where quadratic
+full-DP breaks down and where the paper's Windowed strategy (Darwin,
+GenASM) shines: constant memory, near-optimal alignments on exactly this
+divergence profile.
+
+The example aligns simulated noisy 20 kbp read pairs with Windowed(GMX)
+and checks the heuristic against the exact banded distance, then prints the
+modelled speed of the same work on the paper's RTL SoC.
+
+Usage::
+
+    python examples/long_read_overlap.py
+"""
+
+import random
+import time
+
+from repro.align import WindowedGmxAligner
+from repro.baselines import EdlibAligner
+from repro.sim import RTL_INORDER, estimate_kernel
+from repro.workloads.generator import generate_pair
+
+READ_LENGTH = 20_000
+ERROR_RATE = 0.12
+PAIRS = 3
+
+
+def main() -> None:
+    rng = random.Random(7)
+    windowed = WindowedGmxAligner()  # W = 96, O = 32
+    exact = EdlibAligner()
+    print(f"aligning {PAIRS} pairs of {READ_LENGTH} bp reads @ {ERROR_RATE:.0%} error\n")
+    for index in range(PAIRS):
+        pair = generate_pair(READ_LENGTH, ERROR_RATE, rng)
+        started = time.perf_counter()
+        result = windowed.align(pair.pattern, pair.text)
+        elapsed = time.perf_counter() - started
+        result.alignment.validate()
+        true_distance = exact.align(
+            pair.pattern, pair.text, traceback=False
+        ).score
+        inflation = result.score / true_distance
+        estimate = estimate_kernel(
+            result.stats, RTL_INORDER.core, RTL_INORDER.memory
+        )
+        print(
+            f"pair {index}: windowed score={result.score} "
+            f"exact={true_distance} (inflation {inflation:.3f})"
+        )
+        print(
+            f"         DP state {result.stats.dp_bytes_peak} B, "
+            f"{result.stats.total_instructions:,} modelled instructions, "
+            f"{estimate.seconds * 1e3:.2f} ms on the RTL SoC "
+            f"({elapsed:.1f} s functional Python)"
+        )
+        if inflation > 1.05:
+            raise SystemExit("windowed heuristic drifted >5% from optimal")
+    print("\nwindowed alignments within 5% of optimal at constant memory")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where PEP 660 editable wheels are unavailable because the `wheel` package
+is not installed).  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — a functional + cycle-model reproduction of GMX (MICRO 2023).
+
+GMX (Doblas et al., MICRO '23) is a RISC-V instruction-set extension for
+edit-distance sequence alignment that computes T×T tiles of the
+dynamic-programming matrix per instruction.  This library implements:
+
+* the GMX-Tile algorithm and a functional GMX ISA model (:mod:`repro.core`);
+* the three GMX co-designed aligners — Full, Banded, Windowed
+  (:mod:`repro.align`);
+* every software baseline the paper compares against (:mod:`repro.baselines`);
+* gate-level/area/power models of the GMX-AC and GMX-TB hardware
+  (:mod:`repro.hw`);
+* trace-driven cycle models of the evaluated systems and DSA comparators
+  (:mod:`repro.sim`);
+* the paper's synthetic workload suite (:mod:`repro.workloads`) and the
+  per-figure evaluation harness (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import align_pair
+    result = align_pair("GCAT", "GATT")
+    print(result.score, result.alignment.cigar)
+"""
+
+from .align import (
+    AlignmentMode,
+    AlignmentResult,
+    AutoAligner,
+    BandedGmxAligner,
+    FullGmxAligner,
+    WindowedGmxAligner,
+    align_batch,
+    align_pair,
+)
+from .core import Alignment, DEFAULT_TILE_SIZE, GmxIsa
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alignment",
+    "AlignmentMode",
+    "AlignmentResult",
+    "AutoAligner",
+    "BandedGmxAligner",
+    "DEFAULT_TILE_SIZE",
+    "FullGmxAligner",
+    "GmxIsa",
+    "WindowedGmxAligner",
+    "align_batch",
+    "align_pair",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""GMX co-designed alignment algorithms: Full, Banded, and Windowed (§4.1)."""
+
+from .base import Aligner, AlignerError, AlignmentMode, AlignmentResult, KernelStats
+from .auto import AutoAligner
+from .banded_gmx import BandExceededError, BandedGmxAligner
+from .batch import BatchResult, align_batch
+from .full_gmx import FullGmxAligner, align_pair
+from .windowed_gmx import WindowedAligner, WindowedGmxAligner
+
+__all__ = [
+    "Aligner",
+    "AlignerError",
+    "AlignmentMode",
+    "AlignmentResult",
+    "AutoAligner",
+    "BandExceededError",
+    "BandedGmxAligner",
+    "BatchResult",
+    "FullGmxAligner",
+    "KernelStats",
+    "WindowedAligner",
+    "WindowedGmxAligner",
+    "align_batch",
+    "align_pair",
+]

@@ -1,0 +1,288 @@
+"""Banded(GMX): band heuristic over GMX tiles (paper §4.1, Figure 4.b.2).
+
+Only tiles whose index distance from the main tile diagonal is at most
+``ceil(B / T)`` are computed.  Edges entering the band from uncomputed
+neighbours are filled with +1 differences, i.e. the DP values just outside
+the band are assumed to keep growing — an over-estimate, so in-band values
+are upper bounds on the true distances and *exact* whenever the optimal path
+stays inside the band (Ukkonen's classical band argument; the reported score
+``s`` certifies itself when ``s ≤ B``, because an optimal path can stray at
+most ``s`` cells off the diagonal).
+
+With ``auto_widen=True`` (the default, mirroring Edlib's doubling search)
+the aligner restarts with twice the band until the result self-certifies,
+so it remains an exact algorithm with banded cost on low-divergence pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bitvec import pack_deltas, unpack_deltas
+from ..core.cigar import (
+    Alignment,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+    edit_cost,
+)
+from ..core.isa import GmxIsa, encode_pos
+from ..core.tile import DEFAULT_TILE_SIZE
+from ..core.traceback import NextTile
+from .base import Aligner, AlignerError, AlignmentResult, KernelStats
+from .full_gmx import _chunks, _edge_bytes
+
+
+class BandExceededError(AlignerError):
+    """The traceback path attempted to leave the computed band."""
+
+
+class BandedGmxAligner(Aligner):
+    """Banded edit-distance aligner built on GMX tile instructions.
+
+    Args:
+        band: initial band half-width in DP cells; ``None`` starts at
+            ``max(|n−m|, 2·T)`` for each pair.
+        auto_widen: double the band and retry until the score self-certifies
+            (``score ≤ band``); when False a non-certified result is returned
+            with ``exact=False``.
+        tile_size: T, the GMX tile dimension.
+    """
+
+    name = "Banded(GMX)"
+
+    def __init__(
+        self,
+        band: Optional[int] = None,
+        *,
+        auto_widen: bool = True,
+        tile_size: int = DEFAULT_TILE_SIZE,
+    ):
+        if band is not None and band < 1:
+            raise ValueError(f"band must be positive, got {band}")
+        self.band = band
+        self.auto_widen = auto_widen
+        self.tile_size = tile_size
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        tile = self.tile_size
+        band = self.band
+        if band is None:
+            band = max(abs(len(pattern) - len(text)), 2 * tile)
+        band = max(band, abs(len(pattern) - len(text)))
+        stats = KernelStats()
+        max_band = max(len(pattern), len(text))
+        while True:
+            try:
+                result = self._align_banded(pattern, text, band, traceback, stats)
+            except BandExceededError:
+                if not self.auto_widen or band >= max_band:
+                    raise
+                band = min(2 * band, max_band)
+                continue
+            certified = result.score <= band or band >= max_band
+            if certified or not self.auto_widen:
+                result.exact = certified
+                return result
+            band = min(2 * band, max_band)
+
+    # -- one banded pass -------------------------------------------------------
+
+    def _tile_band(self, band: int) -> int:
+        """Band half-width in tile units."""
+        return -(-band // self.tile_size)  # ceil division
+
+    def _align_banded(
+        self,
+        pattern: str,
+        text: str,
+        band: int,
+        traceback: bool,
+        stats: KernelStats,
+    ) -> AlignmentResult:
+        tile = self.tile_size
+        edge_bytes = _edge_bytes(tile)
+        isa = GmxIsa(tile_size=tile)
+        p_chunks = _chunks(pattern, tile)
+        t_chunks = _chunks(text, tile)
+        n_tiles = len(p_chunks)
+        m_tiles = len(t_chunks)
+        bt = self._tile_band(band)
+
+        boundary_v = [pack_deltas([1] * len(chunk)) for chunk in p_chunks]
+        boundary_h = [pack_deltas([1] * len(chunk)) for chunk in t_chunks]
+        plus_fill_v = [pack_deltas([1] * len(chunk)) for chunk in p_chunks]
+        plus_fill_h = [pack_deltas([1] * len(chunk)) for chunk in t_chunks]
+
+        def rows_through(tile_row: int) -> int:
+            """Number of pattern rows covered by tile rows 0..tile_row."""
+            if tile_row < 0:
+                return 0
+            return min((tile_row + 1) * tile, len(pattern))
+
+        matrix: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        dv_prev: Dict[int, int] = {}  # tile row -> ΔV right edge, prev column
+        # Running D value at (bottom in-band row, right edge of the column).
+        prev_bottom = min(n_tiles - 1, bt - 1)
+        score = rows_through(prev_bottom)
+        for tj, text_chunk in enumerate(t_chunks):
+            lo = max(0, tj - bt)
+            hi = min(n_tiles - 1, tj + bt)
+            isa.csrw("gmx_text", text_chunk)
+            stats.add_instr("int_alu", 3)
+            stats.add_instr("branch", 1)
+            # Moving the band bottom down the previous column's right edge
+            # crosses rows whose ΔV is the +1 fill.
+            score += rows_through(hi) - rows_through(prev_bottom)
+            prev_bottom = hi
+            dh_down = 0
+            dv_cur: Dict[int, int] = {}
+            for ti in range(lo, hi + 1):
+                pattern_chunk = p_chunks[ti]
+                isa.csrw("gmx_pattern", pattern_chunk)
+                if tj == 0:
+                    dv_in = boundary_v[ti]
+                elif ti in dv_prev:
+                    dv_in = dv_prev[ti]
+                else:
+                    dv_in = plus_fill_v[ti]
+                if ti == lo:
+                    if ti == 0:
+                        dh_in = boundary_h[tj]
+                    else:
+                        dh_in = plus_fill_h[tj]
+                else:
+                    dh_in = dh_down
+                dv_out = isa.gmx_v(dv_in, dh_in)
+                dh_out = isa.gmx_h(dv_in, dh_in)
+                dv_cur[ti] = dv_out
+                dh_down = dh_out
+                if traceback:
+                    matrix[(ti, tj)] = (dv_out, dh_out)
+                    stats.dp_bytes_written += 2 * edge_bytes
+                    stats.add_instr("store", 2)
+                stats.dp_bytes_read += 2 * edge_bytes
+                stats.add_instr("load", 2)
+                stats.add_instr("int_alu", 5)
+                stats.add_instr("branch", 1)
+                stats.dp_cells += len(pattern_chunk) * len(text_chunk)
+                stats.tiles += 1
+            dv_prev = dv_cur
+            # Advance the running score along the band-bottom tile's row.
+            score += sum(unpack_deltas(dh_down, len(text_chunk)))
+            stats.add_instr("int_alu", 3)
+
+        stats.hot_bytes = max(stats.hot_bytes or 0, edge_bytes * (2 * bt + 2))
+        if traceback:
+            stats.dp_bytes_peak = max(
+                stats.dp_bytes_peak, 2 * edge_bytes * len(matrix)
+            )
+        else:
+            stats.dp_bytes_peak = max(
+                stats.dp_bytes_peak, edge_bytes * (2 * bt + 2)
+            )
+
+        alignment = None
+        if traceback:
+            ops = self._traceback(
+                isa, stats, pattern, text, p_chunks, t_chunks, matrix,
+                boundary_v, boundary_h, plus_fill_v, plus_fill_h, bt,
+            )
+            # Inside the band the path cost equals the corner value; report
+            # the path's own cost so a non-certified (heuristic) result still
+            # describes a valid alignment.
+            score = edit_cost(ops)
+            alignment = Alignment(
+                pattern=pattern, text=text, ops=tuple(ops), score=score
+            )
+        stats.add_instr("csr", isa.retired["csrw"] + isa.retired["csrr"])
+        stats.add_instr("gmx", isa.retired["gmx.v"] + isa.retired["gmx.h"])
+        stats.add_instr("gmx_tb", isa.retired["gmx.tb"])
+        return AlignmentResult(
+            score=score, alignment=alignment, stats=stats, exact=False
+        )
+
+    def _traceback(
+        self,
+        isa: GmxIsa,
+        stats: KernelStats,
+        pattern: str,
+        text: str,
+        p_chunks: List[str],
+        t_chunks: List[str],
+        matrix: Dict[Tuple[int, int], Tuple[int, int]],
+        boundary_v: List[int],
+        boundary_h: List[int],
+        plus_fill_v: List[int],
+        plus_fill_h: List[int],
+        bt: int,
+    ) -> List[str]:
+        tile = self.tile_size
+        edge_bytes = _edge_bytes(tile)
+        ti = len(p_chunks) - 1
+        tj = len(t_chunks) - 1
+        if abs(ti - tj) > bt:
+            raise BandExceededError(
+                f"band of {bt} tiles does not reach the DP corner "
+                f"({ti}, {tj}); widen the band"
+            )
+        gi = len(pattern) - 1
+        gj = len(text) - 1
+        isa.csrw("gmx_pos", encode_pos(tile - 1, tile - 1, tile))
+        reversed_ops: List[str] = []
+        while gi >= 0 and gj >= 0:
+            if (ti, tj) not in matrix:
+                raise BandExceededError(
+                    f"traceback left the computed band at tile ({ti}, {tj})"
+                )
+            isa.csrw("gmx_text", t_chunks[tj])
+            isa.csrw("gmx_pattern", p_chunks[ti])
+            if tj == 0:
+                dv_in = boundary_v[ti]
+            elif (ti, tj - 1) in matrix:
+                dv_in = matrix[(ti, tj - 1)][0]
+            else:
+                dv_in = plus_fill_v[ti]
+            if ti == 0:
+                dh_in = boundary_h[tj]
+            elif (ti - 1, tj) in matrix:
+                dh_in = matrix[(ti - 1, tj)][1]
+            else:
+                dh_in = plus_fill_h[tj]
+            result = isa.gmx_tb(dv_in, dh_in)
+            isa.csrr("gmx_hi")
+            isa.csrr("gmx_lo")
+            isa.csrr("gmx_pos")
+            stats.dp_bytes_read += 2 * edge_bytes
+            stats.add_instr("load", 2)
+            stats.add_instr("int_alu", 6)
+            stats.add_instr("branch", 2)
+            for op in result.ops:
+                reversed_ops.append(op)
+                if op in (OP_MATCH, OP_MISMATCH):
+                    gi -= 1
+                    gj -= 1
+                elif op == OP_DELETION:
+                    gi -= 1
+                else:
+                    gj -= 1
+            # Algorithm 2 dumps the raw encoded alignment: two stores of
+            # gmx_hi/gmx_lo per tile (the ops stay 2-bit encoded in memory).
+            stats.add_instr("store", 2)
+            stats.dp_bytes_written += 2 * edge_bytes
+            if result.next_tile is NextTile.DIAGONAL:
+                ti -= 1
+                tj -= 1
+            elif result.next_tile is NextTile.UP:
+                ti -= 1
+            else:
+                tj -= 1
+        reversed_ops.extend([OP_DELETION] * (gi + 1))
+        reversed_ops.extend([OP_INSERTION] * (gj + 1))
+        reversed_ops.reverse()
+        return reversed_ops

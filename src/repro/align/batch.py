@@ -1,0 +1,124 @@
+"""Batch alignment: many pairs through one aligner, with aggregate stats.
+
+Genome-analysis workloads align millions of pairs; this helper runs a
+dataset through any :class:`~repro.align.base.Aligner`, aggregates the
+kernel statistics, and projects the batch's throughput onto any modelled
+system — the same pipeline the figure harness uses, exposed as library
+API.
+
+Example::
+
+    from repro.align import FullGmxAligner, align_batch
+    from repro.sim import RTL_INORDER
+    from repro.workloads import short_dataset
+
+    batch = align_batch(FullGmxAligner(), short_dataset(150, count=20))
+    print(batch.mean_score, batch.modelled_throughput(RTL_INORDER))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple, Union
+
+from .base import Aligner, AlignmentResult, KernelStats
+
+#: Accepted pair forms: (pattern, text) tuples or SequencePair-like objects.
+PairLike = Union[Tuple[str, str], "object"]
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of aligning a batch of pairs.
+
+    Attributes:
+        results: per-pair alignment results, in input order.
+        stats: merged kernel statistics of the whole batch.
+    """
+
+    results: List[AlignmentResult] = field(default_factory=list)
+    stats: KernelStats = field(default_factory=KernelStats)
+
+    @property
+    def pairs(self) -> int:
+        """Number of pairs aligned."""
+        return len(self.results)
+
+    @property
+    def scores(self) -> List[int]:
+        """Per-pair scores."""
+        return [result.score for result in self.results]
+
+    @property
+    def mean_score(self) -> float:
+        """Average score across the batch."""
+        return sum(self.scores) / self.pairs if self.pairs else 0.0
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every result is certified optimal."""
+        return all(result.exact for result in self.results)
+
+    def modelled_seconds(self, system) -> float:
+        """Modelled batch runtime on a :class:`~repro.sim.soc.SystemConfig`."""
+        from ..sim.core_model import estimate_kernel
+
+        return estimate_kernel(self.stats, system.core, system.memory).seconds
+
+    def modelled_throughput(self, system) -> float:
+        """Modelled alignments/second of this batch on one core of ``system``."""
+        if not self.pairs:
+            return 0.0
+        return self.pairs / self.modelled_seconds(system)
+
+    def modelled_energy_nj(self) -> float:
+        """Modelled energy (nJ) of the batch on the RTL SoC."""
+        from ..hw.energy import estimate_energy
+        from ..sim.core_model import estimate_kernel
+        from ..sim.soc import RTL_INORDER
+
+        timing = estimate_kernel(
+            self.stats, RTL_INORDER.core, RTL_INORDER.memory
+        )
+        return estimate_energy(self.stats, timing.cycles).nj_per_alignment
+
+
+def _as_pair(item: PairLike) -> Tuple[str, str]:
+    if isinstance(item, tuple):
+        pattern, text = item
+        return pattern, text
+    pattern = getattr(item, "pattern", None)
+    text = getattr(item, "text", None)
+    if pattern is None or text is None:
+        raise TypeError(
+            f"batch items must be (pattern, text) tuples or carry "
+            f".pattern/.text attributes, got {type(item).__name__}"
+        )
+    return pattern, text
+
+
+def align_batch(
+    aligner: Aligner,
+    pairs: Iterable[PairLike],
+    *,
+    traceback: bool = True,
+    validate: bool = False,
+) -> BatchResult:
+    """Align every pair with ``aligner`` and aggregate the statistics.
+
+    Args:
+        pairs: (pattern, text) tuples, :class:`SequencePair` objects, or a
+            :class:`~repro.workloads.generator.PairSet`.
+        traceback: compute full alignments (vs distance only).
+        validate: additionally replay every alignment against its sequences
+            (raises on any inconsistency — a thorough self-check mode).
+    """
+    batch = BatchResult()
+    for item in pairs:
+        pattern, text = _as_pair(item)
+        result = aligner.align(pattern, text, traceback=traceback)
+        if validate and result.alignment is not None:
+            result.alignment.validate()
+        batch.results.append(result)
+        batch.stats.merge(result.stats)
+    return batch

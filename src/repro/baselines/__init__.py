@@ -1,0 +1,53 @@
+"""Software baselines from the paper's evaluation (§7.1).
+
+Every comparator in Figures 3/10/11/12/14/15 is implemented functionally:
+
+* ``Full(DP)``              — :class:`NeedlemanWunschAligner`
+* ``Full(BPM)``             — :class:`BpmAligner`
+* ``Banded(Edlib)``         — :class:`EdlibAligner`
+* ``Windowed(GenASM-CPU)``  — :class:`GenasmCpuAligner`
+* ``Darwin (GACT)``         — :class:`DarwinGactAligner`
+* ``KSW2`` (gap-affine)     — :class:`AffineAligner`, :func:`affine_score`,
+  :func:`affine_score_banded`
+* Bitap substrate           — :class:`BitapAligner`, :func:`bitap_global`
+"""
+
+from .bitap import BitapAligner, SearchHit, bitap_global, bitap_search
+from .bpm import BpmAligner
+from .darwin import DARWIN_OVERLAP, DARWIN_WINDOW, DarwinGactAligner
+from .edlib_like import EdlibAligner
+from .genasm import GENASM_OVERLAP, GENASM_WINDOW, GenasmCpuAligner
+from .hirschberg import HirschbergAligner
+from .nw import NeedlemanWunschAligner, SmithWatermanAligner
+from .wfa import WfaAligner
+from .swg import (
+    AffineAligner,
+    AffinePenalties,
+    affine_score,
+    affine_score_banded,
+    transition_transversion_matrix,
+)
+
+__all__ = [
+    "AffineAligner",
+    "AffinePenalties",
+    "BitapAligner",
+    "BpmAligner",
+    "DARWIN_OVERLAP",
+    "DARWIN_WINDOW",
+    "DarwinGactAligner",
+    "EdlibAligner",
+    "GENASM_OVERLAP",
+    "GENASM_WINDOW",
+    "GenasmCpuAligner",
+    "HirschbergAligner",
+    "NeedlemanWunschAligner",
+    "SearchHit",
+    "SmithWatermanAligner",
+    "WfaAligner",
+    "affine_score",
+    "affine_score_banded",
+    "bitap_global",
+    "bitap_search",
+    "transition_transversion_matrix",
+]

@@ -1,0 +1,296 @@
+"""Bitap (shift-and with errors) for global alignment — GenASM's substrate.
+
+The Bitap algorithm (Wu–Manber formulation, §2.3) keeps one bit-vector per
+error level d ∈ [0, k]: bit ``i`` of ``R_d`` after consuming ``j`` text
+characters records whether pattern prefix ``p[0..i]`` aligns against
+``t[0..j-1]`` with at most ``d`` errors.  Global alignment (as used in
+GenASM's windows, not classical substring search) drops the free restart so
+the whole text prefix must be consumed; the empty-pattern boundary state is
+carried explicitly as the predicate ``j ≤ d``.
+
+Each (d, column) update costs the paper's ``7·k bitwise instructions per
+character`` (§2.3), on ``ceil(n/w)`` machine words; complexity is O(n·k·m/w)
+and — unlike BPM — grows with the error rate, which is exactly the
+scalability weakness the paper pins on Bitap-based accelerators (§3.1).
+
+Traceback stores all ``(k+1)·m`` bit-vectors (the ``m`` DP-matrices of
+``n × k`` bits of §2.3) and walks the transition relation backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..align.base import Aligner, AlignmentResult, KernelStats
+from ..core.cigar import (
+    Alignment,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+)
+from ..core.tile import build_peq
+
+#: Bitwise instructions per (error level, character) Bitap update (§2.3).
+BITAP_INSTRUCTIONS_PER_STEP = 7
+
+
+@dataclass
+class BitapRun:
+    """Raw result of a bounded-error Bitap pass.
+
+    Attributes:
+        distance: the edit distance if ≤ k, else None.
+        history: per-column list of the k+1 R vectors (only when recorded).
+    """
+
+    distance: Optional[int]
+    history: Optional[List[List[int]]]
+
+
+def bitap_global(
+    pattern: str,
+    text: str,
+    k: int,
+    *,
+    record: bool = False,
+    stats: Optional[KernelStats] = None,
+    word_size: int = 64,
+) -> BitapRun:
+    """Run global Bitap with error bound ``k``.
+
+    Args:
+        record: keep the full R-vector history (needed for traceback).
+        stats: optional instrumentation record to update in place.
+        word_size: machine word width used for instruction accounting only
+            (Python integers hold the vectors natively).
+    """
+    n = len(pattern)
+    m = len(text)
+    if n == 0 or m == 0:
+        raise ValueError("pattern and text must be non-empty")
+    k = min(k, n + m)
+    peq = build_peq(pattern)
+    n_mask = (1 << n) - 1
+    words = -(-n // word_size)
+
+    # Column 0: p[0..i] vs empty text costs i+1 deletions.
+    vectors = [((1 << d) - 1) & n_mask for d in range(k + 1)]
+    history: Optional[List[List[int]]] = [list(vectors)] if record else None
+
+    for j in range(1, m + 1):
+        eq = peq.get(text[j - 1], 0)
+        new: List[int] = []
+        previous = vectors
+        for d in range(k + 1):
+            boundary_prev = 1 if (j - 1) <= d else 0
+            match = ((previous[d] << 1) | boundary_prev) & eq
+            value = match
+            if d > 0:
+                boundary_sub = 1 if (j - 1) <= (d - 1) else 0
+                boundary_del = 1 if j <= (d - 1) else 0
+                substitution = (previous[d - 1] << 1) | boundary_sub
+                insertion = previous[d - 1]
+                deletion = (new[d - 1] << 1) | boundary_del
+                value |= substitution | insertion | deletion
+            new.append(value & n_mask)
+        vectors = new
+        if history is not None:
+            history.append(list(vectors))
+        if stats is not None:
+            steps = (k + 1) * words
+            stats.add_instr("int_alu", BITAP_INSTRUCTIONS_PER_STEP * steps)
+            stats.add_instr("load", 2 * steps)
+            stats.add_instr("store", steps)
+            stats.add_instr("branch", k + 1)
+            stats.dp_cells += n
+            stats.dp_bytes_read += 2 * steps * (word_size // 8)
+            stats.dp_bytes_written += steps * (word_size // 8)
+
+    top_bit = 1 << (n - 1)
+    distance = None
+    for d in range(k + 1):
+        if vectors[d] & top_bit:
+            distance = d
+            break
+    return BitapRun(distance=distance, history=history)
+
+
+def _traceback(
+    pattern: str,
+    text: str,
+    history: List[List[int]],
+    distance: int,
+) -> List[str]:
+    """Walk the stored R vectors backwards from (n−1, m, distance)."""
+
+    def reachable(j: int, d: int, i: int) -> bool:
+        if d < 0:
+            return False
+        if i == -1:
+            return j <= d  # empty pattern prefix vs j text characters
+        if i < -1:
+            return False
+        return bool((history[j][d] >> i) & 1)
+
+    i = len(pattern) - 1
+    j = len(text)
+    d = distance
+    reversed_ops: List[str] = []
+    while i >= 0 and j >= 1:
+        if pattern[i] == text[j - 1] and reachable(j - 1, d, i - 1):
+            reversed_ops.append(OP_MATCH)
+            i -= 1
+            j -= 1
+        elif reachable(j - 1, d - 1, i - 1):
+            reversed_ops.append(OP_MISMATCH)
+            i -= 1
+            j -= 1
+            d -= 1
+        elif reachable(j, d - 1, i - 1):
+            reversed_ops.append(OP_DELETION)
+            i -= 1
+            d -= 1
+        elif reachable(j - 1, d - 1, i):
+            reversed_ops.append(OP_INSERTION)
+            j -= 1
+            d -= 1
+        else:  # pragma: no cover - would indicate an inconsistent history
+            raise RuntimeError(
+                f"Bitap traceback stuck at (i={i}, j={j}, d={d})"
+            )
+    reversed_ops.extend([OP_DELETION] * (i + 1))
+    reversed_ops.extend([OP_INSERTION] * j)
+    reversed_ops.reverse()
+    return reversed_ops
+
+
+def bitap_search(
+    pattern: str,
+    text: str,
+    k: int,
+    *,
+    stats: Optional[KernelStats] = None,
+    word_size: int = 64,
+) -> List["SearchHit"]:
+    """Classical Bitap approximate *search*: pattern anywhere in text.
+
+    Unlike :func:`bitap_global`, the automaton restarts freely at every
+    text position (bit 0 is re-injected each column — the original
+    shift-and formulation), so bit ``n−1`` of ``R_d`` signals an occurrence
+    of the whole pattern ending at that position with at most ``d`` errors.
+
+    Returns:
+        One :class:`SearchHit` per text position where the pattern matches
+        with ≤ k errors, carrying the *smallest* error count at that end
+        position.  Hits are ordered by end position.
+    """
+    n = len(pattern)
+    m = len(text)
+    if n == 0 or m == 0:
+        raise ValueError("pattern and text must be non-empty")
+    if k < 0:
+        raise ValueError(f"error bound must be non-negative, got {k}")
+    k = min(k, n)
+    peq = build_peq(pattern)
+    n_mask = (1 << n) - 1
+    top_bit = 1 << (n - 1)
+    words = -(-n // word_size)
+    # Column 0 (empty text): prefix p[0..i] costs i+1 deletions, so bits
+    # i ≤ d−1 start set — the same initialisation as the global variant;
+    # the free restart enters through the per-column bit-0 injections.
+    vectors = [((1 << d) - 1) & n_mask for d in range(k + 1)]
+    hits: List[SearchHit] = []
+    for j in range(1, m + 1):
+        eq = peq.get(text[j - 1], 0)
+        new: List[int] = []
+        previous = vectors
+        for d in range(k + 1):
+            match = ((previous[d] << 1) | 1) & eq
+            value = match
+            if d > 0:
+                substitution = (previous[d - 1] << 1) | 1
+                insertion = previous[d - 1]
+                deletion = (new[d - 1] << 1) | 1
+                value |= substitution | insertion | deletion
+            new.append(value & n_mask)
+        vectors = new
+        if stats is not None:
+            steps = (k + 1) * words
+            stats.add_instr("int_alu", BITAP_INSTRUCTIONS_PER_STEP * steps)
+            stats.add_instr("load", 2 * steps)
+            stats.add_instr("store", steps)
+            stats.add_instr("branch", k + 1)
+        for d in range(k + 1):
+            if vectors[d] & top_bit:
+                hits.append(SearchHit(end=j, errors=d))
+                break
+    return hits
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One approximate occurrence found by :func:`bitap_search`.
+
+    Attributes:
+        end: text position just past the occurrence (1-based end offset).
+        errors: smallest error count of an occurrence ending there.
+    """
+
+    end: int
+    errors: int
+
+
+class BitapAligner(Aligner):
+    """Exact global aligner via Bitap with a doubling error bound.
+
+    Starts at ``k = max(|n−m|, 2)`` and doubles until the distance is found
+    (every pass re-runs from scratch, as Bitap's state depends on k).  This
+    is the CPU building block of ``Windowed(GenASM-CPU)``.
+    """
+
+    name = "Bitap"
+
+    def __init__(self, word_size: int = 64):
+        self.word_size = word_size
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        stats = KernelStats()
+        n = len(pattern)
+        m = len(text)
+        k = max(abs(n - m), 2)
+        limit = n + m
+        while True:
+            run = bitap_global(
+                pattern, text, k, record=traceback, stats=stats,
+                word_size=self.word_size,
+            )
+            if run.distance is not None:
+                break
+            if k >= limit:  # pragma: no cover - distance is always ≤ n+m
+                raise RuntimeError("Bitap failed to find a distance")
+            k = min(2 * k, limit)
+        words = -(-n // self.word_size)
+        stats.hot_bytes = 2 * (k + 1) * words * (self.word_size // 8)
+        stats.dp_bytes_peak = max(
+            stats.dp_bytes_peak,
+            (k + 1) * (m + 1) * words * (self.word_size // 8)
+            if traceback
+            else 2 * (k + 1) * words * (self.word_size // 8),
+        )
+        alignment = None
+        if traceback:
+            ops = _traceback(pattern, text, run.history, run.distance)
+            stats.add_instr("int_alu", 8 * len(ops))
+            stats.add_instr("load", 3 * len(ops))
+            alignment = Alignment(
+                pattern=pattern, text=text, ops=tuple(ops), score=run.distance
+            )
+        return AlignmentResult(
+            score=run.distance, alignment=alignment, stats=stats, exact=True
+        )

@@ -1,0 +1,155 @@
+"""Full(BPM): the bit-parallel Myers algorithm (Myers 1999; paper §2.3).
+
+Computes the DP matrix column-wise with the pattern packed into 64-bit
+blocks (Hyyrö's multi-block generalisation).  Each (block, column) step
+executes the classical 17 bitwise/arithmetic instructions.  Distance-only
+mode keeps one column of state; alignment mode stores the four difference
+masks (Pv, Mv, Ph, Mh) of every column — the ``4·n·m`` bits of DP state the
+paper attributes to BPM (§3.1) — and walks them backwards.
+
+This reuses :func:`repro.core.tile.advance_column`: GMX-Tile is an
+extension of exactly this kernel, so the two share the column-step
+semantics (with GMX replacing the 17-instruction software step by one
+instruction over a T-row block).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..align.base import Aligner, AlignmentResult, KernelStats
+from ..core.cigar import (
+    Alignment,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+)
+from ..core.tile import advance_column, build_peq
+
+#: Bitwise/arithmetic instructions per (block, column) step (paper §2.3).
+BPM_INSTRUCTIONS_PER_STEP = 17
+
+
+class BpmAligner(Aligner):
+    """Multi-block bit-parallel Myers aligner (the ``Full(BPM)`` baseline).
+
+    Args:
+        word_size: machine word width in bits (64 for the paper's RV64 cores).
+    """
+
+    name = "Full(BPM)"
+
+    def __init__(self, word_size: int = 64):
+        if word_size < 2:
+            raise ValueError(f"word size must be at least 2, got {word_size}")
+        self.word_size = word_size
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _blocks(self, pattern: str) -> List[str]:
+        w = self.word_size
+        return [pattern[k : k + w] for k in range(0, len(pattern), w)]
+
+    def _account_column_step(self, stats: KernelStats, store: bool) -> None:
+        stats.add_instr("int_alu", BPM_INSTRUCTIONS_PER_STEP)
+        stats.add_instr("load", 3)  # Peq + Pv + Mv
+        stats.add_instr("branch", 1)
+        stats.dp_bytes_read += 2 * (self.word_size // 8)
+        if store:
+            stats.add_instr("store", 4)
+            stats.dp_bytes_written += 4 * (self.word_size // 8)
+        else:
+            stats.add_instr("store", 2)
+            stats.dp_bytes_written += 2 * (self.word_size // 8)
+
+    # -- alignment ---------------------------------------------------------------
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        stats = KernelStats()
+        blocks = self._blocks(pattern)
+        peqs = [build_peq(block) for block in blocks]
+        n = len(pattern)
+        m = len(text)
+        word_bytes = self.word_size // 8
+
+        # Per-block vertical state; boundary Δv = +1 ⇒ Pv all ones.
+        pv = [(1 << len(block)) - 1 for block in blocks]
+        mv = [0] * len(blocks)
+        score = n  # D[n][0]
+        history: List[List[Tuple[int, int, int, int]]] = []
+        for t_char in text:
+            h_in = 1  # top boundary Δh = +1
+            column: List[Tuple[int, int, int, int]] = []
+            for b, block in enumerate(blocks):
+                pv[b], mv[b], h_in, ph, mh = advance_column(
+                    peqs[b].get(t_char, 0), pv[b], mv[b], h_in, len(block)
+                )
+                if traceback:
+                    column.append((pv[b], mv[b], ph, mh))
+                self._account_column_step(stats, traceback)
+            score += h_in  # Δh at the bottom row
+            stats.dp_cells += n
+            if traceback:
+                history.append(column)
+        stats.hot_bytes = 2 * word_bytes * len(blocks)
+        if traceback:
+            stats.dp_bytes_peak = 4 * word_bytes * len(blocks) * m
+            ops = self._traceback(pattern, text, history)
+            stats.add_instr("int_alu", 6 * len(ops))
+            stats.add_instr("load", 2 * len(ops))
+            alignment = Alignment(
+                pattern=pattern, text=text, ops=tuple(ops), score=score
+            )
+        else:
+            stats.dp_bytes_peak = 2 * word_bytes * len(blocks)
+            alignment = None
+        return AlignmentResult(
+            score=score, alignment=alignment, stats=stats, exact=True
+        )
+
+    def _traceback(
+        self,
+        pattern: str,
+        text: str,
+        history: List[List[Tuple[int, int, int, int]]],
+    ) -> List[str]:
+        """Walk the stored per-column difference masks from (n−1, m−1)."""
+        w = self.word_size
+
+        def dv(i: int, j: int) -> int:
+            pv, mv, _, _ = history[j][i // w]
+            bit = 1 << (i % w)
+            return 1 if pv & bit else (-1 if mv & bit else 0)
+
+        def dh(i: int, j: int) -> int:
+            _, _, ph, mh = history[j][i // w]
+            bit = 1 << (i % w)
+            return 1 if ph & bit else (-1 if mh & bit else 0)
+
+        i = len(pattern) - 1
+        j = len(text) - 1
+        reversed_ops: List[str] = []
+        while i >= 0 and j >= 0:
+            if pattern[i] == text[j]:
+                reversed_ops.append(OP_MATCH)
+                i -= 1
+                j -= 1
+            elif dv(i, j) == 1:
+                reversed_ops.append(OP_DELETION)
+                i -= 1
+            elif dh(i, j) == 1:
+                reversed_ops.append(OP_INSERTION)
+                j -= 1
+            else:
+                reversed_ops.append(OP_MISMATCH)
+                i -= 1
+                j -= 1
+        reversed_ops.extend([OP_DELETION] * (i + 1))
+        reversed_ops.extend([OP_INSERTION] * (j + 1))
+        reversed_ops.reverse()
+        return reversed_ops

@@ -1,0 +1,54 @@
+"""Darwin's GACT: windowed gap-affine alignment (Turakhia et al., ASPLOS 2018).
+
+GACT (Genome Alignment using Constant memory Traceback) tiles the DP matrix
+into overlapping windows and runs a full gap-affine (Smith-Waterman-Gotoh)
+alignment inside each, committing the traceback outside the overlap.  Darwin
+implements GACT with a systolic ASIC array; this module provides the
+functional algorithm, which both the ``Darwin`` comparator of Figure 15 and
+its performance model in :mod:`repro.sim.accelerators` build on.
+
+The paper's DSA comparison (§7.4) runs all three accelerators with the same
+window configuration, W = 96 and O = 32.
+"""
+
+from __future__ import annotations
+
+from ..align.windowed_gmx import WindowedAligner
+from .swg import AffineAligner, AffinePenalties
+
+#: Window configuration used in the paper's §7.4 comparison.
+DARWIN_WINDOW = 96
+DARWIN_OVERLAP = 32
+
+
+class DarwinGactAligner(WindowedAligner):
+    """Darwin's GACT windowed gap-affine aligner.
+
+    The overall reported score is the edit cost of the stitched alignment
+    (for comparability with the edit-distance aligners); the gap-affine
+    penalty of the result is available via
+    ``result.alignment.affine_score()``.
+
+    Args:
+        window: W (default 96).
+        overlap: O (default 32).
+        penalties: gap-affine penalties used inside each window.
+    """
+
+    name = "Darwin(GACT)"
+
+    def __init__(
+        self,
+        window: int = DARWIN_WINDOW,
+        overlap: int = DARWIN_OVERLAP,
+        penalties: AffinePenalties = AffinePenalties(),
+    ):
+        super().__init__(
+            inner=AffineAligner(penalties=penalties),
+            window=window,
+            overlap=overlap,
+        )
+
+    def _window_state_bytes(self) -> int:
+        # Three 4-byte DP matrices (H, E, F) over one window.
+        return 12 * (self.window + 1) * (self.window + 1)

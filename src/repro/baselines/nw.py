@@ -1,0 +1,279 @@
+"""Full(DP): classical element-wise dynamic programming (paper §2.2).
+
+Implements the unit-cost edit-distance recurrence of Needleman–Wunsch /
+Sellers — the ``Full(DP)`` baseline of Figures 10/11/14 — plus a
+Smith–Waterman local-alignment variant for completeness (§2.4 mentions both
+as the classical weighted-distance algorithms).
+
+Instruction recipe, per DP element (paper §4.2 counts 5 full-integer
+instructions): 3 additions/comparisons for the three predecessors, 1
+character comparison, 1 min-select; plus 1 load + 1 store of the element
+and 1 branch per row.  The full matrix (4 bytes per element) is stored when
+traceback is requested — the quadratic footprint that motivates GMX.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..align.base import Aligner, AlignmentMode, AlignmentResult, KernelStats
+from ..core.cigar import (
+    Alignment,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+)
+
+
+class NeedlemanWunschAligner(Aligner):
+    """Exact full-matrix edit-distance aligner (the ``Full(DP)`` baseline).
+
+    Supports the three anchoring modes of :class:`AlignmentMode`; GLOBAL is
+    the paper's Full(DP) baseline, PREFIX/INFIX serve as the independent
+    reference for the GMX aligners' mode support.
+
+    Args:
+        mode: where the alignment is anchored (default GLOBAL).
+    """
+
+    name = "Full(DP)"
+
+    def __init__(self, mode: AlignmentMode = AlignmentMode.GLOBAL):
+        self.mode = mode
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        n = len(pattern)
+        m = len(text)
+        stats = KernelStats()
+        stats.dp_cells = n * m
+        stats.add_instr("int_alu", 5 * n * m)
+        stats.add_instr("load", n * m)
+        stats.add_instr("store", n * m)
+        stats.add_instr("branch", n)
+        stats.dp_bytes_written += 4 * n * m
+        stats.dp_bytes_read += 12 * n * m
+        stats.hot_bytes = 4 * 2 * (m + 1)
+
+        if traceback:
+            rows = self._fill_matrix(pattern, text)
+            score, end_column = self._score(rows, m)
+            stats.dp_bytes_peak = 4 * (n + 1) * (m + 1)
+            ops, start_column = self._traceback(pattern, text, rows, end_column)
+            stats.add_instr("int_alu", 4 * len(ops))
+            stats.add_instr("load", 3 * len(ops))
+            stats.dp_bytes_read += 12 * len(ops)
+            alignment = Alignment(
+                pattern=pattern,
+                text=text[start_column:end_column],
+                ops=tuple(ops),
+                score=score,
+            )
+            return AlignmentResult(
+                score=score,
+                alignment=alignment,
+                stats=stats,
+                exact=True,
+                text_start=start_column,
+                text_end=end_column,
+            )
+
+        score, end_column = self._score_rows(pattern, text)
+        stats.dp_bytes_peak = 4 * 2 * (m + 1)
+        return AlignmentResult(
+            score=score,
+            alignment=None,
+            stats=stats,
+            exact=True,
+            text_end=end_column,
+        )
+
+    def _top_row(self, m: int) -> List[int]:
+        """D[0][·]: zero in INFIX mode (free text prefix), j otherwise."""
+        if self.mode is AlignmentMode.INFIX:
+            return [0] * (m + 1)
+        return list(range(m + 1))
+
+    def _score(self, rows: List[List[int]], m: int):
+        """(score, end column) given the filled matrix."""
+        bottom = rows[-1]
+        if self.mode is AlignmentMode.GLOBAL:
+            return bottom[m], m
+        best = min(bottom)
+        return best, bottom.index(best)
+
+    def _score_rows(self, pattern: str, text: str):
+        """Two-row distance-only computation."""
+        m = len(text)
+        previous = self._top_row(m)
+        for i, p_char in enumerate(pattern, start=1):
+            current = [i] + [0] * m
+            for j, t_char in enumerate(text, start=1):
+                current[j] = min(
+                    previous[j] + 1,
+                    current[j - 1] + 1,
+                    previous[j - 1] + (p_char != t_char),
+                )
+            previous = current
+        if self.mode is AlignmentMode.GLOBAL:
+            return previous[m], m
+        best = min(previous)
+        return best, previous.index(best)
+
+    def _fill_matrix(self, pattern: str, text: str) -> List[List[int]]:
+        """Full (n+1)×(m+1) DP matrix, stored for traceback."""
+        m = len(text)
+        rows = [self._top_row(m)]
+        for i, p_char in enumerate(pattern, start=1):
+            row = [i] + [0] * m
+            above = rows[i - 1]
+            for j, t_char in enumerate(text, start=1):
+                row[j] = min(
+                    above[j] + 1,
+                    row[j - 1] + 1,
+                    above[j - 1] + (p_char != t_char),
+                )
+            rows.append(row)
+        return rows
+
+    def _traceback(
+        self,
+        pattern: str,
+        text: str,
+        rows: List[List[int]],
+        end_column: int,
+    ):
+        """Walk from (n, end_column) to the top; returns (ops, start col)."""
+        i = len(pattern)
+        j = end_column
+        reversed_ops: List[str] = []
+        while i > 0 and j > 0:
+            here = rows[i][j]
+            if pattern[i - 1] == text[j - 1] and here == rows[i - 1][j - 1]:
+                reversed_ops.append(OP_MATCH)
+                i -= 1
+                j -= 1
+            elif here == rows[i - 1][j] + 1:
+                reversed_ops.append(OP_DELETION)
+                i -= 1
+            elif here == rows[i][j - 1] + 1:
+                reversed_ops.append(OP_INSERTION)
+                j -= 1
+            else:
+                reversed_ops.append(OP_MISMATCH)
+                i -= 1
+                j -= 1
+        reversed_ops.extend([OP_DELETION] * i)
+        if self.mode is AlignmentMode.INFIX:
+            start_column = j  # free text prefix: stop here
+        else:
+            reversed_ops.extend([OP_INSERTION] * j)
+            start_column = 0
+        reversed_ops.reverse()
+        return reversed_ops, start_column
+
+
+class SmithWatermanAligner(Aligner):
+    """Local alignment with linear gap scores (Smith–Waterman).
+
+    Scores default to the classical +1 match / −1 mismatch / −1 gap.  The
+    reported ``score`` is the best local score *negated* so that the
+    :class:`Aligner` convention of lower-is-better is preserved; the
+    alignment covers the best-scoring local segment only.
+    """
+
+    name = "SW(local)"
+
+    def __init__(self, match: int = 1, mismatch: int = -1, gap: int = -1):
+        if match <= 0:
+            raise ValueError("match score must be positive for local alignment")
+        self.match = match
+        self.mismatch = mismatch
+        self.gap = gap
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        n = len(pattern)
+        m = len(text)
+        stats = KernelStats()
+        stats.dp_cells = n * m
+        stats.add_instr("int_alu", 6 * n * m)
+        stats.add_instr("load", n * m)
+        stats.add_instr("store", n * m)
+        stats.dp_bytes_peak = 4 * (n + 1) * (m + 1)
+        rows = [[0] * (m + 1) for _ in range(n + 1)]
+        best = 0
+        best_cell = (0, 0)
+        for i, p_char in enumerate(pattern, start=1):
+            for j, t_char in enumerate(text, start=1):
+                diagonal = rows[i - 1][j - 1] + (
+                    self.match if p_char == t_char else self.mismatch
+                )
+                value = max(
+                    0, diagonal, rows[i - 1][j] + self.gap, rows[i][j - 1] + self.gap
+                )
+                rows[i][j] = value
+                if value > best:
+                    best = value
+                    best_cell = (i, j)
+        alignment = None
+        if traceback and best > 0:
+            ops = self._traceback(pattern, text, rows, best_cell)
+            i0, j0 = self._local_start(ops, best_cell)
+            alignment = Alignment(
+                pattern=pattern[i0 : best_cell[0]],
+                text=text[j0 : best_cell[1]],
+                ops=tuple(ops),
+                score=sum(1 for op in ops if op != OP_MATCH),
+            )
+        return AlignmentResult(
+            score=-best, alignment=alignment, stats=stats, exact=True
+        )
+
+    def _traceback(
+        self,
+        pattern: str,
+        text: str,
+        rows: List[List[int]],
+        cell: Tuple[int, int],
+    ) -> List[str]:
+        i, j = cell
+        reversed_ops: List[str] = []
+        while i > 0 and j > 0 and rows[i][j] > 0:
+            here = rows[i][j]
+            diagonal_score = self.match if pattern[i - 1] == text[j - 1] else self.mismatch
+            if here == rows[i - 1][j - 1] + diagonal_score:
+                reversed_ops.append(
+                    OP_MATCH if pattern[i - 1] == text[j - 1] else OP_MISMATCH
+                )
+                i -= 1
+                j -= 1
+            elif here == rows[i - 1][j] + self.gap:
+                reversed_ops.append(OP_DELETION)
+                i -= 1
+            else:
+                reversed_ops.append(OP_INSERTION)
+                j -= 1
+        reversed_ops.reverse()
+        return reversed_ops
+
+    @staticmethod
+    def _local_start(ops: List[str], end: Tuple[int, int]) -> Tuple[int, int]:
+        """Compute the (pattern, text) start offsets of a local alignment."""
+        i, j = end
+        for op in ops:
+            if op in (OP_MATCH, OP_MISMATCH):
+                i -= 1
+                j -= 1
+            elif op == OP_DELETION:
+                i -= 1
+            else:
+                j -= 1
+        return i, j

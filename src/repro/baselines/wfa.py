@@ -1,0 +1,164 @@
+"""Wavefront alignment (WFA) for edit distance — the algorithmic frontier.
+
+The paper's dataset methodology comes from the WFA work (Marco-Sola et
+al., 2021 — the same group), and WFA is the modern software yardstick for
+*exact* alignment: O(n·s) time and O(s²) traceback state, where s is the
+alignment score.  On low-divergence pairs it does asymptotically less
+work than any matrix-region method, including Full(GMX) — the interesting
+question (posed by the ablation bench ``test_abl_wfa_crossover.py``) is
+where GMX's 1024-cells-per-instruction brute force crosses WFA's
+score-bounded cleverness.
+
+This is the edit-distance WFA: per score s, a wavefront stores the
+furthest text offset reachable on each diagonal after greedy match
+extension; mismatch/insertion/deletion each advance score by one.
+Traceback keeps all wavefronts and walks predecessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..align.base import Aligner, AlignmentResult, KernelStats
+from ..core.cigar import (
+    Alignment,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+)
+
+#: Sentinel for unreachable diagonals.
+_UNSET = -(1 << 30)
+
+
+class WfaAligner(Aligner):
+    """Exact edit-distance aligner via wavefronts (WFA, edit metric).
+
+    Instruction recipe: ~6 int ops per wavefront cell (offset update +
+    max-select) plus 1 per matched character during extension; the
+    wavefront state is 4 bytes per (score, diagonal) cell — Θ(s²) total
+    with traceback, Θ(s) without.
+    """
+
+    name = "WFA(edit)"
+
+    def align(
+        self, pattern: str, text: str, *, traceback: bool = True
+    ) -> AlignmentResult:
+        if not pattern or not text:
+            raise ValueError("pattern and text must be non-empty")
+        n = len(pattern)
+        m = len(text)
+        stats = KernelStats()
+        target_diagonal = m - n
+
+        def extend(k: int, offset: int) -> int:
+            """Greedy match extension along diagonal k from text offset."""
+            i = offset - k
+            j = offset
+            while i < n and j < m and pattern[i] == text[j]:
+                i += 1
+                j += 1
+            stats.add_instr("int_alu", j - offset + 1)
+            return j
+
+        # wavefronts[s] maps diagonal -> furthest text offset.
+        front: Dict[int, int] = {0: extend(0, 0)}
+        wavefronts: List[Dict[int, int]] = [dict(front)]
+        score = 0
+        while front.get(target_diagonal, _UNSET) < m:
+            score += 1
+            previous = front
+            low = min(previous) - 1
+            high = max(previous) + 1
+            front = {}
+            for k in range(low, high + 1):
+                best = _UNSET
+                mismatch = previous.get(k, _UNSET)
+                if mismatch != _UNSET:
+                    best = max(best, mismatch + 1)
+                insertion = previous.get(k - 1, _UNSET)
+                if insertion != _UNSET:
+                    best = max(best, insertion + 1)
+                deletion = previous.get(k + 1, _UNSET)
+                if deletion != _UNSET:
+                    best = max(best, deletion)
+                if best == _UNSET:
+                    continue
+                # Clip to the matrix: offsets beyond the sequences are dead.
+                if best > m or best - k > n:
+                    best = min(best, m)
+                    if best - k > n:
+                        continue
+                front[k] = extend(k, best)
+                stats.add_instr("int_alu", 6)
+                stats.add_instr("load", 3)
+                stats.add_instr("store", 1)
+                stats.dp_cells += 1
+                stats.dp_bytes_written += 4
+                stats.dp_bytes_read += 12
+            if traceback:
+                wavefronts.append(dict(front))
+            if score > n + m:  # pragma: no cover - defensive
+                raise RuntimeError("WFA failed to converge")
+        stats.hot_bytes = 4 * (2 * score + 1)
+        stats.dp_bytes_peak = (
+            sum(4 * len(w) for w in wavefronts) if traceback else stats.hot_bytes
+        )
+        alignment = None
+        if traceback:
+            ops = self._traceback(pattern, text, wavefronts, score)
+            alignment = Alignment(
+                pattern=pattern, text=text, ops=tuple(ops), score=score
+            )
+        return AlignmentResult(
+            score=score, alignment=alignment, stats=stats, exact=True
+        )
+
+    def _traceback(
+        self,
+        pattern: str,
+        text: str,
+        wavefronts: List[Dict[int, int]],
+        score: int,
+    ) -> List[str]:
+        """Walk predecessors from (score, m−n) back to the origin."""
+        n = len(pattern)
+        m = len(text)
+        k = m - n
+        offset = wavefronts[score][k]
+        reversed_ops: List[str] = []
+
+        def emit_matches(k: int, from_offset: int, to_offset: int) -> None:
+            for j in range(to_offset - 1, from_offset - 1, -1):
+                assert pattern[j - k] == text[j]
+                reversed_ops.append(OP_MATCH)
+
+        for s in range(score, 0, -1):
+            previous = wavefronts[s - 1]
+            mismatch = previous.get(k, _UNSET)
+            insertion = previous.get(k - 1, _UNSET)
+            deletion = previous.get(k + 1, _UNSET)
+            entry = max(
+                mismatch + 1 if mismatch != _UNSET else _UNSET,
+                insertion + 1 if insertion != _UNSET else _UNSET,
+                deletion if deletion != _UNSET else _UNSET,
+            )
+            entry = min(entry, offset)  # matches extended past the entry
+            emit_matches(k, entry, offset)
+            if deletion != _UNSET and deletion == entry:
+                reversed_ops.append(OP_DELETION)
+                k += 1
+                offset = deletion
+            elif insertion != _UNSET and insertion + 1 == entry:
+                reversed_ops.append(OP_INSERTION)
+                k -= 1
+                offset = insertion
+            else:
+                reversed_ops.append(OP_MISMATCH)
+                offset = entry - 1
+        # Score 0: the initial extension from the origin.
+        emit_matches(0, 0, offset)
+        reversed_ops.reverse()
+        return reversed_ops

@@ -1,0 +1,321 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the library's workflows:
+
+* ``align``      — align a pair (or a ``.seq`` file of pairs) with any
+  implemented aligner and print score/CIGAR/stats;
+* ``generate``   — produce a synthetic dataset in the WFA ``.seq`` format;
+* ``experiment`` — regenerate one of the paper's tables/figures as text;
+* ``design``     — print the GMX hardware design point for a tile size;
+* ``verify``     — run the built-in cross-validation self-check (no pytest
+  needed): random pairs through every exact aligner, ISA gate-level
+  equivalence, and model-consistency spot checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .align import (
+    AlignmentMode,
+    AutoAligner,
+    BandedGmxAligner,
+    FullGmxAligner,
+    WindowedGmxAligner,
+)
+from .baselines import (
+    BitapAligner,
+    BpmAligner,
+    DarwinGactAligner,
+    EdlibAligner,
+    GenasmCpuAligner,
+    NeedlemanWunschAligner,
+)
+
+#: CLI name → aligner factory (mode/tile-size applied where supported).
+ALIGNER_FACTORIES: Dict[str, Callable] = {
+    "auto": lambda args: AutoAligner(tile_size=args.tile_size),
+    "full-gmx": lambda args: FullGmxAligner(
+        tile_size=args.tile_size, mode=AlignmentMode(args.mode)
+    ),
+    "banded-gmx": lambda args: BandedGmxAligner(tile_size=args.tile_size),
+    "windowed-gmx": lambda args: WindowedGmxAligner(tile_size=args.tile_size),
+    "nw": lambda args: NeedlemanWunschAligner(mode=AlignmentMode(args.mode)),
+    "bpm": lambda args: BpmAligner(),
+    "edlib": lambda args: EdlibAligner(),
+    "bitap": lambda args: BitapAligner(),
+    "genasm": lambda args: GenasmCpuAligner(),
+    "darwin": lambda args: DarwinGactAligner(),
+}
+
+#: Experiment name → harness callable (rows or dict of row lists).
+def _experiments() -> Dict[str, Callable]:
+    from . import eval as harness
+
+    return {
+        "fig3": harness.figure3,
+        "fig10": harness.figure10,
+        "fig11": harness.figure11,
+        "fig12": harness.figure12,
+        "fig13": harness.figure13,
+        "fig14": harness.figure14,
+        "fig15": harness.figure15,
+        "table1": harness.table1,
+        "table2": harness.table2,
+        "1mbp": harness.scalability_1mbp,
+        "memory": harness.memory_footprint_rows,
+        "tilecost": harness.tile_cost_table,
+        "energy": harness.energy_table,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GMX (MICRO 2023) reproduction — alignment and models",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    align = commands.add_parser("align", help="align sequences")
+    align.add_argument("pattern", nargs="?", help="pattern sequence")
+    align.add_argument("text", nargs="?", help="text sequence")
+    align.add_argument(
+        "--pairs", metavar="FILE", help="align every pair of a .seq file"
+    )
+    align.add_argument(
+        "--algorithm",
+        choices=sorted(ALIGNER_FACTORIES),
+        default="full-gmx",
+    )
+    align.add_argument(
+        "--mode",
+        choices=[mode.value for mode in AlignmentMode],
+        default="global",
+        help="anchoring mode (full-gmx and nw only)",
+    )
+    align.add_argument("--tile-size", type=int, default=32)
+    align.add_argument(
+        "--no-traceback", action="store_true", help="distance only"
+    )
+    align.add_argument(
+        "--stats", action="store_true", help="print kernel statistics"
+    )
+
+    generate = commands.add_parser("generate", help="generate a dataset")
+    generate.add_argument("--length", type=int, required=True)
+    generate.add_argument("--error", type=float, default=0.05)
+    generate.add_argument("--count", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", metavar="FILE", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name", choices=sorted(_experiments()) + ["all"]
+    )
+    experiment.add_argument(
+        "--json", metavar="FILE", help="write results as JSON (required for 'all')"
+    )
+
+    design = commands.add_parser("design", help="GMX hardware design point")
+    design.add_argument("--tile-size", type=int, default=32)
+    design.add_argument("--frequency", type=float, default=1.0, metavar="GHZ")
+
+    verify = commands.add_parser(
+        "verify", help="run the built-in correctness self-check"
+    )
+    verify.add_argument("--pairs", type=int, default=50, metavar="N")
+    verify.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_align(args) -> int:
+    from .workloads.seqio import load_pairs
+
+    factory = ALIGNER_FACTORIES[args.algorithm]
+    aligner = factory(args)
+    if args.pairs:
+        pairs = [(p.pattern, p.text) for p in load_pairs(args.pairs)]
+    elif args.pattern and args.text:
+        pairs = [(args.pattern, args.text)]
+    else:
+        print("error: provide PATTERN TEXT or --pairs FILE", file=sys.stderr)
+        return 2
+    for pattern, text in pairs:
+        result = aligner.align(pattern, text, traceback=not args.no_traceback)
+        line = f"score={result.score} exact={result.exact}"
+        if result.alignment is not None:
+            line += f" cigar={result.cigar}"
+            if result.text_end is not None and (
+                result.text_start, result.text_end
+            ) != (0, len(text)):
+                line += f" span={result.text_start}:{result.text_end}"
+        print(line)
+        if args.stats:
+            stats = result.stats
+            print(
+                f"  instructions={stats.total_instructions} "
+                f"({dict(stats.instructions)})"
+            )
+            print(
+                f"  dp_cells={stats.dp_cells} tiles={stats.tiles} "
+                f"dp_state_bytes={stats.dp_bytes_peak}"
+            )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .workloads.generator import generate_pair_set
+    from .workloads.seqio import save_pairs
+
+    pair_set = generate_pair_set(
+        f"cli-{args.length}bp", args.length, args.error, args.count,
+        seed=args.seed,
+    )
+    save_pairs(pair_set, args.out)
+    print(
+        f"wrote {args.count} pairs of {args.length} bp @ {args.error:.1%} "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .eval.reporting import render_table
+
+    if args.name == "all":
+        from .eval.export import export_json, run_all
+
+        if args.json:
+            path = export_json(args.json)
+            print(f"wrote all experiment results to {path}")
+        else:
+            results = run_all()
+            print(f"ran {len(results)} experiments; pass --json FILE to save")
+        return 0
+    result = _experiments()[args.name]()
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2, default=str))
+        print(f"wrote {args.name} to {args.json}")
+        return 0
+    if isinstance(result, dict):
+        for section, rows in result.items():
+            print(render_table(rows, title=f"{args.name} — {section}"))
+            print()
+    else:
+        print(render_table(result, title=args.name))
+    return 0
+
+
+def _cmd_design(args) -> int:
+    from .hw import design_point, soc_report
+
+    point = design_point(args.tile_size, args.frequency)
+    report = soc_report(args.tile_size)
+    print(f"GMX design point: T={point.tile_size} @ {point.frequency_ghz} GHz")
+    print(f"  DP elements per instruction : {point.elements_per_instruction}")
+    print(f"  GMX-AC latency              : {point.ac_stages} cycles")
+    print(f"  GMX-TB latency              : {point.tb_stages} cycles")
+    print(f"  area                        : {point.area_mm2:.4f} mm^2")
+    print(f"  power                       : {point.power_mw:.2f} mW")
+    print(f"  peak throughput             : {point.peak_gcups:.0f} GCUPS")
+    print(
+        f"  share of the RTL SoC        : "
+        f"{report.gmx_area_fraction:.1%} area, "
+        f"{report.gmx_power_fraction:.1%} power"
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    import random
+
+    from .align import AutoAligner, BandedGmxAligner, FullGmxAligner
+    from .baselines import (
+        BpmAligner,
+        EdlibAligner,
+        HirschbergAligner,
+        NeedlemanWunschAligner,
+        WfaAligner,
+    )
+    from .core.tile import boundary_deltas
+    from .hw.rtl_sim import GmxAcArraySim
+    from .workloads.generator import generate_pair
+
+    rng = random.Random(args.seed)
+    aligners = [
+        FullGmxAligner(),
+        BandedGmxAligner(),
+        AutoAligner(),
+        NeedlemanWunschAligner(),
+        BpmAligner(),
+        EdlibAligner(),
+        HirschbergAligner(),
+        WfaAligner(),
+    ]
+    checked = 0
+    for index in range(args.pairs):
+        length = rng.randint(20, 400)
+        error = rng.choice((0.01, 0.05, 0.15, 0.30))
+        pair = generate_pair(length, error, rng)
+        scores = set()
+        for aligner in aligners:
+            result = aligner.align(pair.pattern, pair.text)
+            if result.alignment is not None:
+                result.alignment.validate()
+            scores.add(result.score)
+        if len(scores) != 1:
+            print(f"FAIL: aligners disagree on pair {index}: {scores}")
+            return 1
+        checked += 1
+    # Gate-level spot check: the executable array vs the tile kernel.
+    sim = GmxAcArraySim(tile_size=8, stages=2)
+    for _ in range(20):
+        pair = generate_pair(8, 0.2, rng)
+        chunk_p = pair.pattern[:8].ljust(8, "A")
+        chunk_t = (pair.text[:8] or "A").ljust(8, "C")
+        from .core.tile import compute_tile_reference
+
+        simulated = sim.simulate(
+            chunk_p, chunk_t, boundary_deltas(8), boundary_deltas(8)
+        )
+        reference = compute_tile_reference(
+            chunk_p, chunk_t, boundary_deltas(8), boundary_deltas(8),
+            tile_size=8,
+        )
+        if simulated.result != reference:
+            print("FAIL: gate-level array disagrees with the tile kernel")
+            return 1
+    print(
+        f"OK: {checked} random pairs agreed across {len(aligners)} exact "
+        f"aligners; gate-level array matches the tile kernel"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "align": _cmd_align,
+        "generate": _cmd_generate,
+        "experiment": _cmd_experiment,
+        "design": _cmd_design,
+        "verify": _cmd_verify,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

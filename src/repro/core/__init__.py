@@ -1,0 +1,84 @@
+"""Core GMX primitives: the GMXΔ function, tiles, traceback, and the ISA model.
+
+This package is the paper's primary contribution (§4–§5): the GMX-Tile
+bit-parallel algorithm and the functional semantics of the ``gmx.v`` /
+``gmx.h`` / ``gmx.tb`` instructions with their architectural state registers.
+"""
+
+from .alphabet import DNA_BASES, AlphabetError, encode_2bit, decode_2bit, reverse_complement, validate_dna
+from .cigar import (
+    Alignment,
+    AlignmentError,
+    AlignmentStats,
+    alignment_stats,
+    cigar_to_ops,
+    edit_cost,
+    ops_to_cigar,
+    pack_ops,
+    unpack_ops,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+)
+from .delta import gmx_delta, gmx_delta_bits, gmx_delta_via_bits
+from .encoding import (
+    CSR_ADDRESSES,
+    EncodingError,
+    GmxInstruction,
+    decode as decode_instruction,
+    encode as encode_instruction,
+)
+from .isa import GmxIsa, IsaError, decode_pos, encode_pos
+from .tile import (
+    DEFAULT_TILE_SIZE,
+    TileOpCounter,
+    TileResult,
+    boundary_deltas,
+    compute_tile,
+    compute_tile_reference,
+)
+from .traceback import NextTile, TileTraceback, traceback_tile
+
+__all__ = [
+    "Alignment",
+    "AlignmentError",
+    "AlignmentStats",
+    "AlphabetError",
+    "CSR_ADDRESSES",
+    "DEFAULT_TILE_SIZE",
+    "DNA_BASES",
+    "EncodingError",
+    "GmxInstruction",
+    "decode_instruction",
+    "encode_instruction",
+    "GmxIsa",
+    "IsaError",
+    "NextTile",
+    "OP_DELETION",
+    "OP_INSERTION",
+    "OP_MATCH",
+    "OP_MISMATCH",
+    "TileOpCounter",
+    "TileResult",
+    "TileTraceback",
+    "boundary_deltas",
+    "cigar_to_ops",
+    "compute_tile",
+    "compute_tile_reference",
+    "decode_2bit",
+    "decode_pos",
+    "edit_cost",
+    "encode_2bit",
+    "encode_pos",
+    "gmx_delta",
+    "gmx_delta_bits",
+    "gmx_delta_via_bits",
+    "alignment_stats",
+    "ops_to_cigar",
+    "pack_ops",
+    "reverse_complement",
+    "traceback_tile",
+    "unpack_ops",
+    "validate_dna",
+]

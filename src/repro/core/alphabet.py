@@ -1,0 +1,72 @@
+"""DNA alphabet handling and sequence utilities.
+
+GMX compares raw characters (any alphabet) rather than pre-encoded symbols —
+one of its advantages over Bitap/BPM accelerators that need 2-bit encodings
+and per-character lookup tables.  This module still provides an optional
+canonical DNA alphabet for workload generation and compact encodings used by
+the baseline accelerators' cost models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: Canonical DNA bases, in the order used by 2-bit encodings.
+DNA_BASES = "ACGT"
+
+#: Extended alphabet including the ambiguity symbol produced by sequencers.
+DNA_BASES_N = DNA_BASES + "N"
+
+_BASE_TO_CODE = {base: code for code, base in enumerate(DNA_BASES)}
+_CODE_TO_BASE = dict(enumerate(DNA_BASES))
+
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+class AlphabetError(ValueError):
+    """Raised when a sequence contains symbols outside the expected alphabet."""
+
+
+def validate_dna(sequence: str, *, allow_n: bool = False) -> str:
+    """Return ``sequence`` unchanged if it is a valid DNA string.
+
+    Args:
+        sequence: the sequence to validate.
+        allow_n: whether the ambiguity base ``N`` is acceptable.
+
+    Raises:
+        AlphabetError: if any character falls outside the alphabet.
+    """
+    allowed = set(DNA_BASES_N if allow_n else DNA_BASES)
+    for position, base in enumerate(sequence):
+        if base not in allowed:
+            raise AlphabetError(
+                f"invalid base {base!r} at position {position}; "
+                f"expected one of {sorted(allowed)}"
+            )
+    return sequence
+
+
+def encode_2bit(sequence: str) -> list[int]:
+    """Encode a DNA sequence into 2-bit codes (A=0, C=1, G=2, T=3).
+
+    This mirrors the preprocessing step that Bitap/BPM-based accelerators
+    require and that GMX removes.
+    """
+    try:
+        return [_BASE_TO_CODE[base] for base in sequence]
+    except KeyError as exc:
+        raise AlphabetError(f"cannot 2-bit encode base {exc.args[0]!r}") from exc
+
+
+def decode_2bit(codes: Iterable[int]) -> str:
+    """Decode a 2-bit code list back into a DNA string."""
+    try:
+        return "".join(_CODE_TO_BASE[code] for code in codes)
+    except KeyError as exc:
+        raise AlphabetError(f"invalid 2-bit code {exc.args[0]!r}") from exc
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of a DNA sequence (N maps to N)."""
+    return sequence.translate(_COMPLEMENT)[::-1]

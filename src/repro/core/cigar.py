@@ -1,0 +1,289 @@
+"""Alignment operations, CIGAR strings, and alignment scoring.
+
+Conventions (matching the paper's Figure 1):
+
+* the *pattern* indexes the DP-matrix rows, the *text* the columns;
+* ``M`` consumes one pattern and one text character that match;
+* ``X`` consumes one of each that mismatch (cost 1 under edit distance);
+* ``D`` (deletion) consumes one pattern character only — a vertical move;
+* ``I`` (insertion) consumes one text character only — a horizontal move.
+
+An alignment is stored pattern→text order (top-left to bottom-right of the
+DP-matrix).  ``gmx.tb`` produces operations bottom-right → top-left; callers
+reverse before building an :class:`Alignment`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: Alignment operations in their 2-bit hardware encoding order (paper §5).
+OP_MATCH = "M"
+OP_MISMATCH = "X"
+OP_INSERTION = "I"
+OP_DELETION = "D"
+
+ALL_OPS = (OP_MATCH, OP_MISMATCH, OP_INSERTION, OP_DELETION)
+
+#: 2-bit encoding used by gmx_lo / gmx_hi.
+OP_TO_CODE = {OP_MATCH: 0, OP_MISMATCH: 1, OP_INSERTION: 2, OP_DELETION: 3}
+CODE_TO_OP = {code: op for op, code in OP_TO_CODE.items()}
+
+_CIGAR_TOKEN = re.compile(r"(\d+)([MXID=])")
+
+
+class AlignmentError(ValueError):
+    """Raised when an alignment is inconsistent with its sequence pair."""
+
+
+def edit_cost(ops: Iterable[str]) -> int:
+    """Edit cost of an operation sequence (M free, X/I/D cost 1)."""
+    cost = 0
+    for op in ops:
+        if op == OP_MATCH:
+            continue
+        if op in (OP_MISMATCH, OP_INSERTION, OP_DELETION):
+            cost += 1
+        else:
+            raise AlignmentError(f"unknown alignment operation {op!r}")
+    return cost
+
+
+def ops_to_cigar(ops: Sequence[str]) -> str:
+    """Run-length encode an operation sequence into a CIGAR string."""
+    if not ops:
+        return ""
+    parts = []
+    run_op = ops[0]
+    run_len = 0
+    for op in ops:
+        if op == run_op:
+            run_len += 1
+        else:
+            parts.append(f"{run_len}{run_op}")
+            run_op = op
+            run_len = 1
+    parts.append(f"{run_len}{run_op}")
+    return "".join(parts)
+
+
+def cigar_to_ops(cigar: str) -> List[str]:
+    """Expand a CIGAR string into an operation list (``=`` maps to ``M``)."""
+    ops: List[str] = []
+    consumed = 0
+    for match in _CIGAR_TOKEN.finditer(cigar):
+        consumed += len(match.group(0))
+        length = int(match.group(1))
+        op = match.group(2)
+        if op == "=":
+            op = OP_MATCH
+        ops.extend([op] * length)
+    if consumed != len(cigar):
+        raise AlignmentError(f"malformed CIGAR string {cigar!r}")
+    return ops
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A complete pairwise alignment of ``pattern`` against ``text``.
+
+    Attributes:
+        pattern: the row sequence.
+        text: the column sequence.
+        ops: operations in pattern→text order.
+        score: the edit distance the aligner reports for this alignment.
+    """
+
+    pattern: str
+    text: str
+    ops: Tuple[str, ...]
+    score: int
+
+    @property
+    def cigar(self) -> str:
+        """CIGAR string of the alignment."""
+        return ops_to_cigar(self.ops)
+
+    def validate(self) -> None:
+        """Check internal consistency.
+
+        Verifies the operations consume exactly the two sequences, that M/X
+        labels agree with the characters, and that the recomputed edit cost
+        equals ``score``.
+
+        Raises:
+            AlignmentError: on any inconsistency.
+        """
+        i = 0  # pattern cursor
+        j = 0  # text cursor
+        for position, op in enumerate(self.ops):
+            if op in (OP_MATCH, OP_MISMATCH):
+                if i >= len(self.pattern) or j >= len(self.text):
+                    raise AlignmentError(
+                        f"op {op} at {position} overruns sequences ({i}, {j})"
+                    )
+                chars_equal = self.pattern[i] == self.text[j]
+                if op == OP_MATCH and not chars_equal:
+                    raise AlignmentError(
+                        f"M at op {position} aligns mismatching characters "
+                        f"{self.pattern[i]!r} vs {self.text[j]!r}"
+                    )
+                if op == OP_MISMATCH and chars_equal:
+                    raise AlignmentError(
+                        f"X at op {position} aligns matching characters "
+                        f"{self.pattern[i]!r}"
+                    )
+                i += 1
+                j += 1
+            elif op == OP_DELETION:
+                if i >= len(self.pattern):
+                    raise AlignmentError(f"D at op {position} overruns pattern")
+                i += 1
+            elif op == OP_INSERTION:
+                if j >= len(self.text):
+                    raise AlignmentError(f"I at op {position} overruns text")
+                j += 1
+            else:
+                raise AlignmentError(f"unknown alignment operation {op!r}")
+        if i != len(self.pattern) or j != len(self.text):
+            raise AlignmentError(
+                f"alignment consumes ({i}, {j}) of "
+                f"({len(self.pattern)}, {len(self.text)}) characters"
+            )
+        cost = edit_cost(self.ops)
+        if cost != self.score:
+            raise AlignmentError(
+                f"operation cost {cost} disagrees with reported score {self.score}"
+            )
+
+    def affine_score(
+        self,
+        *,
+        match: int = 0,
+        mismatch: int = 4,
+        gap_open: int = 6,
+        gap_extend: int = 2,
+    ) -> int:
+        """Gap-affine penalty of this alignment (lower is better).
+
+        Used by the Figure-3 experiment to measure the score deviation of
+        edit-distance alignments from the optimal gap-affine alignment.
+        """
+        total = 0
+        previous = None
+        for op in self.ops:
+            if op == OP_MATCH:
+                total += match
+            elif op == OP_MISMATCH:
+                total += mismatch
+            elif op in (OP_INSERTION, OP_DELETION):
+                total += gap_extend
+                if op != previous:
+                    total += gap_open
+            previous = op
+        return total
+
+
+def pack_ops(ops: Sequence[str]) -> bytes:
+    """Pack operations into the 2-bit stream the GMX traceback emits.
+
+    Algorithm 2 stores alignments as raw 2-bit codes (gmx_lo/gmx_hi dumps);
+    this is the byte-level equivalent — four ops per byte, little-endian
+    fields — prefixed by nothing: callers keep the op count.
+    """
+    packed = bytearray((len(ops) + 3) // 4)
+    for index, op in enumerate(ops):
+        code = OP_TO_CODE.get(op)
+        if code is None:
+            raise AlignmentError(f"unknown alignment operation {op!r}")
+        packed[index // 4] |= code << (2 * (index % 4))
+    return bytes(packed)
+
+
+def unpack_ops(packed: bytes, count: int) -> List[str]:
+    """Inverse of :func:`pack_ops` for the first ``count`` operations."""
+    if count < 0 or count > 4 * len(packed):
+        raise AlignmentError(
+            f"cannot unpack {count} ops from {len(packed)} bytes"
+        )
+    ops = []
+    for index in range(count):
+        code = (packed[index // 4] >> (2 * (index % 4))) & 0b11
+        ops.append(CODE_TO_OP[code])
+    return ops
+
+
+@dataclass(frozen=True)
+class AlignmentStats:
+    """Operation breakdown of one alignment.
+
+    Attributes:
+        matches / mismatches / insertions / deletions: op counts.
+    """
+
+    matches: int
+    mismatches: int
+    insertions: int
+    deletions: int
+
+    @property
+    def columns(self) -> int:
+        """Total alignment columns."""
+        return self.matches + self.mismatches + self.insertions + self.deletions
+
+    @property
+    def identity(self) -> float:
+        """Fraction of alignment columns that are matches (BLAST identity)."""
+        return self.matches / self.columns if self.columns else 0.0
+
+    @property
+    def gaps(self) -> int:
+        """Total gap columns (insertions + deletions)."""
+        return self.insertions + self.deletions
+
+
+def alignment_stats(ops: Sequence[str]) -> AlignmentStats:
+    """Count the operations of an alignment."""
+    counts = {op: 0 for op in ALL_OPS}
+    for op in ops:
+        if op not in counts:
+            raise AlignmentError(f"unknown alignment operation {op!r}")
+        counts[op] += 1
+    return AlignmentStats(
+        matches=counts[OP_MATCH],
+        mismatches=counts[OP_MISMATCH],
+        insertions=counts[OP_INSERTION],
+        deletions=counts[OP_DELETION],
+    )
+
+
+def classify_pair(pattern_char: str, text_char: str) -> str:
+    """Return M or X for a diagonal move over the given character pair."""
+    return OP_MATCH if pattern_char == text_char else OP_MISMATCH
+
+
+def relabel_diagonal_ops(pattern: str, text: str, ops: Sequence[str]) -> List[str]:
+    """Rewrite each diagonal op as M/X according to the actual characters.
+
+    Some baselines emit a generic "diagonal" op; this normalises it so
+    :meth:`Alignment.validate` can check character agreement.
+    """
+    out: List[str] = []
+    i = 0
+    j = 0
+    for op in ops:
+        if op in (OP_MATCH, OP_MISMATCH):
+            out.append(classify_pair(pattern[i], text[j]))
+            i += 1
+            j += 1
+        elif op == OP_DELETION:
+            out.append(op)
+            i += 1
+        elif op == OP_INSERTION:
+            out.append(op)
+            j += 1
+        else:
+            raise AlignmentError(f"unknown alignment operation {op!r}")
+    return out

@@ -1,0 +1,134 @@
+"""The GMXΔ function — the core of the GMX-Tile algorithm (paper §4.2).
+
+The bit-parallel Myers (BPM) recurrences for the edit-distance DP matrix,
+
+    Δv[i,j] = min{-eq[i,j], Δv[i,j-1], Δh[i-1,j]} + 1 - Δh[i-1,j]
+    Δh[i,j] = min{-eq[i,j], Δv[i,j-1], Δh[i-1,j]} + 1 - Δv[i,j-1]
+
+are symmetric in (Δv, Δh).  The paper condenses both into a single function
+(Eq. 2):
+
+    GMXΔ(Δa, Δb, eq) = min{-eq, Δa, Δb} + 1 - Δb
+
+so that ``Δv_out = GMXΔ(Δv_in, Δh_in, eq)`` and
+``Δh_out = GMXΔ(Δh_in, Δv_in, eq)``, where ``eq`` is 1 when the pattern and
+text characters are equal.
+
+Each Δ value lies in {-1, 0, +1} and is encoded in two bits (Eq. 3's
+encoding): ``Δ[0] = (Δ == +1)`` and ``Δ[1] = (Δ == -1)``.  The boolean form
+below uses a handful of gates per output bit, which is what makes the
+hardware CC_AC cell tiny; its equivalence with the arithmetic form is
+enumerable over all 18 inputs (see :func:`enumerate_gmx_delta_truth_table`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: The three legal difference values.
+DELTA_VALUES = (-1, 0, 1)
+
+#: Encoding of each Δ value as (bit0, bit1) = (Δ==+1, Δ==-1).
+_ENCODE = {1: (1, 0), 0: (0, 0), -1: (0, 1)}
+_DECODE = {(1, 0): 1, (0, 0): 0, (0, 1): -1}
+
+
+class DeltaEncodingError(ValueError):
+    """Raised on illegal Δ values or bit patterns."""
+
+
+def encode_delta(delta: int) -> Tuple[int, int]:
+    """Encode a Δ value in {-1, 0, +1} as its (bit0, bit1) pair."""
+    try:
+        return _ENCODE[delta]
+    except KeyError as exc:
+        raise DeltaEncodingError(f"Δ value must be -1, 0 or +1, got {delta!r}") from exc
+
+
+def decode_delta(bit0: int, bit1: int) -> int:
+    """Decode a (bit0, bit1) pair back to a Δ value.
+
+    The pattern (1, 1) is unreachable in correct operation and rejected.
+    """
+    try:
+        return _DECODE[(bit0 & 1, bit1 & 1)]
+    except KeyError as exc:
+        raise DeltaEncodingError(f"illegal Δ bit pattern {(bit0, bit1)!r}") from exc
+
+
+def gmx_delta(delta_a: int, delta_b: int, eq: int) -> int:
+    """Arithmetic GMXΔ (paper Eq. 2): ``min{-eq, Δa, Δb} + 1 - Δb``.
+
+    Args:
+        delta_a: the difference value that is *not* subtracted back out
+            (Δv_in when computing Δv_out; Δh_in when computing Δh_out).
+        delta_b: the complementary difference value.
+        eq: 1 if the pattern and text characters at this DP element match.
+
+    Returns:
+        The output difference value, guaranteed to be in {-1, 0, +1}.
+    """
+    if delta_a not in DELTA_VALUES or delta_b not in DELTA_VALUES:
+        raise DeltaEncodingError(
+            f"Δ inputs must be in {{-1, 0, +1}}, got ({delta_a!r}, {delta_b!r})"
+        )
+    if eq not in (0, 1):
+        raise DeltaEncodingError(f"eq must be 0 or 1, got {eq!r}")
+    return min(-eq, delta_a, delta_b) + 1 - delta_b
+
+
+def gmx_delta_bits(a0: int, a1: int, b0: int, b1: int, eq: int) -> Tuple[int, int]:
+    """Boolean GMXΔ (paper Eq. 3) over 2-bit encoded inputs.
+
+    Derivation from Eq. 2 with m = min{-eq, Δa, Δb}:
+
+    * Δb == -1 forces m = -1, so out = +1.
+    * Δb ==  0: out = m + 1, i.e. 0 when (eq or Δa == -1), else +1.
+    * Δb == +1: out = m, i.e. -1 when (eq or Δa == -1), else 0.
+
+    Hence with ``neg = eq | Δa[1]``:
+
+    * ``out[0] = Δb[1] | (!Δb[0] & !Δb[1] & !neg)``
+    * ``out[1] = Δb[0] & neg``
+
+    Returns:
+        ``(out0, out1)``, the 2-bit encoding of the output Δ value.
+    """
+    neg = (eq | a1) & 1
+    out0 = (b1 | ((b0 ^ 1) & (b1 ^ 1) & (neg ^ 1))) & 1
+    out1 = (b0 & neg) & 1
+    # a0 participates only through the encoding invariant: Δa == -1 is a1.
+    del a0
+    return out0, out1
+
+
+def gmx_delta_via_bits(delta_a: int, delta_b: int, eq: int) -> int:
+    """Compute GMXΔ through the boolean gate form (round-trips the encoding)."""
+    a0, a1 = encode_delta(delta_a)
+    b0, b1 = encode_delta(delta_b)
+    out0, out1 = gmx_delta_bits(a0, a1, b0, b1, eq)
+    return decode_delta(out0, out1)
+
+
+def enumerate_gmx_delta_truth_table() -> Iterator[Tuple[int, int, int, int]]:
+    """Yield (Δa, Δb, eq, GMXΔ) for all 18 legal input combinations.
+
+    This is the brute-force enumeration the paper uses to verify Eq. 3.
+    """
+    for delta_a in DELTA_VALUES:
+        for delta_b in DELTA_VALUES:
+            for eq in (0, 1):
+                yield delta_a, delta_b, eq, gmx_delta(delta_a, delta_b, eq)
+
+
+#: Number of bit operations per DP element claimed for GMX-Tile (paper §4.2).
+GMX_TILE_BITOPS_PER_ELEMENT = 12
+
+#: Bit operations per DP element for the classical BPM formulation.
+BPM_BITOPS_PER_ELEMENT = 17
+
+#: Bit operations per *bit* of Bitap state (7·k per character, k bits/element).
+BITAP_BITOPS_PER_STATE_BIT = 7
+
+#: Full-integer instructions per DP element for classical DP (paper §4.2).
+DP_INSTRUCTIONS_PER_ELEMENT = 5

@@ -1,0 +1,140 @@
+"""RISC-V instruction-word encodings for the GMX extension (paper §5).
+
+"GMX instructions can use standard R-type RISC-V encoding, using the
+reserved custom op-codes."  This module pins that down: an assembler and
+disassembler for the three instructions over the *custom-0* major opcode
+(0001011), with funct3 selecting the operation:
+
+```
+ 31        25 24  20 19  15 14  12 11   7 6      0
+┌────────────┬──────┬──────┬──────┬──────┬────────┐
+│   funct7   │ rs2  │ rs1  │funct3│  rd  │ opcode │
+└────────────┴──────┴──────┴──────┴──────┴────────┘
+   0000000     ΔH_in  ΔV_in  000    ΔV_out  0001011   gmx.v
+   0000000     ΔH_in  ΔV_in  001    ΔH_out  0001011   gmx.h
+   0000000     ΔH_in  ΔV_in  010    x0      0001011   gmx.tb
+   0000000     ΔH_in  ΔV_in  011    ΔV_out  0001011   gmx.vh (2-port variant)
+```
+
+The architectural state registers live in the custom read/write CSR space
+(0x800–0x804), accessed with the base ISA's ``csrrw``/``csrrs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: RISC-V custom-0 major opcode.
+CUSTOM0_OPCODE = 0b0001011
+
+#: funct3 selector per GMX mnemonic.
+FUNCT3: Dict[str, int] = {
+    "gmx.v": 0b000,
+    "gmx.h": 0b001,
+    "gmx.tb": 0b010,
+    "gmx.vh": 0b011,
+}
+_MNEMONIC = {funct3: name for name, funct3 in FUNCT3.items()}
+
+#: CSR addresses of the GMX architectural state (custom R/W space).
+CSR_ADDRESSES: Dict[str, int] = {
+    "gmx_pattern": 0x800,
+    "gmx_text": 0x801,
+    "gmx_pos": 0x802,
+    "gmx_lo": 0x803,
+    "gmx_hi": 0x804,
+}
+_CSR_NAMES = {address: name for name, address in CSR_ADDRESSES.items()}
+
+
+class EncodingError(ValueError):
+    """Raised on unencodable operands or undecodable words."""
+
+
+@dataclass(frozen=True)
+class GmxInstruction:
+    """A decoded GMX instruction.
+
+    Attributes:
+        mnemonic: one of ``gmx.v``, ``gmx.h``, ``gmx.tb``, ``gmx.vh``.
+        rd / rs1 / rs2: integer register numbers (x0–x31).
+    """
+
+    mnemonic: str
+    rd: int
+    rs1: int
+    rs2: int
+
+    def __str__(self) -> str:
+        if self.mnemonic == "gmx.tb":
+            return f"{self.mnemonic} x{self.rs1}, x{self.rs2}"
+        return f"{self.mnemonic} x{self.rd}, x{self.rs1}, x{self.rs2}"
+
+
+def _check_register(name: str, value: int) -> None:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{name} must be x0–x31, got {value}")
+
+
+def encode(mnemonic: str, rd: int, rs1: int, rs2: int) -> int:
+    """Assemble one GMX instruction into its 32-bit word.
+
+    ``gmx.tb`` has no destination register (its results land in CSRs);
+    pass ``rd=0`` for it.
+    """
+    funct3 = FUNCT3.get(mnemonic)
+    if funct3 is None:
+        raise EncodingError(f"unknown GMX mnemonic {mnemonic!r}")
+    if mnemonic == "gmx.tb" and rd != 0:
+        raise EncodingError("gmx.tb writes no GPR; rd must be x0")
+    _check_register("rd", rd)
+    _check_register("rs1", rs1)
+    _check_register("rs2", rs2)
+    return (
+        (0 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (rd << 7)
+        | CUSTOM0_OPCODE
+    )
+
+
+def decode(word: int) -> GmxInstruction:
+    """Disassemble a 32-bit word into a GMX instruction."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    if word & 0x7F != CUSTOM0_OPCODE:
+        raise EncodingError(
+            f"word {word:#010x} is not in the custom-0 opcode space"
+        )
+    funct3 = (word >> 12) & 0b111
+    mnemonic = _MNEMONIC.get(funct3)
+    if mnemonic is None:
+        raise EncodingError(f"unassigned GMX funct3 {funct3:#05b}")
+    funct7 = (word >> 25) & 0x7F
+    if funct7 != 0:
+        raise EncodingError(f"reserved funct7 {funct7:#09b} must be zero")
+    return GmxInstruction(
+        mnemonic=mnemonic,
+        rd=(word >> 7) & 0x1F,
+        rs1=(word >> 15) & 0x1F,
+        rs2=(word >> 20) & 0x1F,
+    )
+
+
+def csr_address(name: str) -> int:
+    """CSR address of a GMX architectural state register."""
+    address = CSR_ADDRESSES.get(name)
+    if address is None:
+        raise EncodingError(f"unknown GMX CSR {name!r}")
+    return address
+
+
+def csr_name(address: int) -> str:
+    """Inverse of :func:`csr_address`."""
+    name = _CSR_NAMES.get(address)
+    if name is None:
+        raise EncodingError(f"no GMX CSR at address {address:#x}")
+    return name

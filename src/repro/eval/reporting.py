@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment in :mod:`repro.eval.experiments` returns structured rows
+(lists of dicts); these helpers turn them into the aligned text tables the
+benchmark harness prints — the reproduction's equivalent of the paper's
+figures and tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_value(value: Cell) -> str:
+    """Human-friendly cell formatting (SI-ish floats, stable ints)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    rows: List[Dict[str, Cell]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        rows: list of homogeneous dicts.
+        columns: column order; defaults to the first row's key order.
+        title: optional heading printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    formatted = [
+        [format_value(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in formatted))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio (0 when the denominator is 0)."""
+    return numerator / denominator if denominator else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 when empty)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))

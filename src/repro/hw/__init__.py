@@ -1,0 +1,46 @@
+"""Hardware models of the GMX extensions (paper §6): structure, timing, area."""
+
+from .floorplan import (
+    AreaPowerReport,
+    GMX_AC_AREA_MM2,
+    GMX_POWER_MW,
+    GMX_TB_AREA_MM2,
+    GMX_TOTAL_AREA_MM2,
+    SOC_AREA_MM2,
+    SOC_POWER_MW,
+    gmx_area_mm2,
+    gmx_power_mw,
+    soc_report,
+)
+from .energy import EnergyEstimate, EnergyProfile, estimate_energy
+from .frequency import DesignPoint, design_point, sweep_tile_sizes
+from .gates import GateBudget, comparator_budget, gmx_delta_budget
+from .gmx_ac import CCAC_DELAY_NS, GmxAcModel, SegmentationPlan
+from .gmx_tb import CCTB_DELAY_NS, GmxTbModel
+
+__all__ = [
+    "AreaPowerReport",
+    "CCAC_DELAY_NS",
+    "CCTB_DELAY_NS",
+    "DesignPoint",
+    "EnergyEstimate",
+    "EnergyProfile",
+    "GMX_AC_AREA_MM2",
+    "GMX_POWER_MW",
+    "GMX_TB_AREA_MM2",
+    "GMX_TOTAL_AREA_MM2",
+    "GateBudget",
+    "GmxAcModel",
+    "GmxTbModel",
+    "SOC_AREA_MM2",
+    "SOC_POWER_MW",
+    "SegmentationPlan",
+    "comparator_budget",
+    "design_point",
+    "estimate_energy",
+    "gmx_area_mm2",
+    "gmx_delta_budget",
+    "gmx_power_mw",
+    "soc_report",
+    "sweep_tile_sizes",
+]

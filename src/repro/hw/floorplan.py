@@ -1,0 +1,128 @@
+"""Area/power model of the GMX-enhanced SoC (paper §7.3, Figure 13, Table 2).
+
+The paper reports post-place-and-route numbers for the Sargantana-based
+RTL-InOrder SoC in GlobalFoundries 22nm FD-SOI at 1 GHz:
+
+* GMX total: 0.0216 mm² (1.7 % of the SoC) and 8.47 mW (2.1 %);
+* GMX-AC: 0.008 mm²; GMX-TB: 0.0108 mm²; the remainder
+  (0.0028 mm²) is the architectural CSR state and glue;
+* per-PE areas of the DSA comparators (Table 2).
+
+We cannot re-run Cadence Genus/Innovus, so this model anchors on those
+published constants and scales them structurally: the AC/TB cell arrays
+grow quadratically with T, the edge registers linearly with T (the §6.3
+scaling argument), and power scales with area at constant activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Paper-reported anchors (GF 22nm, 1 GHz, T = 32).
+ANCHOR_TILE_SIZE = 32
+GMX_AC_AREA_MM2 = 0.008
+GMX_TB_AREA_MM2 = 0.0108
+GMX_CSR_AREA_MM2 = 0.0028  # total 0.0216 − AC − TB
+GMX_TOTAL_AREA_MM2 = 0.0216
+GMX_POWER_MW = 8.47
+GMX_AREA_FRACTION = 0.017  # 1.7 % of the SoC
+GMX_POWER_FRACTION = 0.021  # 2.1 % of the SoC power
+
+#: Derived SoC totals.
+SOC_AREA_MM2 = GMX_TOTAL_AREA_MM2 / GMX_AREA_FRACTION
+SOC_POWER_MW = GMX_POWER_MW / GMX_POWER_FRACTION
+
+#: Approximate area split of the remaining SoC (Figure 13 floorplan: the L2
+#: macro dominates, then the core, then the L1 arrays and uncore).
+SOC_COMPONENT_FRACTIONS: Dict[str, float] = {
+    "l2_cache": 0.42,
+    "core": 0.26,
+    "l1_dcache": 0.09,
+    "l1_icache": 0.06,
+    "uncore": 0.17,
+}
+
+#: Area of a 2-cycle 64-bit integer multiplier — the paper notes each GMX
+#: module is comparable to one.
+INT_MULTIPLIER_AREA_MM2 = 0.009
+
+
+@dataclass(frozen=True)
+class AreaPowerReport:
+    """Area/power breakdown of a GMX-enhanced SoC.
+
+    All areas in mm², power in mW.
+    """
+
+    tile_size: int
+    gmx_ac_area: float
+    gmx_tb_area: float
+    gmx_csr_area: float
+    soc_other_area: float
+    gmx_power: float
+    soc_power: float
+
+    @property
+    def gmx_area(self) -> float:
+        """Total GMX extension area."""
+        return self.gmx_ac_area + self.gmx_tb_area + self.gmx_csr_area
+
+    @property
+    def soc_area(self) -> float:
+        """Total SoC area including GMX."""
+        return self.gmx_area + self.soc_other_area
+
+    @property
+    def gmx_area_fraction(self) -> float:
+        """GMX share of the SoC area."""
+        return self.gmx_area / self.soc_area
+
+    @property
+    def gmx_power_fraction(self) -> float:
+        """GMX share of the SoC power."""
+        return self.gmx_power / self.soc_power
+
+    def component_areas(self) -> Dict[str, float]:
+        """Named breakdown matching Figure 13's right panel."""
+        breakdown = {
+            name: fraction * self.soc_other_area
+            for name, fraction in SOC_COMPONENT_FRACTIONS.items()
+        }
+        breakdown["gmx_ac"] = self.gmx_ac_area
+        breakdown["gmx_tb"] = self.gmx_tb_area
+        breakdown["gmx_csr"] = self.gmx_csr_area
+        return breakdown
+
+
+def gmx_area_mm2(tile_size: int = ANCHOR_TILE_SIZE) -> float:
+    """GMX extension area for a given tile size.
+
+    The AC/TB cell arrays scale with T² and the CSR/edge registers with T,
+    both anchored at the published T = 32 numbers.
+    """
+    if tile_size < 2:
+        raise ValueError(f"tile size must be at least 2, got {tile_size}")
+    quad = (tile_size / ANCHOR_TILE_SIZE) ** 2
+    lin = tile_size / ANCHOR_TILE_SIZE
+    return (GMX_AC_AREA_MM2 + GMX_TB_AREA_MM2) * quad + GMX_CSR_AREA_MM2 * lin
+
+
+def gmx_power_mw(tile_size: int = ANCHOR_TILE_SIZE) -> float:
+    """GMX extension power, scaled with area at constant activity."""
+    return GMX_POWER_MW * gmx_area_mm2(tile_size) / GMX_TOTAL_AREA_MM2
+
+
+def soc_report(tile_size: int = ANCHOR_TILE_SIZE) -> AreaPowerReport:
+    """Full SoC area/power report for a GMX-enhanced RTL-InOrder SoC."""
+    quad = (tile_size / ANCHOR_TILE_SIZE) ** 2
+    lin = tile_size / ANCHOR_TILE_SIZE
+    return AreaPowerReport(
+        tile_size=tile_size,
+        gmx_ac_area=GMX_AC_AREA_MM2 * quad,
+        gmx_tb_area=GMX_TB_AREA_MM2 * quad,
+        gmx_csr_area=GMX_CSR_AREA_MM2 * lin,
+        soc_other_area=SOC_AREA_MM2 - GMX_TOTAL_AREA_MM2,
+        gmx_power=gmx_power_mw(tile_size),
+        soc_power=SOC_POWER_MW - GMX_POWER_MW + gmx_power_mw(tile_size),
+    )

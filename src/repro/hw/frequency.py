@@ -1,0 +1,74 @@
+"""Frequency/segmentation analysis across tile sizes (paper §6.3).
+
+§6.3 argues three scaling laws for GMX's design space:
+
+* compute throughput (DP elements per instruction) grows as T²;
+* area grows as T² (cell arrays) plus T (registers);
+* latency grows only linearly in T — the pipeline depth needed to sustain
+  a target clock is ⌈(2T−1)·C_d / period⌉-ish for GMX-AC and the same with
+  (C_d + P_d) for GMX-TB.
+
+:func:`design_point` evaluates one T; :func:`sweep_tile_sizes` reproduces
+the whole trade-off table used by the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .floorplan import gmx_area_mm2, gmx_power_mw
+from .gmx_ac import GmxAcModel
+from .gmx_tb import GmxTbModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One GMX design point in the T / frequency trade-off space."""
+
+    tile_size: int
+    frequency_ghz: float
+    ac_stages: int
+    tb_stages: int
+    elements_per_instruction: int
+    area_mm2: float
+    power_mw: float
+
+    @property
+    def peak_gcups(self) -> float:
+        """Peak giga cell-updates per second of the GMX unit.
+
+        The pipelined GMX-AC array accepts a new tile every cycle, so peak
+        GCUPS = T² · f (1024 GCUPS at T = 32, 1 GHz — Table 2's GMX row).
+        """
+        return self.elements_per_instruction * self.frequency_ghz
+
+    @property
+    def gcups_per_mm2(self) -> float:
+        """Area efficiency of the unit."""
+        return self.peak_gcups / self.area_mm2
+
+
+def design_point(
+    tile_size: int, frequency_ghz: float = 1.0, char_bits: int = 2
+) -> DesignPoint:
+    """Evaluate one (T, frequency) design point."""
+    ac = GmxAcModel(tile_size=tile_size, char_bits=char_bits)
+    tb = GmxTbModel(tile_size=tile_size, char_bits=char_bits)
+    return DesignPoint(
+        tile_size=tile_size,
+        frequency_ghz=frequency_ghz,
+        ac_stages=ac.stages_for_frequency(frequency_ghz),
+        tb_stages=tb.stages_for_frequency(frequency_ghz),
+        elements_per_instruction=tile_size**2,
+        area_mm2=gmx_area_mm2(tile_size),
+        power_mw=gmx_power_mw(tile_size),
+    )
+
+
+def sweep_tile_sizes(
+    tile_sizes: Sequence[int] = (4, 8, 16, 32, 64),
+    frequency_ghz: float = 1.0,
+) -> List[DesignPoint]:
+    """Evaluate the §6.3 trade-off across tile sizes."""
+    return [design_point(t, frequency_ghz) for t in tile_sizes]

@@ -1,0 +1,122 @@
+"""Gate-level primitives for the GMX hardware cost models (paper §6).
+
+The paper's area/delay argument rests on the GMXΔ function being "a reduced
+number of gates" (Eq. 3 is 5–6 two-input gates).  This module provides a
+small structural-costing vocabulary — gate counts in NAND2 equivalents and
+delays in gate levels — used by :mod:`repro.hw.gmx_ac` and
+:mod:`repro.hw.gmx_tb` to reproduce the §6.3 critical-path and
+segmentation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: NAND2-equivalent area of each gate type (standard-cell folklore values).
+GATE_NAND2_EQUIV: Dict[str, float] = {
+    "not": 0.5,
+    "nand2": 1.0,
+    "nor2": 1.0,
+    "and2": 1.5,
+    "or2": 1.5,
+    "xor2": 2.5,
+    "xnor2": 2.5,
+    "mux2": 3.0,
+    "dff": 6.0,  # flip-flop, for segmentation registers
+}
+
+#: Propagation delay of each gate type, in unit gate-levels.
+GATE_DELAY_LEVELS: Dict[str, float] = {
+    "not": 0.5,
+    "nand2": 1.0,
+    "nor2": 1.0,
+    "and2": 1.0,
+    "or2": 1.0,
+    "xor2": 1.5,
+    "xnor2": 1.5,
+    "mux2": 1.5,
+    "dff": 0.0,
+}
+
+
+class GateError(ValueError):
+    """Raised for unknown gate types."""
+
+
+@dataclass
+class GateBudget:
+    """Accumulates gate counts for one hardware module.
+
+    Attributes:
+        gates: count per gate type.
+    """
+
+    gates: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, gate: str, count: int = 1) -> "GateBudget":
+        """Add ``count`` instances of a gate type (chainable)."""
+        if gate not in GATE_NAND2_EQUIV:
+            raise GateError(f"unknown gate type {gate!r}")
+        self.gates[gate] = self.gates.get(gate, 0) + count
+        return self
+
+    def merge(self, other: "GateBudget", copies: int = 1) -> "GateBudget":
+        """Add ``copies`` instances of another module's budget."""
+        for gate, count in other.gates.items():
+            self.gates[gate] = self.gates.get(gate, 0) + copies * count
+        return self
+
+    @property
+    def nand2_equivalents(self) -> float:
+        """Total area in NAND2 equivalents."""
+        return sum(
+            GATE_NAND2_EQUIV[gate] * count for gate, count in self.gates.items()
+        )
+
+    @property
+    def total_gates(self) -> int:
+        """Raw gate instance count."""
+        return sum(self.gates.values())
+
+
+def gmx_delta_budget() -> GateBudget:
+    """Gate netlist of one GMXΔ module (Eq. 3).
+
+    ``neg = eq | a1``; ``out1 = b0 & neg``;
+    ``out0 = b1 | (¬b0 & ¬b1 & ¬neg)`` — the three inverters, one 3-input
+    AND (two AND2), one OR each for ``neg`` and ``out0``, one AND for
+    ``out1``.
+    """
+    return (
+        GateBudget()
+        .add("or2", 2)
+        .add("and2", 3)
+        .add("not", 3)
+    )
+
+
+def gmx_delta_delay_levels() -> float:
+    """Critical-path depth of one GMXΔ module, in gate levels.
+
+    Longest path: input → NOT → AND → AND → OR (the out0 cone).
+    """
+    return (
+        GATE_DELAY_LEVELS["not"]
+        + 2 * GATE_DELAY_LEVELS["and2"]
+        + GATE_DELAY_LEVELS["or2"]
+    )
+
+
+def comparator_budget(char_bits: int) -> GateBudget:
+    """Equality comparator over ``char_bits``-wide characters.
+
+    One XNOR per bit plus an AND-reduction tree — the whole character
+    "preprocessing" GMX needs (§4.2: no lookup tables, any alphabet).
+    """
+    if char_bits < 1:
+        raise GateError(f"char_bits must be positive, got {char_bits}")
+    budget = GateBudget().add("xnor2", char_bits)
+    if char_bits > 1:
+        budget.add("and2", char_bits - 1)
+    return budget

@@ -1,0 +1,149 @@
+"""GMX-AC microarchitecture model (paper §6.1 and Figure 7).
+
+GMX-AC is a T×T array of compute cells (CC_AC).  Each cell holds two GMXΔ
+modules (one for Δv_out, one for Δh_out) and a character comparator, and is
+wired to its left and upper neighbours.  The array's critical path crosses
+2T−1 cells corner-to-corner (§6.3), so high clock rates require pipeline
+registers between antidiagonals.
+
+This model reproduces the §6.3 analysis quantitatively: gate budgets,
+critical-path delay as a function of the per-cell delay C_d, the
+segmentation register cost, and the stage count needed for a target
+frequency (2 cycles at T = 32 / 1 GHz in the paper's implementation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .gates import GateBudget, comparator_budget, gmx_delta_budget
+
+#: Per-cell propagation delay in GF 22nm, calibrated so that the T = 32
+#: array meets the paper's 2-cycle latency at 1 GHz: (2T−1)·C_d ≤ 2 ns.
+CCAC_DELAY_NS = 0.031
+
+
+@dataclass(frozen=True)
+class SegmentationPlan:
+    """A pipeline segmentation of a cell array along antidiagonals.
+
+    Attributes:
+        stages: number of pipeline stages.
+        stage_delays_ns: combinational delay of each stage.
+        register_bits: total pipeline register bits inserted.
+    """
+
+    stages: int
+    stage_delays_ns: List[float]
+    register_bits: int
+
+    @property
+    def max_stage_delay_ns(self) -> float:
+        """Slowest stage — sets the achievable clock period."""
+        return max(self.stage_delays_ns)
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        """Clock ceiling implied by the slowest stage."""
+        return 1.0 / self.max_stage_delay_ns
+
+
+class GmxAcModel:
+    """Structural and timing model of the GMX-AC unit.
+
+    Args:
+        tile_size: T, the array dimension.
+        char_bits: character width compared by each cell (2 for DNA codes;
+            8 for raw ASCII as the paper's flexible-alphabet variant).
+        cell_delay_ns: per-cell propagation delay C_d.
+    """
+
+    def __init__(
+        self,
+        tile_size: int = 32,
+        char_bits: int = 2,
+        cell_delay_ns: float = CCAC_DELAY_NS,
+    ):
+        if tile_size < 2:
+            raise ValueError(f"tile size must be at least 2, got {tile_size}")
+        if cell_delay_ns <= 0:
+            raise ValueError(f"cell delay must be positive, got {cell_delay_ns}")
+        self.tile_size = tile_size
+        self.char_bits = char_bits
+        self.cell_delay_ns = cell_delay_ns
+
+    # -- structure -------------------------------------------------------------
+
+    def cell_budget(self) -> GateBudget:
+        """Gate budget of one CC_AC: two GMXΔ modules plus the comparator."""
+        budget = GateBudget()
+        budget.merge(gmx_delta_budget(), copies=2)
+        budget.merge(comparator_budget(self.char_bits))
+        return budget
+
+    @property
+    def cell_count(self) -> int:
+        """Number of CC_AC cells (T²)."""
+        return self.tile_size**2
+
+    def array_budget(self) -> GateBudget:
+        """Gate budget of the full T×T array (cells only, no registers)."""
+        return GateBudget().merge(self.cell_budget(), copies=self.cell_count)
+
+    @property
+    def throughput_elements_per_cycle(self) -> int:
+        """DP elements produced per issued instruction-pair (T²)."""
+        return self.cell_count
+
+    # -- timing (§6.3) -----------------------------------------------------------
+
+    @property
+    def critical_path_cells(self) -> int:
+        """Cells on the longest combinational path (2T − 1)."""
+        return 2 * self.tile_size - 1
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Unpipelined corner-to-corner delay ((2T − 1) · C_d)."""
+        return self.critical_path_cells * self.cell_delay_ns
+
+    def segment(self, stages: int) -> SegmentationPlan:
+        """Split the array into ``stages`` antidiagonal pipeline stages.
+
+        Antidiagonals are distributed as evenly as possible; each stage
+        boundary stores at most T Δ values (2T bits of ΔV plus 2T of ΔH in
+        the worst case, modelled as 4T register bits per boundary).
+        """
+        if stages < 1:
+            raise ValueError(f"stages must be positive, got {stages}")
+        diagonals = self.critical_path_cells
+        stages = min(stages, diagonals)
+        base = diagonals // stages
+        remainder = diagonals % stages
+        per_stage = [base + (1 if s < remainder else 0) for s in range(stages)]
+        delays = [count * self.cell_delay_ns for count in per_stage]
+        register_bits = (stages - 1) * 4 * self.tile_size
+        return SegmentationPlan(
+            stages=stages, stage_delays_ns=delays, register_bits=register_bits
+        )
+
+    def stages_for_frequency(self, frequency_ghz: float) -> int:
+        """Minimum stage count meeting a target clock (§6.3's question)."""
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+        period = 1.0 / frequency_ghz
+        stages = max(1, math.ceil(self.critical_path_ns / period))
+        while self.segment(stages).max_stage_delay_ns > period:
+            stages += 1
+            if stages > self.critical_path_cells:
+                raise ValueError(
+                    f"cannot reach {frequency_ghz} GHz even fully pipelined: "
+                    f"cell delay {self.cell_delay_ns} ns exceeds the period"
+                )
+        return stages
+
+    def latency_cycles(self, frequency_ghz: float = 1.0) -> int:
+        """Operation latency in cycles at the given clock."""
+        return self.stages_for_frequency(frequency_ghz)

@@ -1,0 +1,145 @@
+"""GMX-TB microarchitecture model (paper §6.2 and Figures 8/9).
+
+GMX-TB recomputes the tile interior (a CC_AC-like difference pass) and then
+propagates the traceback selection from the start cell toward the top/left
+edge through CC_TB cells.  Each CC_TB applies the priority rule of Figure 8
+and enables exactly one of its three neighbours; the path touches at most
+one cell per antidiagonal, which bounds the output to 2T−1 operations.
+
+Total unpipelined delay is (2T−1) · (C_d + P_d) — the difference
+recomputation plus the selection propagation (§6.3) — so GMX-TB needs more
+stages than GMX-AC for the same clock (6 vs 2 cycles at T = 32 / 1 GHz).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .gates import GateBudget, comparator_budget, gmx_delta_budget
+from .gmx_ac import CCAC_DELAY_NS, GmxAcModel, SegmentationPlan
+
+#: Per-cell selection delay P_d in GF 22nm, calibrated so that the T = 32
+#: traceback meets the paper's 6-cycle latency at 1 GHz: the slowest of six
+#: antidiagonal stages spans ⌈63/6⌉ = 11 cells, so 11·(C_d + P_d) ≤ 1 ns.
+CCTB_DELAY_NS = 0.059
+
+
+def cctb_budget() -> GateBudget:
+    """Gate budget of one CC_TB cell.
+
+    The priority selector of Figure 8 (eq → M, Δv=+1 → D, Δh=+1 → I,
+    else X) is a 4-way one-hot priority encoder gating three neighbour
+    enables, plus the 2-bit op drive onto the antidiagonal output bus.
+    """
+    return (
+        GateBudget()
+        .add("not", 3)
+        .add("and2", 8)
+        .add("or2", 3)
+        .add("mux2", 2)
+    )
+
+
+class GmxTbModel:
+    """Structural and timing model of the GMX-TB unit.
+
+    Args:
+        tile_size: T.
+        char_bits: character width of the embedded comparators.
+        compute_delay_ns: C_d of the difference-recomputation cells.
+        select_delay_ns: P_d of the traceback-selection cells.
+    """
+
+    def __init__(
+        self,
+        tile_size: int = 32,
+        char_bits: int = 2,
+        compute_delay_ns: float = CCAC_DELAY_NS,
+        select_delay_ns: float = CCTB_DELAY_NS,
+    ):
+        if tile_size < 2:
+            raise ValueError(f"tile size must be at least 2, got {tile_size}")
+        self.tile_size = tile_size
+        self.char_bits = char_bits
+        self.compute_delay_ns = compute_delay_ns
+        self.select_delay_ns = select_delay_ns
+        # The embedded difference-recomputation array is a GMX-AC twin.
+        self._compute_array = GmxAcModel(
+            tile_size=tile_size,
+            char_bits=char_bits,
+            cell_delay_ns=compute_delay_ns,
+        )
+
+    # -- structure -------------------------------------------------------------
+
+    def cell_budget(self) -> GateBudget:
+        """One traceback cell: difference recomputation + selection logic."""
+        budget = GateBudget()
+        budget.merge(gmx_delta_budget(), copies=2)
+        budget.merge(comparator_budget(self.char_bits))
+        budget.merge(cctb_budget())
+        return budget
+
+    @property
+    def cell_count(self) -> int:
+        """Number of CC_TB cells (T²)."""
+        return self.tile_size**2
+
+    def array_budget(self) -> GateBudget:
+        """Gate budget of the full traceback array."""
+        return GateBudget().merge(self.cell_budget(), copies=self.cell_count)
+
+    @property
+    def max_ops_per_traceback(self) -> int:
+        """Alignment operations one gmx.tb can emit (one per antidiagonal)."""
+        return 2 * self.tile_size - 1
+
+    # -- timing (§6.3) -----------------------------------------------------------
+
+    @property
+    def critical_path_ns(self) -> float:
+        """Unpipelined delay: (2T−1)·(C_d + P_d)."""
+        return (2 * self.tile_size - 1) * (
+            self.compute_delay_ns + self.select_delay_ns
+        )
+
+    def segment(self, stages: int) -> SegmentationPlan:
+        """Antidiagonal segmentation of the combined compute+select pass.
+
+        Following Figure 9.b, each stage first recomputes its difference
+        antidiagonals (top-down) and then propagates the selection
+        (bottom-up), so a stage over ``g`` antidiagonals costs
+        ``g · (C_d + P_d)``.
+        """
+        if stages < 1:
+            raise ValueError(f"stages must be positive, got {stages}")
+        diagonals = 2 * self.tile_size - 1
+        stages = min(stages, diagonals)
+        base = diagonals // stages
+        remainder = diagonals % stages
+        per_stage = [base + (1 if s < remainder else 0) for s in range(stages)]
+        unit = self.compute_delay_ns + self.select_delay_ns
+        delays = [count * unit for count in per_stage]
+        register_bits = (stages - 1) * 4 * self.tile_size
+        return SegmentationPlan(
+            stages=stages, stage_delays_ns=delays, register_bits=register_bits
+        )
+
+    def stages_for_frequency(self, frequency_ghz: float) -> int:
+        """Minimum stage count meeting a target clock."""
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+        period = 1.0 / frequency_ghz
+        stages = max(1, math.ceil(self.critical_path_ns / period))
+        diagonals = 2 * self.tile_size - 1
+        while self.segment(stages).max_stage_delay_ns > period:
+            stages += 1
+            if stages > diagonals:
+                raise ValueError(
+                    f"cannot reach {frequency_ghz} GHz even fully pipelined"
+                )
+        return stages
+
+    def latency_cycles(self, frequency_ghz: float = 1.0) -> int:
+        """gmx.tb latency in cycles (multicycle model, §6.3)."""
+        return self.stages_for_frequency(frequency_ghz)

@@ -1,0 +1,284 @@
+"""Cycle-accurate dataflow simulation of the segmented GMX-AC array.
+
+:mod:`repro.hw.gmx_ac` models the array's *cost* (gates, delays, stages);
+this module actually *executes* it the way the hardware does: every CC_AC
+cell evaluates the two gate-level GMXΔ boolean netlists (Eq. 3, via
+:func:`repro.core.delta.gmx_delta_bits`) on 2-bit-encoded operands, cells
+fire in antidiagonal order, and antidiagonal pipeline registers latch
+values at the stage boundaries chosen by the segmentation plan (Figure 9.a).
+
+The simulation checks what an RTL testbench would:
+
+* **functional equivalence** — edge outputs equal the reference tile
+  kernel for any stage count (pipelining must never change values);
+* **scheduling legality** — no cell consumes an operand produced in a
+  later cycle (asserted internally while simulating);
+* **timing** — a tile's latency equals the plan's stage count, and a
+  stream of tiles retires one per cycle once the pipeline is full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.delta import decode_delta, encode_delta, gmx_delta_bits
+from ..core.tile import TileResult
+from .gmx_ac import GmxAcModel
+
+
+class SchedulingError(RuntimeError):
+    """A cell consumed an operand that was not yet latched — RTL bug."""
+
+
+@dataclass(frozen=True)
+class SimulatedTile:
+    """Result of simulating one tile through the array.
+
+    Attributes:
+        result: the tile's output edges.
+        latency_cycles: cycles from operand capture to result writeback.
+    """
+
+    result: TileResult
+    latency_cycles: int
+
+
+class GmxAcArraySim:
+    """Executable model of the pipelined GMX-AC cell array.
+
+    Args:
+        tile_size: T, the array dimension.
+        stages: pipeline stages (1 = fully combinational).
+    """
+
+    def __init__(self, tile_size: int = 32, stages: int = 1):
+        if tile_size < 2:
+            raise ValueError(f"tile size must be at least 2, got {tile_size}")
+        if stages < 1:
+            raise ValueError(f"stages must be positive, got {stages}")
+        self.tile_size = tile_size
+        diagonals = 2 * tile_size - 1
+        self.stages = min(stages, diagonals)
+        # Assign each antidiagonal to a stage exactly as the cost model's
+        # segmentation does (balanced contiguous groups).
+        base = diagonals // self.stages
+        remainder = diagonals % self.stages
+        self._stage_of_diagonal: List[int] = []
+        for stage in range(self.stages):
+            count = base + (1 if stage < remainder else 0)
+            self._stage_of_diagonal.extend([stage] * count)
+        # The cost model agrees on the shape of the plan by construction.
+        assert len(self._stage_of_diagonal) == diagonals
+
+    def stage_of(self, row: int, col: int) -> int:
+        """Pipeline stage (cycle of evaluation) of cell (row, col)."""
+        return self._stage_of_diagonal[row + col]
+
+    def simulate(
+        self,
+        pattern: str,
+        text: str,
+        dv_in: Sequence[int],
+        dh_in: Sequence[int],
+    ) -> SimulatedTile:
+        """Run one tile through the array at gate level.
+
+        Operands and results travel as (bit0, bit1) pairs; every cell
+        evaluates ``gmx_delta_bits`` twice (the two GMXΔ modules of
+        Figure 7) plus the character comparator.
+        """
+        rows = len(pattern)
+        cols = len(text)
+        if rows > self.tile_size or cols > self.tile_size:
+            raise ValueError(
+                f"chunk ({rows}×{cols}) exceeds the {self.tile_size}-array"
+            )
+        if len(dv_in) != rows or len(dh_in) != cols:
+            raise ValueError("edge vector lengths must match the chunks")
+        # Encoded vertical operands per row (left edge), horizontal per col.
+        dv_bits: List[Tuple[int, int]] = [encode_delta(d) for d in dv_in]
+        dh_bits: List[Tuple[int, int]] = [encode_delta(d) for d in dh_in]
+        # ready[i][j] = cycle at which cell (i, j)'s outputs are latched.
+        ready = [[0] * cols for _ in range(rows)]
+        for diagonal in range(rows + cols - 1):
+            stage = self._stage_of_diagonal[diagonal]
+            low = max(0, diagonal - cols + 1)
+            high = min(rows - 1, diagonal)
+            for i in range(high, low - 1, -1):
+                j = diagonal - i
+                # Scheduling legality: operands must come from cells in the
+                # same or an earlier stage.
+                if i > 0 and ready[i - 1][j] > stage:
+                    raise SchedulingError(
+                        f"cell ({i},{j}) reads ({i - 1},{j}) from the future"
+                    )
+                if j > 0 and ready[i][j - 1] > stage:
+                    raise SchedulingError(
+                        f"cell ({i},{j}) reads ({i},{j - 1}) from the future"
+                    )
+                eq = 1 if pattern[i] == text[j] else 0
+                v0, v1 = dv_bits[i]
+                h0, h1 = dh_bits[j]
+                new_v = gmx_delta_bits(v0, v1, h0, h1, eq)
+                new_h = gmx_delta_bits(h0, h1, v0, v1, eq)
+                dv_bits[i] = new_v
+                dh_bits[j] = new_h
+                ready[i][j] = stage
+        result = TileResult(
+            dv_out=tuple(decode_delta(*bits) for bits in dv_bits),
+            dh_out=tuple(decode_delta(*bits) for bits in dh_bits),
+        )
+        return SimulatedTile(result=result, latency_cycles=self.stages)
+
+    def simulate_stream(
+        self,
+        tiles: Sequence[Tuple[str, str, Sequence[int], Sequence[int]]],
+    ) -> Tuple[List[TileResult], int]:
+        """Push a stream of independent tiles through the pipeline.
+
+        Returns the per-tile results and the total cycles: with S stages
+        and k tiles, ``S + k − 1`` (one tile retires per cycle once full —
+        the array's peak T²·f GCUPS operating point).
+        """
+        results = [
+            self.simulate(pattern, text, dv, dh).result
+            for pattern, text, dv, dh in tiles
+        ]
+        total_cycles = self.stages + max(0, len(results) - 1)
+        return results, total_cycles
+
+    def matches_cost_model(self, model: GmxAcModel) -> bool:
+        """True when this array's geometry matches a cost model's."""
+        return (
+            model.tile_size == self.tile_size
+            and model.segment(self.stages).stages == self.stages
+        )
+
+
+@dataclass(frozen=True)
+class SimulatedTraceback:
+    """Result of simulating one gmx.tb through the GMX-TB array.
+
+    Attributes:
+        ops: alignment operations in walk order.
+        next_tile_code: 2-bit next-tile direction (NextTile encoding).
+        gmx_lo / gmx_hi: packed register images as the hardware emits them.
+        latency_cycles: stage count of the segmented design.
+    """
+
+    ops: Tuple[str, ...]
+    next_tile_code: int
+    gmx_lo: int
+    gmx_hi: int
+    latency_cycles: int
+
+
+class GmxTbArraySim:
+    """Executable model of the GMX-TB traceback array (Figure 8).
+
+    Phase 1 recomputes the tile interior through the gate-level GMXΔ
+    netlists (the CC_TB cells embed the same modules as CC_AC); phase 2
+    propagates the selection: starting from the one-hot ``gmx_pos`` cell,
+    each enabled CC_TB applies the priority rule (eq → M, Δv → D, Δh → I,
+    else X) and enables exactly one neighbour.  The simulation asserts the
+    hardware invariant that at most one cell fires per antidiagonal, and
+    packs the ops into gmx_lo/gmx_hi exactly as the unit would.
+
+    Args:
+        tile_size: T, the array dimension.
+        stages: pipeline stages of the combined recompute+select pass
+            (6 at T = 32 / 1 GHz in the paper's design).
+    """
+
+    def __init__(self, tile_size: int = 32, stages: int = 6):
+        if tile_size < 2:
+            raise ValueError(f"tile size must be at least 2, got {tile_size}")
+        if stages < 1:
+            raise ValueError(f"stages must be positive, got {stages}")
+        self.tile_size = tile_size
+        self.stages = min(stages, 2 * tile_size - 1)
+
+    def simulate(
+        self,
+        pattern: str,
+        text: str,
+        dv_in: Sequence[int],
+        dh_in: Sequence[int],
+        start: Tuple[int, int],
+    ) -> SimulatedTraceback:
+        """Run one tile traceback at gate level."""
+        from ..core.traceback import NextTile, pack_tile_ops
+
+        rows = len(pattern)
+        cols = len(text)
+        if rows > self.tile_size or cols > self.tile_size:
+            raise ValueError(
+                f"chunk ({rows}×{cols}) exceeds the {self.tile_size}-array"
+            )
+        start_row, start_col = start
+        if not (0 <= start_row < rows and 0 <= start_col < cols):
+            raise ValueError(f"start {start!r} outside the {rows}×{cols} tile")
+        # Phase 1: gate-level interior recomputation (per-cell Δ outputs).
+        dv_bits = [encode_delta(d) for d in dv_in]
+        dh_bits = [encode_delta(d) for d in dh_in]
+        dv_grid = [[(0, 0)] * cols for _ in range(rows)]
+        dh_grid = [[(0, 0)] * cols for _ in range(rows)]
+        for diagonal in range(rows + cols - 1):
+            low = max(0, diagonal - cols + 1)
+            high = min(rows - 1, diagonal)
+            for i in range(high, low - 1, -1):
+                j = diagonal - i
+                eq = 1 if pattern[i] == text[j] else 0
+                v0, v1 = dv_bits[i]
+                h0, h1 = dh_bits[j]
+                new_v = gmx_delta_bits(v0, v1, h0, h1, eq)
+                new_h = gmx_delta_bits(h0, h1, v0, v1, eq)
+                dv_bits[i] = new_v
+                dh_bits[j] = new_h
+                dv_grid[i][j] = new_v
+                dh_grid[i][j] = new_h
+        # Phase 2: selection propagation with the CC_TB priority mux.
+        fired_diagonals = set()
+        ops = []
+        i, j = start_row, start_col
+        while i >= 0 and j >= 0:
+            diagonal = i + j
+            if diagonal in fired_diagonals:
+                raise SchedulingError(
+                    f"two CC_TB cells fired on antidiagonal {diagonal}"
+                )
+            fired_diagonals.add(diagonal)
+            eq = pattern[i] == text[j]
+            dv_plus = dv_grid[i][j][0]  # Δv == +1 bit
+            dh_plus = dh_grid[i][j][0]  # Δh == +1 bit
+            if eq:
+                ops.append("M")
+                i -= 1
+                j -= 1
+            elif dv_plus:
+                ops.append("D")
+                i -= 1
+            elif dh_plus:
+                ops.append("I")
+                j -= 1
+            else:
+                ops.append("X")
+                i -= 1
+                j -= 1
+        if i < 0 and j < 0:
+            next_tile = NextTile.DIAGONAL
+        elif i < 0:
+            next_tile = NextTile.UP
+        else:
+            next_tile = NextTile.LEFT
+        lo, hi = pack_tile_ops(
+            tuple(ops), start, next_tile, tile_size=self.tile_size
+        )
+        return SimulatedTraceback(
+            ops=tuple(ops),
+            next_tile_code=next_tile.code,
+            gmx_lo=lo,
+            gmx_hi=hi,
+            latency_cycles=self.stages,
+        )

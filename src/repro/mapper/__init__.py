@@ -1,0 +1,12 @@
+"""A miniature resequencing read mapper built on GMX verification (§2.1).
+
+Demonstrates the paper's integration story: indexing and seeding stay
+ordinary software; the alignment kernel — the pipeline's bottleneck — is
+the GMX-accelerated INFIX aligner, swapped in without any co-processor
+batching.
+"""
+
+from .index import KmerIndex, Seed
+from .mapper import Mapping, ReadMapper
+
+__all__ = ["KmerIndex", "Mapping", "ReadMapper", "Seed"]

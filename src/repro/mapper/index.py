@@ -1,0 +1,101 @@
+"""K-mer index — the seeding substrate of a resequencing mapper (§2.1).
+
+A typical resequencing analysis "locates the sequenced reads into a
+pre-existing reference genome ... [involving] indexing, seeding,
+pre-filtering, and sequence alignment" (§2.1).  This module provides the
+indexing/seeding stages; :mod:`repro.mapper.mapper` chains them with
+GMX-based verification into the end-to-end pipeline the paper's
+extensions are designed to drop into.
+
+The index is a plain hash from each k-mer to its reference positions,
+with an optional sampling stride (storing every s-th position, as
+production mappers do to bound memory).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One exact k-mer match between a read and the reference.
+
+    Attributes:
+        read_offset: position of the k-mer in the read.
+        reference_position: position of the k-mer in the reference.
+    """
+
+    read_offset: int
+    reference_position: int
+
+    @property
+    def diagonal(self) -> int:
+        """Implied read start position (reference − read offset)."""
+        return self.reference_position - self.read_offset
+
+
+class KmerIndex:
+    """Exact k-mer index over a reference sequence.
+
+    Args:
+        reference: the reference sequence.
+        k: k-mer length (larger k = more specific, fewer spurious seeds).
+        stride: index every ``stride``-th reference position (memory knob).
+    """
+
+    def __init__(self, reference: str, k: int = 16, stride: int = 1):
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if stride < 1:
+            raise ValueError(f"stride must be positive, got {stride}")
+        if len(reference) < k:
+            raise ValueError(
+                f"reference of {len(reference)} bp is shorter than k={k}"
+            )
+        self.reference = reference
+        self.k = k
+        self.stride = stride
+        self._positions: Dict[str, List[int]] = defaultdict(list)
+        for position in range(0, len(reference) - k + 1, stride):
+            self._positions[reference[position : position + k]].append(position)
+
+    def __len__(self) -> int:
+        """Number of distinct indexed k-mers."""
+        return len(self._positions)
+
+    def lookup(self, kmer: str) -> List[int]:
+        """Reference positions of one k-mer (empty when absent)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} chars")
+        return self._positions.get(kmer, [])
+
+    def seeds(self, read: str, *, step: int = 1) -> Iterator[Seed]:
+        """All exact k-mer matches of a read against the reference.
+
+        Args:
+            step: sample the read's k-mers at this interval (1 = all).
+        """
+        if step < 1:
+            raise ValueError(f"step must be positive, got {step}")
+        for offset in range(0, max(0, len(read) - self.k + 1), step):
+            for position in self.lookup(read[offset : offset + self.k]):
+                yield Seed(read_offset=offset, reference_position=position)
+
+    def candidate_diagonals(
+        self, read: str, *, step: int = 1, bucket: int = 16
+    ) -> List[Tuple[int, int]]:
+        """Candidate read placements, best-supported first.
+
+        Seeds vote for their implied placement (the diagonal); nearby
+        diagonals are bucketed to tolerate indels.  Returns
+        ``(diagonal, votes)`` sorted by decreasing support — the classical
+        seed-and-vote pre-filter that hands candidates to alignment.
+        """
+        votes: Dict[int, int] = defaultdict(int)
+        for seed in self.seeds(read, step=step):
+            votes[seed.diagonal // bucket] += 1
+        ranked = sorted(votes.items(), key=lambda item: (-item[1], item[0]))
+        return [(bucket_id * bucket, count) for bucket_id, count in ranked]

@@ -1,0 +1,167 @@
+"""End-to-end read mapper: seed → filter → GMX-verified alignment (§2.1).
+
+The integration story the paper tells: GMX lives *inside* the CPU
+pipeline, so an existing mapper swaps its verification kernel for the
+GMX-accelerated one without batching work to a device.  This mapper is
+that pipeline in miniature:
+
+1. **seeding** — exact k-mer hits from :class:`~repro.mapper.index.KmerIndex`,
+   on both strands;
+2. **pre-filtering** — seed votes rank candidate placements; candidates
+   with too little support are dropped before any DP runs (the §2.4
+   "alignment pre-filtering" use of edit distance);
+3. **verification** — an INFIX-mode Full(GMX) alignment of the read
+   against a padded reference window, accepting placements within the
+   error budget and producing the final CIGAR.
+
+Every accepted mapping carries its validated alignment, reference span,
+strand, and an Edlib-style "exact within budget" guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..align import AlignmentMode, FullGmxAligner
+from ..align.base import KernelStats
+from ..core.alphabet import reverse_complement
+from ..core.cigar import Alignment
+from .index import KmerIndex
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One accepted read placement.
+
+    Attributes:
+        position: reference start of the aligned span.
+        end: reference end (exclusive).
+        strand: ``+`` or ``-`` (read mapped as given / reverse-complemented).
+        score: edit distance of the alignment.
+        alignment: the validated alignment of the (oriented) read against
+            the covered reference span.
+        votes: seed support of the winning candidate.
+    """
+
+    position: int
+    end: int
+    strand: str
+    score: int
+    alignment: Alignment
+    votes: int
+
+    @property
+    def cigar(self) -> str:
+        """CIGAR of the mapping."""
+        return self.alignment.cigar
+
+
+class ReadMapper:
+    """Seed-filter-verify read mapper over one reference sequence.
+
+    Args:
+        reference: the reference to map against.
+        k: seed k-mer length.
+        max_error_rate: error budget as a fraction of the read length.
+        min_votes: minimum seed support for a candidate to reach DP.
+        max_candidates: candidates verified per read (best-supported first).
+        tile_size: GMX tile size used by the verifier.
+    """
+
+    def __init__(
+        self,
+        reference: str,
+        *,
+        k: int = 16,
+        max_error_rate: float = 0.10,
+        min_votes: int = 2,
+        max_candidates: int = 5,
+        tile_size: int = 32,
+    ):
+        if not 0 < max_error_rate < 1:
+            raise ValueError(
+                f"max_error_rate must be in (0, 1), got {max_error_rate}"
+            )
+        if min_votes < 1 or max_candidates < 1:
+            raise ValueError("min_votes and max_candidates must be positive")
+        self.reference = reference
+        self.index = KmerIndex(reference, k=k)
+        self.max_error_rate = max_error_rate
+        self.min_votes = min_votes
+        self.max_candidates = max_candidates
+        self._verifier = FullGmxAligner(
+            tile_size=tile_size, mode=AlignmentMode.INFIX
+        )
+        #: Aggregate verification work (for pipeline-level cost analysis).
+        self.stats = KernelStats()
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _budget(self, read: str) -> int:
+        return max(1, round(self.max_error_rate * len(read)))
+
+    def _window(self, read: str, diagonal: int) -> tuple:
+        """Reference window around a candidate placement, with indel pad."""
+        pad = self._budget(read) + self.index.k
+        start = max(0, diagonal - pad)
+        end = min(len(self.reference), diagonal + len(read) + pad)
+        return start, self.reference[start:end]
+
+    def _verify(
+        self, read: str, strand: str, diagonal: int, votes: int
+    ) -> Optional[Mapping]:
+        start, window = self._window(read, diagonal)
+        if len(window) < 1:
+            return None
+        result = self._verifier.align(read, window)
+        self.stats.merge(result.stats)
+        if result.score > self._budget(read):
+            return None
+        return Mapping(
+            position=start + result.text_start,
+            end=start + result.text_end,
+            strand=strand,
+            score=result.score,
+            alignment=result.alignment,
+            votes=votes,
+        )
+
+    # -- public API ---------------------------------------------------------------
+
+    def map_read(self, read: str) -> Optional[Mapping]:
+        """Map one read; returns the best accepted placement or ``None``.
+
+        Candidates from both strands compete; ties break toward higher
+        seed support, then lower reference position.
+        """
+        if len(read) < self.index.k:
+            raise ValueError(
+                f"read of {len(read)} bp is shorter than the {self.index.k}-mer seeds"
+            )
+        best: Optional[Mapping] = None
+        for strand, oriented in (("+", read), ("-", reverse_complement(read))):
+            candidates = self.index.candidate_diagonals(oriented)
+            kept = [
+                (diagonal, votes)
+                for diagonal, votes in candidates[: self.max_candidates]
+                if votes >= self.min_votes
+            ]
+            for diagonal, votes in kept:
+                mapping = self._verify(oriented, strand, diagonal, votes)
+                if mapping is None:
+                    continue
+                if (
+                    best is None
+                    or mapping.score < best.score
+                    or (
+                        mapping.score == best.score
+                        and mapping.votes > best.votes
+                    )
+                ):
+                    best = mapping
+        return best
+
+    def map_all(self, reads: List[str]) -> List[Optional[Mapping]]:
+        """Map a batch of reads (one entry per read, ``None`` if unmapped)."""
+        return [self.map_read(read) for read in reads]

@@ -1,0 +1,168 @@
+"""Set-associative cache simulator.
+
+A classic write-back/write-allocate LRU cache, composable into multi-level
+hierarchies.  The figure-level timing models use an analytic working-set
+classification (see :mod:`repro.sim.memory`) because full-length runs would
+need billions of accesses; this simulator exists to *validate* that
+classification on down-scaled kernels (tests replay synthetic access
+streams shaped like each aligner's) and for the cache-behaviour example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        name: label ("L1d", "L2", ...).
+        size_bytes: total capacity.
+        associativity: ways per set.
+        line_bytes: cache-line size.
+        latency_cycles: access (hit) latency.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    latency_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"invalid cache geometry: {self}")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size must be a multiple of ways × line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one level."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, config: CacheConfig, next_level: Optional["Cache"] = None):
+        self.config = config
+        self.next_level = next_level
+        self.stats = CacheStats()
+        # sets[index] maps tag -> dirty flag; dict preserves insertion order,
+        # which we maintain as LRU order (oldest first).
+        self._sets: List[Dict[int, bool]] = [
+            {} for _ in range(config.num_sets)
+        ]
+
+    def access(self, address: int, *, write: bool = False) -> int:
+        """Access one byte address; returns the latency in cycles."""
+        line = address // self.config.line_bytes
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            self.stats.hits += 1
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or write  # refresh LRU position
+            return self.config.latency_cycles
+        self.stats.misses += 1
+        latency = self.config.latency_cycles
+        if self.next_level is not None:
+            latency += self.next_level.access(address, write=False)
+        latency += self._fill(index, tag, write)
+        return latency
+
+    def _fill(self, index: int, tag: int, write: bool) -> int:
+        """Install a line, evicting LRU if needed; returns writeback latency."""
+        ways = self._sets[index]
+        extra = 0
+        if len(ways) >= self.config.associativity:
+            victim_tag, victim_dirty = next(iter(ways.items()))
+            del ways[victim_tag]
+            if victim_dirty:
+                self.stats.writebacks += 1
+                if self.next_level is not None:
+                    victim_line = victim_tag * self.config.num_sets + index
+                    extra = self.next_level.access(
+                        victim_line * self.config.line_bytes, write=True
+                    )
+        ways[tag] = write
+        return extra
+
+    def flush(self) -> int:
+        """Write back all dirty lines; returns the number written back."""
+        count = 0
+        for index, ways in enumerate(self._sets):
+            for tag, dirty in list(ways.items()):
+                if dirty:
+                    count += 1
+                    self.stats.writebacks += 1
+                    if self.next_level is not None:
+                        line = tag * self.config.num_sets + index
+                        self.next_level.access(
+                            line * self.config.line_bytes, write=True
+                        )
+            ways.clear()
+        return count
+
+
+class CacheHierarchy:
+    """A linear chain of cache levels in front of memory.
+
+    Args:
+        configs: level configurations, innermost first.
+        memory_latency_cycles: latency charged on a last-level miss.
+    """
+
+    def __init__(
+        self, configs: List[CacheConfig], memory_latency_cycles: int = 100
+    ):
+        if not configs:
+            raise ValueError("at least one cache level is required")
+        self.memory_latency_cycles = memory_latency_cycles
+        self.levels: List[Cache] = []
+        next_cache: Optional[Cache] = None
+        for config in reversed(configs):
+            next_cache = Cache(config, next_cache)
+            self.levels.append(next_cache)
+        self.levels.reverse()
+        self.memory_accesses = 0
+
+    def access(self, address: int, *, write: bool = False) -> int:
+        """Access through the hierarchy; returns total latency."""
+        latency = self.levels[0].access(address, write=write)
+        return latency
+
+    def finalize(self) -> None:
+        """Account memory traffic for last-level misses and writebacks."""
+        last = self.levels[-1]
+        self.memory_accesses = last.stats.misses + last.stats.writebacks
+
+    @property
+    def stats_by_level(self) -> Dict[str, CacheStats]:
+        """Per-level statistics keyed by level name."""
+        return {cache.config.name: cache.stats for cache in self.levels}

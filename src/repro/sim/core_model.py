@@ -1,0 +1,157 @@
+"""Core timing models: in-order and out-of-order cycle estimation.
+
+These are deliberately simple bottleneck models (the reproduction's gem5
+substitute): a kernel's cycles follow from its retired-instruction mix,
+its memory behaviour (via :mod:`repro.sim.memory`), and a handful of
+microarchitectural parameters.
+
+* **In-order, single-issue** (gem5-InOrder, RTL-InOrder): one instruction
+  per cycle plus exposed load-use latency beyond the L1, exposed GMX
+  latencies, and branch-misprediction penalties.
+* **Out-of-order, W-wide** (gem5-OoO, Neoverse-V1-like): throughput-bound
+  at ``instructions / width``, or at the single GMX unit, or at memory —
+  whichever is the bottleneck; load latency is mostly hidden by
+  memory-level parallelism.
+
+Both cap the result with the DRAM bandwidth wall, which is what bends the
+Full(BPM) curves in Figures 12 and 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..align.base import KernelStats
+from .memory import MemorySystemConfig, bandwidth_limited_time, classify_kernel
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitectural parameters of a modelled core.
+
+    Attributes:
+        name: label used in reports.
+        frequency_ghz: core clock.
+        issue_width: sustained instructions per cycle.
+        out_of_order: enables latency hiding (MLP, GMX overlap).
+        mlp: outstanding-miss parallelism used to hide load latency.
+        branch_mispredict_rate: fraction of branches mispredicted.
+        branch_penalty: cycles lost per misprediction.
+        gmx_ac_latency: gmx.v / gmx.h latency (paper: 2 cycles at 1 GHz).
+        gmx_tb_latency: gmx.tb latency (paper: 6 cycles).
+    """
+
+    name: str
+    frequency_ghz: float = 1.0
+    issue_width: int = 1
+    out_of_order: bool = False
+    mlp: float = 1.0
+    branch_mispredict_rate: float = 0.02
+    branch_penalty: int = 5
+    gmx_ac_latency: int = 2
+    gmx_tb_latency: int = 6
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Modelled execution of one kernel invocation on one core.
+
+    Attributes:
+        cycles: total cycles including memory stalls.
+        compute_cycles: cycles before the DRAM bandwidth cap.
+        mem_stall_cycles: exposed load-latency cycles.
+        dram_bytes: DRAM traffic attributed to the kernel.
+        seconds: wall time at the core clock (after the bandwidth cap).
+    """
+
+    cycles: float
+    compute_cycles: float
+    mem_stall_cycles: float
+    dram_bytes: int
+    seconds: float
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        """True when DRAM streaming, not compute, set the runtime."""
+        return self.dram_bytes > 0 and self.cycles > self.compute_cycles * 1.001
+
+
+def estimate_kernel(
+    stats: KernelStats,
+    core: CoreConfig,
+    memory: MemorySystemConfig,
+    *,
+    bandwidth_share: float = 1.0,
+) -> PerformanceEstimate:
+    """Estimate the execution time of one kernel invocation.
+
+    Args:
+        bandwidth_share: fraction of the DRAM peak available to this core
+            (used by the multicore model to express contention).
+    """
+    if not 0 < bandwidth_share <= 1.0:
+        raise ValueError(f"bandwidth share must be in (0, 1], got {bandwidth_share}")
+    instr = stats.instructions
+    total = stats.total_instructions
+    traffic = classify_kernel(
+        memory,
+        stats.effective_hot_bytes,
+        stats.dp_bytes_peak,
+        stats.dp_bytes_read,
+        stats.dp_bytes_written,
+    )
+    l1_latency = memory.access_latency(0)
+    extra_load_latency = max(0, traffic.load_latency_cycles - l1_latency)
+    branch_cycles = (
+        instr["branch"] * core.branch_mispredict_rate * core.branch_penalty
+    )
+    if core.out_of_order:
+        issue_cycles = total / core.issue_width
+        # One GMX unit.  gmx.v/gmx.h issue back-to-back but neighbouring
+        # tiles are data-dependent (edge vectors flow right/down), so about
+        # half the 2-cycle latency is exposed even out of order; gmx.tb is
+        # fully serialised through gmx_pos.
+        gmx_cycles = (
+            instr["gmx"] * (1 + 0.5 * (core.gmx_ac_latency - 1))
+            + instr["gmx_tb"] * core.gmx_tb_latency
+        )
+        mem_stalls = instr["load"] * extra_load_latency / max(core.mlp, 1.0)
+        compute_cycles = max(issue_cycles, gmx_cycles) + mem_stalls + branch_cycles
+    else:
+        gmx_extra = (
+            instr["gmx"] * (core.gmx_ac_latency - 1) * 0.5
+            + instr["gmx_tb"] * (core.gmx_tb_latency - 1)
+        )
+        mem_stalls = instr["load"] * extra_load_latency
+        compute_cycles = total + gmx_extra + mem_stalls + branch_cycles
+    seconds_compute = compute_cycles / (core.frequency_ghz * 1e9)
+    seconds = bandwidth_limited_time(
+        traffic.dram_bytes,
+        seconds_compute,
+        memory.dram_bandwidth_gbs * bandwidth_share,
+    )
+    cycles = seconds * core.frequency_ghz * 1e9
+    return PerformanceEstimate(
+        cycles=cycles,
+        compute_cycles=compute_cycles,
+        mem_stall_cycles=mem_stalls,
+        dram_bytes=traffic.dram_bytes,
+        seconds=seconds,
+    )
+
+
+def throughput_alignments_per_second(
+    stats: KernelStats,
+    pairs: int,
+    core: CoreConfig,
+    memory: MemorySystemConfig,
+    *,
+    bandwidth_share: float = 1.0,
+) -> float:
+    """Alignments per second for a batch whose total stats are ``stats``."""
+    if pairs < 1:
+        raise ValueError(f"pairs must be positive, got {pairs}")
+    estimate = estimate_kernel(
+        stats, core, memory, bandwidth_share=bandwidth_share
+    )
+    return pairs / estimate.seconds

@@ -1,0 +1,131 @@
+"""Analytic memory-system model: residence classification and DRAM bandwidth.
+
+The figure-level timing pipeline cannot replay billion-access traces, so it
+classifies each kernel's memory behaviour analytically:
+
+* the *hot* working set (``KernelStats.hot_bytes`` — e.g. one column of tile
+  edges) is served by the smallest cache level that contains it;
+* the *streamed* state (traceback matrices, written once and re-read once
+  much later) costs DRAM traffic whenever the total DP footprint exceeds the
+  last-level cache.
+
+This matches the paper's own narrative for Figure 12: Full(BPM) scales
+until its DP matrices stop fitting in the caches, after which the DDR4
+controllers' 47.8 GB/s peak becomes the wall, while the GMX variants' tiny
+footprints keep them compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .cache import CacheConfig
+
+#: Peak bandwidth of the evaluated two-controller DDR4 system (§7.1).
+DDR4_PEAK_BANDWIDTH_GBS = 47.8
+
+
+@dataclass(frozen=True)
+class MemorySystemConfig:
+    """Cache hierarchy geometry plus DRAM characteristics.
+
+    Attributes:
+        levels: cache levels, innermost first.
+        dram_latency_cycles: last-level miss latency.
+        dram_bandwidth_gbs: peak DRAM bandwidth available to the chip.
+    """
+
+    levels: Tuple[CacheConfig, ...]
+    dram_latency_cycles: int = 100
+    dram_bandwidth_gbs: float = DDR4_PEAK_BANDWIDTH_GBS
+
+    def residence_level(self, footprint_bytes: int) -> int:
+        """Index of the smallest level containing ``footprint_bytes``.
+
+        Returns ``len(levels)`` when nothing contains it (DRAM residence).
+        """
+        for index, level in enumerate(self.levels):
+            if footprint_bytes <= level.size_bytes:
+                return index
+        return len(self.levels)
+
+    def access_latency(self, level_index: int) -> int:
+        """Load-to-use latency of a hit at the given level (DRAM past the end)."""
+        if level_index >= len(self.levels):
+            return (
+                sum(level.latency_cycles for level in self.levels)
+                + self.dram_latency_cycles
+            )
+        return sum(
+            level.latency_cycles for level in self.levels[: level_index + 1]
+        )
+
+    @property
+    def llc_bytes(self) -> int:
+        """Capacity of the last cache level."""
+        return self.levels[-1].size_bytes
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """DRAM traffic and stall estimate for one kernel invocation.
+
+    Attributes:
+        hot_level: cache level index serving the hot working set.
+        load_latency_cycles: average latency of a DP-state load.
+        dram_bytes: bytes exchanged with DRAM.
+    """
+
+    hot_level: int
+    load_latency_cycles: int
+    dram_bytes: int
+
+
+def classify_kernel(
+    config: MemorySystemConfig,
+    hot_bytes: int,
+    total_bytes: int,
+    bytes_read: int,
+    bytes_written: int,
+) -> TrafficEstimate:
+    """Classify a kernel's memory behaviour.
+
+    Args:
+        hot_bytes: short-reuse-distance working set.
+        total_bytes: peak DP-state footprint.
+        bytes_read/bytes_written: DP-state traffic totals.
+    """
+    hot_level = config.residence_level(hot_bytes)
+    load_latency = config.access_latency(hot_level)
+    # DP-state *reads* in every implemented kernel touch recently written
+    # state (the previous column / the hot working set), so they are served
+    # by the caches and modelled through ``load_latency``.  The write-once
+    # stream (traceback matrices) is what reaches DRAM: dirty lines beyond
+    # the LLC are evicted exactly once.  Traceback re-reads touch only the
+    # alignment path — negligible traffic.
+    if total_bytes > config.llc_bytes:
+        spill_fraction = 1.0 - config.llc_bytes / total_bytes
+        dram_bytes = int(bytes_written * spill_fraction)
+    else:
+        dram_bytes = 0
+    del bytes_read
+    return TrafficEstimate(
+        hot_level=hot_level,
+        load_latency_cycles=load_latency,
+        dram_bytes=dram_bytes,
+    )
+
+
+def bandwidth_limited_time(
+    dram_bytes: int, seconds_compute: float, bandwidth_gbs: float
+) -> float:
+    """Total runtime once DRAM streaming is overlapped with compute.
+
+    The kernel cannot finish faster than its DRAM traffic allows; below the
+    bandwidth wall the compute time stands.
+    """
+    if dram_bytes <= 0:
+        return seconds_compute
+    transfer = dram_bytes / (bandwidth_gbs * 1e9)
+    return max(seconds_compute, transfer)

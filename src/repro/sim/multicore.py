@@ -1,0 +1,103 @@
+"""Multicore scaling model (paper §7.2, Figure 12).
+
+The paper parallelises across sequence pairs (inter-sequence parallelism):
+16 gem5-OoO cores, each with a private GMX unit, share two DDR4 controllers
+(47.8 GB/s peak).  Scaling behaviour then follows from per-pair compute
+time versus per-pair memory traffic:
+
+* kernels whose DP state fits in the private caches scale linearly;
+* Full(BPM) streams its 4·n·m-bit matrices through DRAM — past ~1 kbp the
+  aggregate demand exceeds the controllers and the speedup flattens
+  (the paper reports >65 % of peak demanded);
+* Windowed(GMX) does so little compute per character that even its modest
+  streaming (sequences in, alignment out) raises contention, whose latency
+  inflation makes its scaling slightly sub-linear — matching §7.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..align.base import KernelStats
+from .core_model import CoreConfig, estimate_kernel
+from .memory import MemorySystemConfig
+
+#: Latency-inflation coefficient under full bandwidth utilisation.
+CONTENTION_BETA = 0.15
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Modelled execution at one thread count.
+
+    Attributes:
+        threads: cores used.
+        speedup: relative to single-thread execution.
+        bandwidth_gbs: aggregate DRAM bandwidth actually consumed.
+        utilization: fraction of peak DRAM bandwidth consumed.
+    """
+
+    threads: int
+    speedup: float
+    bandwidth_gbs: float
+    utilization: float
+
+
+def _per_pair_dram_bytes(
+    stats: KernelStats, pairs: int, n: int, m: int, dram_state_bytes: int
+) -> float:
+    """Per-pair DRAM traffic: spilled DP state + sequences + alignment out."""
+    ops_bytes = (n + m) // 4
+    return dram_state_bytes / pairs + (n + m) + ops_bytes
+
+
+def multicore_scaling(
+    stats: KernelStats,
+    pairs: int,
+    n: int,
+    m: int,
+    core: CoreConfig,
+    memory: MemorySystemConfig,
+    thread_counts: List[int],
+) -> List[ScalingPoint]:
+    """Model inter-sequence scaling across thread counts.
+
+    Args:
+        stats: aggregate kernel stats for ``pairs`` alignments.
+        n, m: nominal sequence lengths (for sequence/alignment traffic).
+        thread_counts: e.g. ``[1, 2, 4, 8, 16]``.
+    """
+    if pairs < 1:
+        raise ValueError(f"pairs must be positive, got {pairs}")
+    base = estimate_kernel(stats, core, memory)
+    compute_per_pair = base.compute_cycles / (core.frequency_ghz * 1e9) / pairs
+    dram_per_pair = _per_pair_dram_bytes(stats, pairs, n, m, base.dram_bytes)
+    peak = memory.dram_bandwidth_gbs * 1e9
+
+    def pair_rate(threads: int) -> tuple:
+        """(pairs/second, bandwidth bytes/s) at a thread count."""
+        # First-cut demand assuming no contention.
+        demand = threads * dram_per_pair / compute_per_pair
+        utilization = min(1.0, demand / peak)
+        inflated_compute = compute_per_pair * (
+            1.0 + CONTENTION_BETA * utilization
+        )
+        compute_rate = threads / inflated_compute
+        bandwidth_rate = peak / dram_per_pair if dram_per_pair > 0 else float("inf")
+        rate = min(compute_rate, bandwidth_rate)
+        return rate, rate * dram_per_pair
+
+    base_rate, _ = pair_rate(1)
+    points = []
+    for threads in thread_counts:
+        rate, bandwidth = pair_rate(threads)
+        points.append(
+            ScalingPoint(
+                threads=threads,
+                speedup=rate / base_rate,
+                bandwidth_gbs=bandwidth / 1e9,
+                utilization=min(1.0, bandwidth / peak),
+            )
+        )
+    return points

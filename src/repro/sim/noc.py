@@ -1,0 +1,111 @@
+"""Mesh network-on-chip model for the 16-core system (paper §7.1).
+
+The multicore evaluation runs on "a 16-core network-on-chip (NoC) with two
+DDR4 memory controllers".  The scaling model in :mod:`repro.sim.multicore`
+treats interconnect contention with a single coefficient; this module
+provides the structural level underneath it: a 2D mesh with XY routing,
+distance-dependent LLC-slice latency, bisection bandwidth, and an
+M/M/1-style contention factor — the quantities an architect would check
+before believing the flat coefficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MeshNoc:
+    """A rows×cols 2D mesh with XY dimension-ordered routing.
+
+    Attributes:
+        rows / cols: mesh dimensions (4×4 for the paper's 16 cores).
+        hop_cycles: link traversal cycles per hop.
+        router_cycles: per-router pipeline cycles.
+        link_bandwidth_gbs: per-link bandwidth for bisection analysis.
+    """
+
+    rows: int = 4
+    cols: int = 4
+    hop_cycles: int = 1
+    router_cycles: int = 2
+    link_bandwidth_gbs: float = 32.0
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"mesh must be at least 1×1, got {self.rows}×{self.cols}")
+        if self.hop_cycles < 0 or self.router_cycles < 0:
+            raise ValueError("hop and router cycles must be non-negative")
+
+    @property
+    def nodes(self) -> int:
+        """Number of mesh nodes (cores / LLC slices)."""
+        return self.rows * self.cols
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """(row, col) of a node id."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside the {self.rows}×{self.cols} mesh")
+        return divmod(node, self.cols)[0], node % self.cols
+
+    def hops(self, source: int, destination: int) -> int:
+        """Manhattan (XY-routed) hop count between two nodes."""
+        sr, sc = self.coordinates(source)
+        dr, dc = self.coordinates(destination)
+        return abs(sr - dr) + abs(sc - dc)
+
+    def latency_cycles(self, source: int, destination: int) -> int:
+        """Zero-load latency of one traversal (routers + links)."""
+        hop_count = self.hops(source, destination)
+        return hop_count * self.hop_cycles + (hop_count + 1) * self.router_cycles
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count over all (source, destination) pairs.
+
+        For address-interleaved LLC slices, every core spreads its accesses
+        uniformly over all nodes, so this is the expected distance of an
+        LLC access.
+        """
+        total = 0
+        for source in range(self.nodes):
+            for destination in range(self.nodes):
+                total += self.hops(source, destination)
+        return total / (self.nodes * self.nodes)
+
+    def average_llc_latency(self) -> float:
+        """Expected zero-load cycles added to a shared-LLC access."""
+        return (
+            self.average_hops * self.hop_cycles
+            + (self.average_hops + 1) * self.router_cycles
+        )
+
+    @property
+    def bisection_links(self) -> int:
+        """Links crossing the mesh's narrower bisection cut."""
+        if self.cols >= self.rows:
+            return self.rows  # vertical cut crosses one link per row
+        return self.cols
+
+    @property
+    def bisection_bandwidth_gbs(self) -> float:
+        """Aggregate bandwidth across the bisection (both directions)."""
+        return 2 * self.bisection_links * self.link_bandwidth_gbs
+
+    def contention_factor(self, utilization: float) -> float:
+        """Queueing latency multiplier at a link utilisation in [0, 1).
+
+        M/M/1 waiting-time inflation, capped at 8× to keep the model out
+        of the (unstable) saturated regime — by then the bandwidth cap in
+        the multicore model dominates anyway.
+        """
+        if utilization < 0:
+            raise ValueError(f"utilization must be non-negative, got {utilization}")
+        if utilization >= 1:
+            return 8.0
+        return min(8.0, 1.0 / (1.0 - utilization))
+
+
+#: The paper's 16-core configuration.
+MESH_4X4 = MeshNoc(rows=4, cols=4)

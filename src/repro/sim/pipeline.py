@@ -1,0 +1,357 @@
+"""Micro-op-level in-order pipeline simulator.
+
+The figure models use closed-form cycle estimates
+(:mod:`repro.sim.core_model`).  This module provides the next level of
+fidelity down: a single-issue, stall-on-use, in-order pipeline that
+executes an explicit micro-op stream with true data dependencies — the
+reproduction's stand-in for gem5's ``MinorCPU``-style model, and the tool
+used to *validate* the analytic in-order recipe (see
+``tests/sim/test_pipeline.py``).
+
+A :class:`MicroOp` names its producer micro-ops; the pipeline issues one
+op per cycle, stalling when a source's result is not yet ready and
+flushing on mispredicted branches.  Synthesizers build the dependency
+graphs of the paper's kernels:
+
+* :func:`synthesize_full_gmx_compute` — Algorithm 1's inner loop, with the
+  ΔH chain flowing down each tile column (the dependence that exposes part
+  of the 2-cycle gmx.v/gmx.h latency);
+* :func:`synthesize_bpm_column` — the 17-op Myers block step, a serial
+  dependency chain per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Default result latencies per micro-op kind (cycles).
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "int_alu": 1,
+    "load": 3,  # L1 load-to-use
+    "store": 1,
+    "branch": 1,
+    "csr": 1,
+    "gmx": 2,  # gmx.v / gmx.h (paper: 2-cycle pipelined)
+    "gmx_tb": 6,  # gmx.tb (paper: 6-cycle multicycle)
+}
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One dynamic micro-operation.
+
+    Attributes:
+        kind: instruction class (keys of DEFAULT_LATENCIES).
+        sources: ids (indices in the stream) of producer micro-ops whose
+            results this op consumes.
+        mispredicted: True for a branch that flushes the front end.
+    """
+
+    kind: str
+    sources: Tuple[int, ...] = ()
+    mispredicted: bool = False
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run.
+
+    Attributes:
+        instructions: micro-ops retired.
+        cycles: total execution cycles.
+        stall_cycles: cycles lost waiting on operands.
+        flush_cycles: cycles lost to branch mispredictions.
+    """
+
+    instructions: int = 0
+    cycles: int = 0
+    stall_cycles: int = 0
+    flush_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class InOrderPipeline:
+    """Single-issue in-order pipeline with stall-on-use and branch flushes.
+
+    Args:
+        latencies: per-kind result latencies (defaults merged in).
+        branch_penalty: cycles lost per mispredicted branch.
+    """
+
+    def __init__(
+        self,
+        latencies: Optional[Dict[str, int]] = None,
+        branch_penalty: int = 4,
+    ):
+        self.latencies = dict(DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+        self.branch_penalty = branch_penalty
+
+    def run(self, stream: Iterable[MicroOp]) -> PipelineResult:
+        """Execute a micro-op stream; returns cycle accounting.
+
+        Only a sliding window of producer ready-times is kept, so streams
+        of millions of micro-ops run in O(1) memory — sources must
+        therefore reference ops no further than 4096 positions back.
+        """
+        window = 4096
+        ready: Dict[int, int] = {}
+        result = PipelineResult()
+        cycle = 0
+        for index, op in enumerate(stream):
+            latency = self.latencies.get(op.kind)
+            if latency is None:
+                raise ValueError(f"unknown micro-op kind {op.kind!r}")
+            issue = cycle + 1
+            for source in op.sources:
+                if source >= index:
+                    raise ValueError(
+                        f"micro-op {index} sources the future op {source}"
+                    )
+                if index - source > window:
+                    raise ValueError(
+                        f"micro-op {index} sources {source}, beyond the "
+                        f"{window}-op dependency window"
+                    )
+                available = ready.get(source, 0)
+                if available > issue:
+                    result.stall_cycles += available - issue
+                    issue = available
+            cycle = issue
+            ready[index] = issue + latency - 1
+            if op.mispredicted:
+                cycle += self.branch_penalty
+                result.flush_cycles += self.branch_penalty
+            result.instructions += 1
+            if index % 1024 == 0 and index > 2 * window:
+                stale = index - 2 * window
+                for key in [k for k in ready if k < stale]:
+                    del ready[key]
+        result.cycles = cycle
+        return result
+
+
+class OutOfOrderPipeline:
+    """W-wide out-of-order engine with a ROB and per-kind functional units.
+
+    The model captures the three effects that matter for the Figure-11
+    comparison: dispatch width, dataflow-limited issue (ops start when
+    their operands are ready, not in program order), and structural
+    hazards on scarce units (one GMX unit; gmx.tb occupies it for its full
+    multicycle latency, everything else is pipelined).
+
+    Args:
+        width: dispatch/retire bandwidth per cycle.
+        rob_size: reorder-buffer entries (limits how far issue runs ahead).
+        functional_units: available units per kind (defaults below).
+        latencies: per-kind result latencies (defaults merged in).
+    """
+
+    DEFAULT_UNITS: Dict[str, int] = {
+        "int_alu": 4,
+        "load": 2,
+        "store": 2,
+        "branch": 1,
+        "csr": 1,
+        "gmx": 1,
+        "gmx_tb": 1,
+    }
+
+    #: Kinds whose unit stays busy for the full latency (unpipelined).
+    UNPIPELINED = ("gmx_tb",)
+
+    def __init__(
+        self,
+        width: int = 4,
+        rob_size: int = 128,
+        functional_units: Optional[Dict[str, int]] = None,
+        latencies: Optional[Dict[str, int]] = None,
+        branch_penalty: int = 12,
+    ):
+        if width < 1 or rob_size < width:
+            raise ValueError(
+                f"need width ≥ 1 and rob_size ≥ width, got {width}/{rob_size}"
+            )
+        self.width = width
+        self.rob_size = rob_size
+        self.units = dict(self.DEFAULT_UNITS)
+        if functional_units:
+            self.units.update(functional_units)
+        self.latencies = dict(DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+        self.branch_penalty = branch_penalty
+
+    def run(self, stream: Iterable[MicroOp]) -> PipelineResult:
+        """Execute a micro-op stream out of order; returns cycle accounting."""
+        result = PipelineResult()
+        finish: Dict[int, int] = {}  # op id -> completion cycle
+        retire_times: List[int] = []  # sliding window of retire cycles
+        retired_before = 0  # ops already dropped from the window
+        # Per-kind pipelined unit next-free cycles (round-robin).
+        unit_free: Dict[str, List[int]] = {
+            kind: [0] * count for kind, count in self.units.items()
+        }
+        fetch_cycle = 0
+        fetch_slots = self.width
+        for index, op in enumerate(stream):
+            latency = self.latencies.get(op.kind)
+            if latency is None:
+                raise ValueError(f"unknown micro-op kind {op.kind!r}")
+            # In-order dispatch, `width` per cycle, bounded by the ROB.
+            if fetch_slots == 0:
+                fetch_cycle += 1
+                fetch_slots = self.width
+            fetch_slots -= 1
+            dispatch = fetch_cycle
+            rob_tail = index - self.rob_size
+            if rob_tail >= retired_before:
+                dispatch = max(
+                    dispatch, retire_times[rob_tail - retired_before]
+                )
+            # Dataflow issue: wait for operands and a functional unit.
+            start = dispatch + 1
+            for source in op.sources:
+                if source >= index:
+                    raise ValueError(
+                        f"micro-op {index} sources the future op {source}"
+                    )
+                start = max(start, finish.get(source, 0))
+            units = unit_free[op.kind]
+            slot = min(range(len(units)), key=units.__getitem__)
+            start = max(start, units[slot])
+            busy = latency if op.kind in self.UNPIPELINED else 1
+            units[slot] = start + busy
+            done = start + latency
+            finish[index] = done
+            if op.mispredicted:
+                # Later fetch resumes after resolution.
+                fetch_cycle = max(fetch_cycle, done + self.branch_penalty)
+                fetch_slots = self.width
+                result.flush_cycles += self.branch_penalty
+            # In-order retirement, `width` per cycle.
+            previous_retire = retire_times[-1] if retire_times else 0
+            retire = max(done, previous_retire)
+            if len(retire_times) >= self.width and retire_times[-self.width] >= retire:
+                retire = retire_times[-self.width] + 1
+            retire_times.append(retire)
+            result.instructions += 1
+            # Keep the windows bounded.
+            if len(retire_times) > 2 * self.rob_size:
+                drop = len(retire_times) - self.rob_size
+                retired_before += drop
+                del retire_times[:drop]
+                stale = index - 2 * self.rob_size
+                for key in [k for k in finish if k < stale]:
+                    del finish[key]
+        result.cycles = retire_times[-1] if retire_times else 0
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Kernel micro-op synthesizers
+# ---------------------------------------------------------------------------
+
+def synthesize_full_gmx_compute(
+    tile_rows: int,
+    tile_columns: int,
+    *,
+    store_edges: bool = True,
+    mispredict_every: int = 64,
+) -> Iterator[MicroOp]:
+    """Micro-op stream of Algorithm 1's tile loop.
+
+    Per tile: two edge loads, a csrw of the pattern chunk, gmx.v and gmx.h
+    consuming both loads (and the previous tile's gmx.h through the ΔH
+    column chain), address arithmetic, edge stores, and the loop branch.
+    """
+    index = 0
+    branch_count = 0
+
+    def emit(kind: str, sources: Tuple[int, ...] = (), mispredicted=False):
+        nonlocal index
+        op = MicroOp(kind=kind, sources=sources, mispredicted=mispredicted)
+        index += 1
+        return op
+
+    for _column in range(tile_columns):
+        yield emit("csr")  # csrw gmx_text
+        yield emit("int_alu")
+        yield emit("branch")
+        previous_gmx_h: Optional[int] = None
+        for _row in range(tile_rows):
+            load_v = index
+            yield emit("load")
+            load_h = index
+            yield emit("load")
+            yield emit("csr")  # csrw gmx_pattern
+            chain = (previous_gmx_h,) if previous_gmx_h is not None else ()
+            gmx_v = index
+            yield emit("gmx", (load_v, load_h) + chain)
+            gmx_h = index
+            yield emit("gmx", (load_v, load_h) + chain)
+            previous_gmx_h = gmx_h
+            if store_edges:
+                yield emit("store", (gmx_v,))
+                yield emit("store", (gmx_h,))
+            for _ in range(4):
+                yield emit("int_alu")
+            branch_count += 1
+            yield emit(
+                "branch", mispredicted=branch_count % mispredict_every == 0
+            )
+        for _ in range(3):
+            yield emit("int_alu")
+
+
+def synthesize_bpm_column(
+    blocks: int,
+    columns: int,
+    *,
+    mispredict_every: int = 64,
+) -> Iterator[MicroOp]:
+    """Micro-op stream of the Myers block step (17 chained ALU ops).
+
+    The 17 bitwise/arithmetic operations of a block update form an almost
+    fully serial dependency chain — which is why BPM's IPC is high but its
+    per-cell cost cannot drop below ~17/w instructions.
+    """
+    index = 0
+    branch_count = 0
+
+    def emit(kind: str, sources: Tuple[int, ...] = (), mispredicted=False):
+        nonlocal index
+        op = MicroOp(kind=kind, sources=sources, mispredicted=mispredicted)
+        index += 1
+        return op
+
+    for _column in range(columns):
+        carry: Optional[int] = None
+        for _block in range(blocks):
+            load_pv = index
+            yield emit("load")
+            load_mv = index
+            yield emit("load")
+            load_eq = index
+            yield emit("load")
+            previous = [load_pv, load_mv, load_eq]
+            if carry is not None:
+                previous.append(carry)
+            last = None
+            for step in range(17):
+                sources = tuple(previous[-2:]) if last is None else (last,)
+                last = index
+                yield emit("int_alu", sources)
+            carry = last
+            yield emit("store", (last,))
+            yield emit("store", (last,))
+            branch_count += 1
+            yield emit(
+                "branch", mispredicted=branch_count % mispredict_every == 0
+            )

@@ -1,0 +1,149 @@
+"""Memory address-trace generators for the alignment kernels.
+
+The figure-level timing pipeline uses the *analytic* residence model of
+:mod:`repro.sim.memory`; these generators produce the actual byte-address
+streams of each kernel's DP-state accesses so that the set-associative
+cache simulator (:mod:`repro.sim.cache`) can validate that model on
+scaled-down kernels — the test suite replays them and checks the
+classification (fits-in-cache vs streams-to-DRAM, hot-set residence level)
+against what the simulator observes.
+
+Layouts mirror the natural implementations:
+
+* **Full(GMX)** — the edge matrix ``M`` is tile-row-major; each tile
+  computation reads its left neighbour's ΔV and upper neighbour's ΔH and
+  writes its own pair; the traceback re-reads edges along the tile
+  antidiagonal.
+* **Full(BPM)** — column-major history of (Pv, Mv, Ph, Mh) words per
+  (block, column); distance-only mode keeps one column in place.
+* **Full(DP)** — the classic row-major int matrix; each cell reads up,
+  left, and diagonal and writes itself.
+
+All traces yield ``(byte_address, is_write)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+Access = Tuple[int, bool]
+
+#: Base address of the DP state in the synthetic address space.
+DP_BASE = 0x1000_0000
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def full_gmx_trace(
+    n: int,
+    m: int,
+    *,
+    tile_size: int = 32,
+    traceback: bool = True,
+) -> Iterator[Access]:
+    """DP-state accesses of Full(GMX) (Algorithm 1 + 2).
+
+    ``M[i][j]`` occupies two 8-byte registers at
+    ``DP_BASE + (i·m_tiles + j)·16``.
+    """
+    nt = _ceil_div(n, tile_size)
+    mt = _ceil_div(m, tile_size)
+    edge_pair = 16  # ΔV + ΔH registers
+
+    def address(ti: int, tj: int) -> int:
+        return DP_BASE + (ti * mt + tj) * edge_pair
+
+    if not traceback:
+        # Distance-only mode: one in-place column of ΔV edges (the ΔH
+        # carry stays in a register while flowing down the column).
+        for _tj in range(mt):
+            for ti in range(nt):
+                slot = DP_BASE + ti * 8
+                yield slot, False
+                yield slot, True
+        return
+
+    for tj in range(mt):
+        for ti in range(nt):
+            if tj > 0:
+                yield address(ti, tj - 1), False  # left neighbour's ΔV
+            if ti > 0:
+                yield address(ti - 1, tj), False  # upper neighbour's ΔH
+            yield address(ti, tj), True
+            yield address(ti, tj) + 8, True
+    if traceback:
+        # The walk visits ~one tile per tile antidiagonal, re-reading the
+        # two input edges of each.
+        ti, tj = nt - 1, mt - 1
+        while ti >= 0 and tj >= 0:
+            if tj > 0:
+                yield address(ti, tj - 1), False
+            if ti > 0:
+                yield address(ti - 1, tj), False
+            if ti >= tj:
+                ti -= 1
+            else:
+                tj -= 1
+
+
+def bpm_trace(
+    n: int,
+    m: int,
+    *,
+    word_size: int = 64,
+    traceback: bool = True,
+) -> Iterator[Access]:
+    """DP-state accesses of Full(BPM) (multi-block Myers).
+
+    With traceback, the four difference words of (block, column) live at
+    ``DP_BASE + (column·blocks + block)·32``; distance-only mode updates a
+    single column of (Pv, Mv) words in place.
+    """
+    blocks = _ceil_div(n, word_size)
+    word = word_size // 8
+    if traceback:
+        entry = 4 * word
+        for column in range(m):
+            for block in range(blocks):
+                # Read the previous column's vertical state...
+                if column > 0:
+                    previous = DP_BASE + ((column - 1) * blocks + block) * entry
+                    yield previous, False
+                    yield previous + word, False
+                # ...and write all four masks of this column.
+                current = DP_BASE + (column * blocks + block) * entry
+                for index in range(4):
+                    yield current + index * word, True
+    else:
+        entry = 2 * word
+        for _column in range(m):
+            for block in range(blocks):
+                slot = DP_BASE + block * entry
+                yield slot, False
+                yield slot + word, False
+                yield slot, True
+                yield slot + word, True
+
+
+def nw_trace(n: int, m: int, *, cell_bytes: int = 4) -> Iterator[Access]:
+    """DP-state accesses of Full(DP) with the stored row-major matrix."""
+    stride = (m + 1) * cell_bytes
+
+    def address(i: int, j: int) -> int:
+        return DP_BASE + i * stride + j * cell_bytes
+
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            yield address(i - 1, j), False  # up
+            yield address(i, j - 1), False  # left
+            yield address(i - 1, j - 1), False  # diagonal
+            yield address(i, j), True
+
+
+def replay(trace: Iterator[Access], hierarchy) -> None:
+    """Feed a trace through a :class:`~repro.sim.cache.CacheHierarchy`."""
+    for address, is_write in trace:
+        hierarchy.access(address, write=is_write)
+    hierarchy.finalize()

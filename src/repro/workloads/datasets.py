@@ -1,0 +1,107 @@
+"""The paper's evaluation dataset suite (§7.1) and Figure-3 profiles.
+
+Paper configuration:
+
+* 5 short datasets — 100, 150, 200, 250, 300 bp at 5 % error (Illumina-like);
+* long datasets — 1 k..10 k bp in 1 k steps at 15 % error (noisy long reads);
+* a 1 Mbp / 15 % scalability dataset (§7.3);
+* Figure-3 profiles: Illumina WGS-like (150 bp, ~0.5 %) and PacBio
+  HiFi-like (long, ~1 %).
+
+Pair counts and the HiFi length are scaled by a ``scale`` knob so the same
+suite drives quick CI runs and full benchmark sweeps; the paper-shaped
+defaults are what the benchmarks in ``benchmarks/`` use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .generator import PairSet, generate_pair_set
+
+#: Short-read lengths evaluated in the paper (bp).
+SHORT_LENGTHS = (100, 150, 200, 250, 300)
+#: Error rate of the short datasets.
+SHORT_ERROR = 0.05
+
+#: Long-read lengths evaluated in the paper (bp).
+LONG_LENGTHS = tuple(range(1_000, 10_001, 1_000))
+#: Error rate of the long datasets.
+LONG_ERROR = 0.15
+
+#: §7.3 scalability experiment.
+SCALABILITY_LENGTH = 1_000_000
+SCALABILITY_ERROR = 0.15
+
+
+def short_dataset(length: int, *, count: int = 20, seed: int = 0) -> PairSet:
+    """One short-read dataset (5 % error)."""
+    if length not in SHORT_LENGTHS:
+        raise ValueError(
+            f"length {length} not in the paper's short suite {SHORT_LENGTHS}"
+        )
+    return generate_pair_set(
+        f"short-{length}bp-5%", length, SHORT_ERROR, count, seed=seed
+    )
+
+
+def long_dataset(length: int, *, count: int = 4, seed: int = 0) -> PairSet:
+    """One long-read dataset (15 % error)."""
+    if length not in LONG_LENGTHS:
+        raise ValueError(
+            f"length {length} not in the paper's long suite {LONG_LENGTHS}"
+        )
+    return generate_pair_set(
+        f"long-{length // 1000}kbp-15%", length, LONG_ERROR, count, seed=seed
+    )
+
+
+def short_suite(*, count: int = 20, seed: int = 0) -> List[PairSet]:
+    """All five short datasets."""
+    return [short_dataset(length, count=count, seed=seed) for length in SHORT_LENGTHS]
+
+
+def long_suite(*, count: int = 4, seed: int = 0) -> List[PairSet]:
+    """All long datasets (1 k–10 k bp)."""
+    return [long_dataset(length, count=count, seed=seed) for length in LONG_LENGTHS]
+
+
+def scalability_dataset(*, count: int = 1, seed: int = 0) -> PairSet:
+    """The §7.3 1 Mbp / 15 % scalability dataset."""
+    return generate_pair_set(
+        "scalability-1Mbp-15%",
+        SCALABILITY_LENGTH,
+        SCALABILITY_ERROR,
+        count,
+        seed=seed,
+    )
+
+
+def illumina_like(*, count: int = 50, seed: int = 0) -> PairSet:
+    """Figure-3 short profile: Illumina WGS-like (150 bp, 0.5 % error)."""
+    return generate_pair_set("illumina-150bp-0.5%", 150, 0.005, count, seed=seed)
+
+
+def hifi_like(*, length: int = 3_000, count: int = 5, seed: int = 0) -> PairSet:
+    """Figure-3 long profile: PacBio HiFi-like (~1 % error).
+
+    The paper uses real GIAB HiFi reads of 10–25 kbp; the default length
+    here is scaled down to keep the exact gap-affine comparator (O(n·m)
+    NumPy antidiagonals) tractable — the speed/accuracy *shape* of Figure 3
+    is length-stable.
+    """
+    return generate_pair_set(
+        f"hifi-{length // 1000}kbp-1%", length, 0.01, count, seed=seed
+    )
+
+
+def dataset_registry(
+    *, short_count: int = 20, long_count: int = 4, seed: int = 0
+) -> Dict[str, PairSet]:
+    """Name → dataset map of the full §7.1 suite."""
+    registry: Dict[str, PairSet] = {}
+    for pair_set in short_suite(count=short_count, seed=seed):
+        registry[pair_set.name] = pair_set
+    for pair_set in long_suite(count=long_count, seed=seed):
+        registry[pair_set.name] = pair_set
+    return registry

@@ -1,0 +1,157 @@
+"""Synthetic sequence-pair generation (paper §7.1, methodology of [73]).
+
+The paper's datasets are generated with the WFA-paper methodology: random
+DNA sequences of a given length, paired with mutated copies carrying a
+controlled error rate split across mismatches, insertions and deletions.
+The genomes/reads themselves are not published, so this generator is the
+library's substitute; it preserves the two quantities the evaluation
+depends on — sequence length and divergence.
+
+All generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from ..core.alphabet import DNA_BASES
+
+#: Default mismatch / insertion / deletion mix, as in the WFA generator.
+DEFAULT_ERROR_MIX = (1 / 3, 1 / 3, 1 / 3)
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """One pattern/text pair with its generation parameters.
+
+    Attributes:
+        pattern: the original (reference-like) sequence.
+        text: the mutated (read-like) sequence.
+        error_rate: requested divergence used to generate ``text``.
+    """
+
+    pattern: str
+    text: str
+    error_rate: float
+
+    @property
+    def length(self) -> int:
+        """Nominal pair length (the pattern's)."""
+        return len(self.pattern)
+
+
+@dataclass
+class PairSet:
+    """A named collection of sequence pairs (one evaluation dataset).
+
+    Attributes:
+        name: dataset identifier, e.g. ``"short-150bp-5%"``.
+        length: nominal sequence length.
+        error_rate: nominal divergence.
+        pairs: the generated pairs.
+    """
+
+    name: str
+    length: int
+    error_rate: float
+    pairs: List[SequencePair] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[SequencePair]:
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def total_bases(self) -> int:
+        """Total bases across both sequences of every pair."""
+        return sum(len(p.pattern) + len(p.text) for p in self.pairs)
+
+
+def random_sequence(
+    length: int, rng: random.Random, alphabet: str = DNA_BASES
+) -> str:
+    """Uniform random sequence over ``alphabet``."""
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def mutate(
+    sequence: str,
+    error_rate: float,
+    rng: random.Random,
+    *,
+    mix: Tuple[float, float, float] = DEFAULT_ERROR_MIX,
+    alphabet: str = DNA_BASES,
+) -> str:
+    """Apply ``round(error_rate · len)`` random edits to a sequence.
+
+    Args:
+        mix: relative weights of (mismatch, insertion, deletion).
+
+    Edits are applied sequentially at random positions; the resulting edit
+    distance to the original is at most the number of edits (edits can
+    cancel), matching the behaviour of the WFA dataset generator.
+    """
+    if not 0 <= error_rate <= 1:
+        raise ValueError(f"error rate must be in [0, 1], got {error_rate}")
+    weights = list(mix)
+    if len(weights) != 3 or any(w < 0 for w in weights) or sum(weights) == 0:
+        raise ValueError(f"invalid error mix {mix!r}")
+    errors = round(error_rate * len(sequence))
+    chars = list(sequence)
+    for _ in range(errors):
+        kind = rng.choices(("mismatch", "insertion", "deletion"), weights)[0]
+        if not chars:
+            kind = "insertion"
+        if kind == "mismatch":
+            position = rng.randrange(len(chars))
+            current = chars[position]
+            alternatives = [base for base in alphabet if base != current]
+            chars[position] = rng.choice(alternatives)
+        elif kind == "insertion":
+            position = rng.randrange(len(chars) + 1)
+            chars.insert(position, rng.choice(alphabet))
+        else:
+            if len(chars) > 1:
+                del chars[rng.randrange(len(chars))]
+    return "".join(chars)
+
+
+def generate_pair(
+    length: int,
+    error_rate: float,
+    rng: random.Random,
+    *,
+    mix: Tuple[float, float, float] = DEFAULT_ERROR_MIX,
+) -> SequencePair:
+    """Generate one (pattern, mutated text) pair."""
+    pattern = random_sequence(length, rng)
+    text = mutate(pattern, error_rate, rng, mix=mix)
+    return SequencePair(pattern=pattern, text=text, error_rate=error_rate)
+
+
+def generate_pair_set(
+    name: str,
+    length: int,
+    error_rate: float,
+    count: int,
+    *,
+    seed: int = 0,
+    mix: Tuple[float, float, float] = DEFAULT_ERROR_MIX,
+) -> PairSet:
+    """Generate a named dataset of ``count`` pairs, seeded deterministically.
+
+    The RNG is derived from both ``seed`` and ``name`` so distinct datasets
+    never share streams even under the same seed.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = random.Random(f"{seed}:{name}")
+    pairs = [
+        generate_pair(length, error_rate, rng, mix=mix) for _ in range(count)
+    ]
+    return PairSet(name=name, length=length, error_rate=error_rate, pairs=pairs)

@@ -1,0 +1,123 @@
+"""Sequencing-technology error profiles (§2.1's technology landscape).
+
+The flat mismatch/insertion/deletion mix of :func:`repro.workloads.mutate`
+matches the WFA generator the paper used; real platforms differ in both
+the *mix* and the *structure* of their errors:
+
+* **Illumina** (second generation): ~0.1–1 % errors, almost all
+  substitutions;
+* **PacBio HiFi**: ~1 %, balanced mix;
+* **ONT / PacBio CLR** (noisy long reads): 5–15 %, indel-dominated and
+  *bursty* — consecutive inserted/deleted bases (homopolymer slips).
+
+These profiles generate such reads, so heuristics can be stressed on the
+error structure (not just the rate) they were designed for: indel bursts
+are what push alignments off the diagonal and through windowed overlaps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.alphabet import DNA_BASES
+from .generator import SequencePair, random_sequence
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Statistical shape of a sequencing technology's errors.
+
+    Attributes:
+        name: technology label.
+        error_rate: expected errors per base.
+        mix: relative weights of (mismatch, insertion, deletion) *events*.
+        burst_mean: mean length of an indel event (1 = single-base indels;
+            >1 draws geometric burst lengths, modelling homopolymer slips).
+    """
+
+    name: str
+    error_rate: float
+    mix: Tuple[float, float, float]
+    burst_mean: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.error_rate <= 1:
+            raise ValueError(f"error rate must be in [0, 1], got {self.error_rate}")
+        if len(self.mix) != 3 or min(self.mix) < 0 or sum(self.mix) == 0:
+            raise ValueError(f"invalid error mix {self.mix!r}")
+        if self.burst_mean < 1:
+            raise ValueError(f"burst mean must be ≥ 1, got {self.burst_mean}")
+
+    def burst_length(self, rng: random.Random) -> int:
+        """Draw one indel-event length (geometric with the given mean)."""
+        if self.burst_mean <= 1:
+            return 1
+        success = 1.0 / self.burst_mean
+        length = 1
+        while rng.random() > success:
+            length += 1
+        return length
+
+
+#: Second-generation short reads: substitutions dominate.
+ILLUMINA = ErrorProfile("illumina", 0.005, (0.90, 0.05, 0.05))
+
+#: PacBio HiFi (CCS): low error, balanced mix.
+PACBIO_HIFI = ErrorProfile("pacbio-hifi", 0.01, (0.40, 0.30, 0.30))
+
+#: Noisy long reads (ONT / PacBio CLR): indel-dominated, bursty.
+ONT = ErrorProfile("ont", 0.12, (0.25, 0.35, 0.40), burst_mean=2.5)
+
+PROFILES = {profile.name: profile for profile in (ILLUMINA, PACBIO_HIFI, ONT)}
+
+
+def apply_profile(
+    sequence: str, profile: ErrorProfile, rng: random.Random
+) -> str:
+    """Corrupt a sequence according to a technology profile.
+
+    The error budget is ``error_rate × len`` *bases*; indel events consume
+    their burst length from the budget, so the expected per-base error
+    rate is profile-faithful regardless of burstiness.
+    """
+    budget = round(profile.error_rate * len(sequence))
+    chars = list(sequence)
+    while budget > 0:
+        kind = rng.choices(("mismatch", "insertion", "deletion"), profile.mix)[0]
+        if not chars:
+            kind = "insertion"
+        if kind == "mismatch":
+            position = rng.randrange(len(chars))
+            current = chars[position]
+            chars[position] = rng.choice(
+                [base for base in DNA_BASES if base != current]
+            )
+            budget -= 1
+        else:
+            length = min(profile.burst_length(rng), budget)
+            if kind == "insertion":
+                position = rng.randrange(len(chars) + 1)
+                chars[position:position] = [
+                    rng.choice(DNA_BASES) for _ in range(length)
+                ]
+            else:
+                if len(chars) <= length:
+                    budget -= 1
+                    continue
+                position = rng.randrange(len(chars) - length + 1)
+                del chars[position : position + length]
+            budget -= length
+    return "".join(chars)
+
+
+def generate_profiled_pair(
+    length: int, profile: ErrorProfile, rng: random.Random
+) -> SequencePair:
+    """Generate one (pattern, technology-corrupted text) pair."""
+    pattern = random_sequence(length, rng)
+    text = apply_profile(pattern, profile, rng)
+    return SequencePair(
+        pattern=pattern, text=text, error_rate=profile.error_rate
+    )

@@ -1,0 +1,78 @@
+"""Minimal sequence-pair I/O.
+
+The paper open-sources its generated datasets as ``.seq`` files in the WFA
+tools' format: two lines per pair, the pattern prefixed with ``>`` and the
+text with ``<``.  This module reads and writes that format so externally
+generated datasets can be dropped into the harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from .generator import PairSet, SequencePair
+
+
+class SeqFormatError(ValueError):
+    """Raised on malformed ``.seq`` input."""
+
+
+def save_pairs(pairs: PairSet, path: Union[str, Path]) -> None:
+    """Write a pair set in the WFA ``.seq`` format."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for pair in pairs:
+            handle.write(f">{pair.pattern}\n")
+            handle.write(f"<{pair.text}\n")
+
+
+def load_pairs(
+    path: Union[str, Path],
+    *,
+    name: str = "",
+    error_rate: float = 0.0,
+) -> PairSet:
+    """Read a ``.seq`` file into a :class:`PairSet`.
+
+    Args:
+        name: dataset name; defaults to the file stem.
+        error_rate: nominal divergence to record (unknown for external data).
+    """
+    path = Path(path)
+    pairs: List[SequencePair] = []
+    pattern = None
+    with path.open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if pattern is not None:
+                    raise SeqFormatError(
+                        f"{path}:{line_number}: pattern without matching text"
+                    )
+                pattern = line[1:]
+            elif line.startswith("<"):
+                if pattern is None:
+                    raise SeqFormatError(
+                        f"{path}:{line_number}: text without preceding pattern"
+                    )
+                pairs.append(
+                    SequencePair(
+                        pattern=pattern, text=line[1:], error_rate=error_rate
+                    )
+                )
+                pattern = None
+            else:
+                raise SeqFormatError(
+                    f"{path}:{line_number}: line must start with '>' or '<'"
+                )
+    if pattern is not None:
+        raise SeqFormatError(f"{path}: trailing pattern without text")
+    if not pairs:
+        raise SeqFormatError(f"{path}: no sequence pairs found")
+    length = pairs[0].length
+    return PairSet(
+        name=name or path.stem, length=length, error_rate=error_rate, pairs=pairs
+    )

@@ -1,0 +1,55 @@
+"""Tests for the automatic aligner façade (repro.align.auto)."""
+
+import pytest
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.align.auto import AutoAligner
+
+
+class TestSelectionPolicy:
+    def test_small_pairs_use_banded_and_stay_exact(self, rng):
+        aligner = AutoAligner()
+        pattern = random_dna(300, rng)
+        text = mutate_dna(pattern, 20, rng)
+        result = aligner.align(pattern, text)
+        assert aligner.last_choice == "Banded(GMX)"
+        assert result.exact
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    def test_huge_pairs_fall_back_to_windowed(self, rng):
+        aligner = AutoAligner(memory_budget_bytes=2048)
+        pattern = random_dna(2_000, rng)
+        text = mutate_dna(pattern, 40, rng)
+        result = aligner.align(pattern, text)
+        assert aligner.last_choice == "Windowed(GMX)"
+        assert not result.exact
+        result.alignment.validate()
+
+    def test_require_exact_raises_over_budget(self, rng):
+        aligner = AutoAligner(memory_budget_bytes=2048, require_exact=True)
+        pattern = random_dna(2_000, rng)
+        with pytest.raises(MemoryError):
+            aligner.align(pattern, pattern)
+
+    def test_budget_threshold_is_the_edge_matrix(self):
+        aligner = AutoAligner(memory_budget_bytes=64 * 1024 * 1024)
+        # 1 Mbp × 1 Mbp edges ≈ 15 GB: must exceed any sane budget.
+        assert aligner._edge_matrix_bytes(10**6, 10**6) > 10 * 2**30
+        # 10 kbp edges ≈ 1.5 MB: fits.
+        assert aligner._edge_matrix_bytes(10**4, 10**4) < 2 * 2**20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoAligner(memory_budget_bytes=10)
+        with pytest.raises(ValueError):
+            AutoAligner().align("", "A")
+
+    def test_divergent_pairs_still_exact_via_widening(self, rng):
+        """High divergence widens the band up to Full — still exact."""
+        aligner = AutoAligner()
+        pattern = random_dna(150, rng)
+        text = random_dna(150, rng)
+        result = aligner.align(pattern, text)
+        assert result.exact
+        assert result.score == scalar_edit_distance(pattern, text)

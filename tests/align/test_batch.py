@@ -1,0 +1,71 @@
+"""Tests for the batch alignment API (repro.align.batch)."""
+
+import pytest
+
+from repro.align import BandedGmxAligner, FullGmxAligner, align_batch
+from repro.baselines import NeedlemanWunschAligner
+from repro.sim.soc import GEM5_INORDER, RTL_INORDER
+from repro.workloads import generate_pair_set, short_dataset
+
+
+class TestBatchBasics:
+    def test_accepts_pair_set(self):
+        dataset = short_dataset(100, count=4)
+        batch = align_batch(FullGmxAligner(), dataset)
+        assert batch.pairs == 4
+        assert len(batch.scores) == 4
+        assert batch.all_exact
+
+    def test_accepts_tuples(self):
+        batch = align_batch(
+            NeedlemanWunschAligner(), [("ACGT", "ACGA"), ("AAAA", "AAAA")]
+        )
+        assert batch.scores == [1, 0]
+        assert batch.mean_score == 0.5
+
+    def test_rejects_garbage_items(self):
+        with pytest.raises(TypeError):
+            align_batch(FullGmxAligner(), [42])
+
+    def test_validate_mode(self):
+        dataset = generate_pair_set("batch", 150, 0.1, 3, seed=5)
+        batch = align_batch(FullGmxAligner(), dataset, validate=True)
+        assert batch.pairs == 3
+
+    def test_distance_only(self):
+        batch = align_batch(
+            FullGmxAligner(), [("ACGT", "ACGA")], traceback=False
+        )
+        assert batch.results[0].alignment is None
+
+    def test_empty_batch(self):
+        batch = align_batch(FullGmxAligner(), [])
+        assert batch.pairs == 0
+        assert batch.mean_score == 0.0
+        assert batch.modelled_throughput(RTL_INORDER) == 0.0
+
+
+class TestAggregation:
+    def test_stats_accumulate(self):
+        dataset = short_dataset(100, count=3)
+        single = align_batch(FullGmxAligner(), dataset.pairs[:1])
+        full = align_batch(FullGmxAligner(), dataset)
+        assert (
+            full.stats.total_instructions
+            > 2 * single.stats.total_instructions
+        )
+        assert full.stats.dp_cells == sum(
+            len(p.pattern) * len(p.text) for p in dataset
+        )
+
+    def test_modelled_throughput_orders_systems(self):
+        """The 2 GHz gem5 core must beat the 1 GHz edge SoC."""
+        dataset = short_dataset(150, count=4)
+        batch = align_batch(BandedGmxAligner(), dataset)
+        assert batch.modelled_throughput(GEM5_INORDER) > batch.modelled_throughput(
+            RTL_INORDER
+        )
+
+    def test_energy_positive(self):
+        batch = align_batch(FullGmxAligner(), short_dataset(100, count=2))
+        assert batch.modelled_energy_nj() > 0

@@ -1,0 +1,108 @@
+"""Tests for Full(GMX) (repro.align.full_gmx)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.align import FullGmxAligner, align_pair
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=70)
+
+
+class TestCorrectness:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_distance_and_valid_alignment(self, pattern, text):
+        """Full(GMX) is exact for any input, any divergence."""
+        result = FullGmxAligner(tile_size=8).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        assert result.exact
+        result.alignment.validate()
+
+    @pytest.mark.parametrize("tile_size", [2, 3, 8, 16, 32, 64])
+    def test_tile_size_invariance(self, tile_size, rng):
+        """The tile size is a performance knob, never a correctness one."""
+        pattern = random_dna(90, rng)
+        text = mutate_dna(pattern, 12, rng)
+        result = FullGmxAligner(tile_size=tile_size).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    def test_paper_example(self):
+        result = align_pair("GCAT", "GATT", tile_size=2)
+        assert result.score == 2
+        result.alignment.validate()
+
+    def test_lengths_not_multiple_of_tile(self, rng):
+        pattern = random_dna(33, rng)
+        text = mutate_dna(pattern, 3, rng)
+        result = FullGmxAligner(tile_size=32).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+
+    def test_single_character_sequences(self):
+        assert FullGmxAligner().align("A", "A").score == 0
+        assert FullGmxAligner().align("A", "C").score == 1
+
+    def test_very_asymmetric_lengths(self, rng):
+        pattern = random_dna(3, rng)
+        text = random_dna(100, rng)
+        result = FullGmxAligner(tile_size=8).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+
+class TestDistanceOnlyMode:
+    def test_same_score_without_traceback(self, rng):
+        pattern = random_dna(120, rng)
+        text = mutate_dna(pattern, 15, rng)
+        aligner = FullGmxAligner(tile_size=16)
+        with_tb = aligner.align(pattern, text)
+        without = aligner.align(pattern, text, traceback=False)
+        assert with_tb.score == without.score
+        assert without.alignment is None
+
+    def test_distance_mode_uses_linear_memory(self, rng):
+        """Distance-only keeps one tile column: the paper's streaming mode."""
+        pattern = random_dna(256, rng)
+        text = mutate_dna(pattern, 20, rng)
+        aligner = FullGmxAligner(tile_size=16)
+        with_tb = aligner.align(pattern, text)
+        without = aligner.align(pattern, text, traceback=False)
+        assert without.stats.dp_bytes_peak < with_tb.stats.dp_bytes_peak / 4
+
+
+class TestInstrumentation:
+    def test_tile_count(self, rng):
+        pattern = random_dna(96, rng)
+        text = random_dna(64, rng)
+        result = FullGmxAligner(tile_size=32).align(pattern, text, traceback=False)
+        assert result.stats.tiles == 3 * 2
+        assert result.stats.dp_cells == 96 * 64
+
+    def test_gmx_instruction_count_quadratic_reduction(self, rng):
+        """One gmx.v + one gmx.h per tile — the T² instruction reduction."""
+        pattern = random_dna(128, rng)
+        text = random_dna(128, rng)
+        result = FullGmxAligner(tile_size=32).align(pattern, text, traceback=False)
+        assert result.stats.instructions["gmx"] == 2 * 16
+
+    def test_edge_only_memory(self, rng):
+        """Stored DP state is 2 registers per tile, not T² cells."""
+        pattern = random_dna(128, rng)
+        text = random_dna(128, rng)
+        result = FullGmxAligner(tile_size=32).align(pattern, text)
+        # (128/32)² tiles × two 8-byte edge registers each.
+        assert result.stats.dp_bytes_peak == 4 * 4 * 2 * 8
+
+
+class TestValidation:
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            FullGmxAligner().align("", "ACGT")
+        with pytest.raises(ValueError):
+            FullGmxAligner().align("ACGT", "")
+
+    def test_tiny_tile_size_rejected(self):
+        with pytest.raises(ValueError):
+            FullGmxAligner(tile_size=1)

@@ -1,0 +1,134 @@
+"""Tests for PREFIX/INFIX alignment modes (GMX vs the NW reference)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.align import AlignmentMode, FullGmxAligner
+from repro.baselines import NeedlemanWunschAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+MODES = (AlignmentMode.GLOBAL, AlignmentMode.PREFIX, AlignmentMode.INFIX)
+
+
+class TestModesAgainstReference:
+    @pytest.mark.parametrize("mode", MODES)
+    @given(pattern=dna, text=dna)
+    @settings(max_examples=60, deadline=None)
+    def test_gmx_matches_nw_in_every_mode(self, mode, pattern, text):
+        reference = NeedlemanWunschAligner(mode=mode).align(pattern, text)
+        gmx = FullGmxAligner(tile_size=8, mode=mode).align(pattern, text)
+        assert gmx.score == reference.score
+        reference.alignment.validate()
+        gmx.alignment.validate()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_distance_only_agrees(self, mode, rng):
+        pattern = random_dna(120, rng)
+        text = random_dna(200, rng)
+        aligner = FullGmxAligner(tile_size=16, mode=mode)
+        assert (
+            aligner.align(pattern, text, traceback=False).score
+            == aligner.align(pattern, text).score
+        )
+
+
+class TestModeSemantics:
+    def test_mode_ordering(self, rng):
+        """Freer boundaries can only lower the score: INFIX ≤ PREFIX ≤ GLOBAL."""
+        for _ in range(20):
+            pattern = random_dna(30, rng)
+            text = random_dna(60, rng)
+            scores = {
+                mode: FullGmxAligner(tile_size=8, mode=mode)
+                .align(pattern, text, traceback=False)
+                .score
+                for mode in MODES
+            }
+            assert (
+                scores[AlignmentMode.INFIX]
+                <= scores[AlignmentMode.PREFIX]
+                <= scores[AlignmentMode.GLOBAL]
+            )
+
+    def test_infix_finds_embedded_pattern(self, rng):
+        """A clean embedding must score 0 and report the right span."""
+        pattern = random_dna(50, rng)
+        text = random_dna(40, rng) + pattern + random_dna(40, rng)
+        result = FullGmxAligner(tile_size=8, mode=AlignmentMode.INFIX).align(
+            pattern, text
+        )
+        assert result.score == 0
+        assert text[result.text_start : result.text_end] == pattern
+
+    def test_infix_with_errors(self, rng):
+        pattern = random_dna(60, rng)
+        noisy = mutate_dna(pattern, 5, rng)
+        text = random_dna(30, rng) + noisy + random_dna(30, rng)
+        result = FullGmxAligner(tile_size=8, mode=AlignmentMode.INFIX).align(
+            pattern, text
+        )
+        assert result.score <= 5
+        result.alignment.validate()
+
+    def test_prefix_ignores_text_suffix(self, rng):
+        """PREFIX against pattern+junk must equal GLOBAL against pattern."""
+        pattern = random_dna(40, rng)
+        junk = random_dna(100, rng)
+        result = FullGmxAligner(tile_size=8, mode=AlignmentMode.PREFIX).align(
+            pattern, pattern + junk
+        )
+        assert result.score == 0
+        assert result.text_start == 0
+        assert result.text_end == len(pattern)
+
+    def test_prefix_still_pays_for_text_prefix(self, rng):
+        """Unlike INFIX, PREFIX must consume the text from position 0."""
+        pattern = random_dna(30, rng)
+        text = "T" * 10 + pattern  # leading junk
+        prefix_score = FullGmxAligner(
+            tile_size=8, mode=AlignmentMode.PREFIX
+        ).align(pattern, text, traceback=False).score
+        infix_score = FullGmxAligner(
+            tile_size=8, mode=AlignmentMode.INFIX
+        ).align(pattern, text, traceback=False).score
+        assert infix_score <= prefix_score
+        assert prefix_score > 0 or pattern.startswith("T" * 10)
+
+    def test_global_mode_reports_full_span(self, rng):
+        pattern = random_dna(20, rng)
+        text = random_dna(25, rng)
+        result = FullGmxAligner(tile_size=8).align(pattern, text)
+        assert result.text_start == 0
+        assert result.text_end == len(text)
+
+    def test_empty_prefix_best(self):
+        """Degenerate: pattern of A's vs text of T's — INFIX deletes all."""
+        result = FullGmxAligner(tile_size=4, mode=AlignmentMode.INFIX).align(
+            "AAAA", "TTTT"
+        )
+        assert result.score == 4
+        result.alignment.validate()
+
+
+class TestModeCrossValidation:
+    def test_infix_score_equals_min_over_windows(self, rng):
+        """INFIX score == min over all (start, end) global alignments.
+
+        Brute force over substrings on tiny inputs — the definition.
+        """
+        for _ in range(10):
+            pattern = random_dna(8, rng)
+            text = random_dna(14, rng)
+            brute = len(pattern)  # empty substring: delete everything
+            for start in range(len(text) + 1):
+                for end in range(start + 1, len(text) + 1):
+                    brute = min(
+                        brute,
+                        scalar_edit_distance(pattern, text[start:end]),
+                    )
+            result = FullGmxAligner(tile_size=4, mode=AlignmentMode.INFIX).align(
+                pattern, text, traceback=False
+            )
+            assert result.score == brute

@@ -1,0 +1,111 @@
+"""Tests for the windowed heuristic driver and Windowed(GMX)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.align import FullGmxAligner, WindowedAligner, WindowedGmxAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+class TestWindowedGmx:
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_always_produces_valid_upper_bound(self, pattern, text):
+        """Windowed is a heuristic: valid alignment, score ≥ optimal."""
+        result = WindowedGmxAligner(tile_size=8).align(pattern, text)
+        result.alignment.validate()
+        assert result.score >= scalar_edit_distance(pattern, text)
+        assert not result.exact
+
+    def test_optimal_on_low_divergence(self, rng):
+        """On low-error pairs (the windowed use case) it finds the optimum."""
+        hits = 0
+        for _ in range(20):
+            pattern = random_dna(400, rng)
+            text = mutate_dna(pattern, 8, rng)
+            result = WindowedGmxAligner(tile_size=16).align(pattern, text)
+            hits += result.score == scalar_edit_distance(pattern, text)
+        assert hits >= 18
+
+    def test_single_window_equals_full(self, rng):
+        """Pairs smaller than W are solved exactly in one window."""
+        pattern = random_dna(60, rng)
+        text = mutate_dna(pattern, 20, rng)
+        result = WindowedGmxAligner(window=96, overlap=32, tile_size=32).align(
+            pattern, text
+        )
+        assert result.score == scalar_edit_distance(pattern, text)
+
+    def test_paper_window_defaults(self):
+        aligner = WindowedGmxAligner(tile_size=32)
+        assert aligner.window == 96  # W = 3T
+        assert aligner.overlap == 32  # O = T
+
+    def test_constant_memory(self, rng):
+        """DP state is one window regardless of sequence length (§4.1)."""
+        short = WindowedGmxAligner(tile_size=8).align(
+            random_dna(100, rng), random_dna(100, rng)
+        )
+        long = WindowedGmxAligner(tile_size=8).align(
+            random_dna(1000, rng), random_dna(1000, rng)
+        )
+        assert long.stats.dp_bytes_peak == short.stats.dp_bytes_peak
+
+    def test_progress_on_adversarial_input(self):
+        """Pathological inputs must terminate (≥1 op committed per window)."""
+        result = WindowedGmxAligner(window=8, overlap=4, tile_size=4).align(
+            "A" * 200, "T" * 200
+        )
+        result.alignment.validate()
+
+    def test_extreme_length_asymmetry(self, rng):
+        result = WindowedGmxAligner(tile_size=8).align(
+            random_dna(5, rng), random_dna(300, rng)
+        )
+        result.alignment.validate()
+
+
+class TestDriverValidation:
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedGmxAligner(window=0)
+
+    def test_overlap_must_be_smaller_than_window(self):
+        with pytest.raises(ValueError):
+            WindowedGmxAligner(window=32, overlap=32)
+        with pytest.raises(ValueError):
+            WindowedGmxAligner(window=32, overlap=-1)
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedGmxAligner().align("", "A")
+
+
+class TestGenericDriver:
+    def test_wraps_any_inner_aligner(self, rng):
+        """The driver is inner-agnostic: wrapping Full(GMX) by hand works."""
+        inner = FullGmxAligner(tile_size=8)
+        driver = WindowedAligner(inner=inner, window=48, overlap=16)
+        pattern = random_dna(300, rng)
+        text = mutate_dna(pattern, 6, rng)
+        result = driver.align(pattern, text)
+        result.alignment.validate()
+        assert result.score >= scalar_edit_distance(pattern, text)
+
+    def test_overlap_improves_stitching(self, rng):
+        """More overlap can only help (never worsens) the heuristic score."""
+        worse = 0
+        for _ in range(10):
+            pattern = random_dna(300, rng)
+            text = mutate_dna(pattern, 25, rng)
+            no_overlap = WindowedGmxAligner(
+                window=32, overlap=0, tile_size=8
+            ).align(pattern, text)
+            with_overlap = WindowedGmxAligner(
+                window=32, overlap=16, tile_size=8
+            ).align(pattern, text)
+            worse += with_overlap.score > no_overlap.score
+        assert worse <= 2

@@ -1,0 +1,67 @@
+"""Tests for the Bitap substrate (repro.baselines.bitap)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_dna, scalar_edit_distance
+from repro.baselines import BitapAligner, bitap_global
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestBitapGlobal:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_distance_with_generous_bound(self, pattern, text):
+        run = bitap_global(pattern, text, k=len(pattern) + len(text))
+        assert run.distance == scalar_edit_distance(pattern, text)
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_bound_semantics(self, pattern, text):
+        """distance is reported iff it is ≤ k."""
+        true_distance = scalar_edit_distance(pattern, text)
+        if true_distance > 0:
+            run = bitap_global(pattern, text, k=true_distance - 1)
+            assert run.distance is None
+        run = bitap_global(pattern, text, k=true_distance)
+        assert run.distance == true_distance
+
+    def test_history_recorded_on_request(self):
+        run = bitap_global("ACG", "ACG", k=2, record=True)
+        assert run.history is not None
+        assert len(run.history) == 4  # m + 1 columns
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bitap_global("", "A", k=1)
+
+
+class TestBitapAligner:
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_doubling_finds_exact_distance(self, pattern, text):
+        result = BitapAligner(word_size=8).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    def test_cost_grows_with_error(self, rng):
+        """Bitap's §3.1 weakness: cost scales with the error bound k."""
+        pattern = random_dna(48, rng)
+        aligner = BitapAligner()
+        easy = aligner.align(pattern, pattern, traceback=False)
+        hard = aligner.align(pattern, pattern[::-1], traceback=False)
+        assert (
+            hard.stats.instructions["int_alu"]
+            > 2 * easy.stats.instructions["int_alu"]
+        )
+
+    def test_traceback_state_is_k_by_m_vectors(self, rng):
+        """GenASM's burden: (k+1)·m stored vectors for the traceback."""
+        pattern = random_dna(40, rng)
+        result = BitapAligner().align(pattern, pattern[::-1])
+        distance_only = BitapAligner().align(
+            pattern, pattern[::-1], traceback=False
+        )
+        assert result.stats.dp_bytes_peak > 10 * distance_only.stats.dp_bytes_peak

@@ -1,0 +1,63 @@
+"""Tests for Bitap approximate search (repro.baselines.bitap.bitap_search)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scalar_edit_distance
+from repro.baselines import bitap_search
+
+dna_small = st.text(alphabet="ACGT", min_size=1, max_size=8)
+dna_text = st.text(alphabet="ACGT", min_size=1, max_size=18)
+
+
+def brute_force_best(pattern, text, end):
+    """min over start of ed(pattern, text[start:end])."""
+    return min(
+        scalar_edit_distance(pattern, text[start:end])
+        for start in range(end + 1)
+    )
+
+
+class TestAgainstBruteForce:
+    @given(dna_small, dna_text, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=120, deadline=None)
+    def test_hits_match_definition(self, pattern, text, k):
+        hits = {hit.end: hit.errors for hit in bitap_search(pattern, text, k)}
+        for end in range(1, len(text) + 1):
+            best = brute_force_best(pattern, text, end)
+            if best <= k:
+                assert hits.get(end) == best
+            else:
+                assert end not in hits
+
+
+class TestSemantics:
+    def test_exact_occurrences(self):
+        hits = bitap_search("ACG", "ACGTACG", 0)
+        assert [hit.end for hit in hits] == [3, 7]
+        assert all(hit.errors == 0 for hit in hits)
+
+    def test_one_error_widens_hits(self):
+        exact = bitap_search("ACGT", "ACGAACGT", 0)
+        fuzzy = bitap_search("ACGT", "ACGAACGT", 1)
+        assert len(fuzzy) > len(exact)
+
+    def test_no_hits_on_disjoint_alphabets(self):
+        assert bitap_search("AAAA", "TTTTTTTT", 2) == []
+
+    def test_k_clamped_to_pattern_length(self):
+        # k ≥ n means everything matches (delete the whole pattern).
+        hits = bitap_search("AC", "TTTT", 5)
+        assert len(hits) == 4
+
+    def test_non_dna_alphabet(self):
+        """GMX's selling point applies here too: any characters work."""
+        hits = bitap_search("hello", "say helo world", 1)
+        assert any(hit.errors == 1 for hit in hits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bitap_search("", "A", 1)
+        with pytest.raises(ValueError):
+            bitap_search("A", "A", -1)

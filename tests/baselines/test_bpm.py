@@ -1,0 +1,73 @@
+"""Tests for the Myers bit-parallel baseline (repro.baselines.bpm)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.baselines import BpmAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestCorrectness:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_distance_and_valid_alignment(self, pattern, text):
+        result = BpmAligner(word_size=8).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    @pytest.mark.parametrize("word_size", [2, 7, 16, 64])
+    def test_word_size_invariance(self, word_size, rng):
+        """Multi-block carries must be exact at any block height."""
+        pattern = random_dna(100, rng)
+        text = mutate_dna(pattern, 20, rng)
+        result = BpmAligner(word_size=word_size).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_mode_agrees(self, pattern, text):
+        aligner = BpmAligner(word_size=16)
+        assert (
+            aligner.align(pattern, text, traceback=False).score
+            == aligner.align(pattern, text).score
+        )
+
+
+class TestCostAccounting:
+    def test_17_instructions_per_block_column(self, rng):
+        """§2.3: classical BPM costs 17 instructions per column step."""
+        pattern = random_dna(64, rng)
+        text = random_dna(50, rng)
+        result = BpmAligner(word_size=64).align(pattern, text, traceback=False)
+        assert result.stats.instructions["int_alu"] == 17 * 50
+
+    def test_four_nm_bits_stored_with_traceback(self, rng):
+        """§3.1: BPM stores 4·n·m bits of difference masks."""
+        pattern = random_dna(128, rng)
+        text = random_dna(100, rng)
+        result = BpmAligner(word_size=64).align(pattern, text)
+        assert result.stats.dp_bytes_peak == 4 * 8 * 2 * 100  # 4 words × blocks × m
+
+    def test_distance_mode_footprint_is_one_column(self, rng):
+        pattern = random_dna(128, rng)
+        text = random_dna(100, rng)
+        result = BpmAligner(word_size=64).align(pattern, text, traceback=False)
+        assert result.stats.dp_bytes_peak == 2 * 8 * 2
+
+    def test_error_insensitive_cost(self, rng):
+        """BPM cost depends on n·m only, never on the divergence (§2.3)."""
+        pattern = random_dna(64, rng)
+        aligner = BpmAligner()
+        identical = aligner.align(pattern, pattern, traceback=False)
+        divergent = aligner.align(pattern, random_dna(64, rng), traceback=False)
+        assert (
+            identical.stats.instructions["int_alu"]
+            == divergent.stats.instructions["int_alu"]
+        )
+
+    def test_word_size_validation(self):
+        with pytest.raises(ValueError):
+            BpmAligner(word_size=1)

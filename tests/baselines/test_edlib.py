@@ -1,0 +1,75 @@
+"""Tests for the Edlib-like banded BPM (repro.baselines.edlib_like)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.baselines import EdlibAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestExactness:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_always_exact_via_doubling(self, pattern, text):
+        """Edlib is an exact algorithm despite the band (k-doubling)."""
+        result = EdlibAligner(word_size=8, initial_k=2).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    @pytest.mark.parametrize("word_size", [4, 8, 32, 64])
+    def test_word_size_invariance(self, word_size, rng):
+        pattern = random_dna(120, rng)
+        text = mutate_dna(pattern, 25, rng)
+        result = EdlibAligner(word_size=word_size).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+
+    def test_high_divergence_still_exact(self, rng):
+        pattern = random_dna(80, rng)
+        text = pattern[::-1]
+        result = EdlibAligner(word_size=8, initial_k=4).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+
+    def test_unequal_lengths(self, rng):
+        pattern = random_dna(30, rng)
+        text = random_dna(150, rng)
+        result = EdlibAligner(word_size=8).align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+
+class TestBandedCost:
+    def test_band_cheaper_than_full_bpm_on_similar_pairs(self, rng):
+        from repro.baselines import BpmAligner
+
+        pattern = random_dna(1024, rng)
+        text = mutate_dna(pattern, 10, rng)
+        edlib = EdlibAligner(word_size=64).align(pattern, text, traceback=False)
+        bpm = BpmAligner(word_size=64).align(pattern, text, traceback=False)
+        assert edlib.score == bpm.score
+        assert (
+            edlib.stats.instructions["int_alu"]
+            < bpm.stats.instructions["int_alu"]
+        )
+
+    def test_doubling_restarts_accumulate_cost(self, rng):
+        """A tiny initial k forces restarts, which are all accounted."""
+        pattern = random_dna(200, rng)
+        text = mutate_dna(pattern, 60, rng)
+        cheap_start = EdlibAligner(word_size=8, initial_k=128).align(
+            pattern, text, traceback=False
+        )
+        forced_restarts = EdlibAligner(word_size=8, initial_k=2).align(
+            pattern, text, traceback=False
+        )
+        assert forced_restarts.score == cheap_start.score
+        assert (
+            forced_restarts.stats.total_instructions
+            > cheap_start.stats.total_instructions * 0.8
+        )
+
+    def test_word_size_validation(self):
+        with pytest.raises(ValueError):
+            EdlibAligner(word_size=1)

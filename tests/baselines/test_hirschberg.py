@@ -1,0 +1,71 @@
+"""Tests for Hirschberg's linear-memory aligner (repro.baselines.hirschberg)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.baselines import NeedlemanWunschAligner
+from repro.baselines.hirschberg import HirschbergAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=45)
+
+
+class TestCorrectness:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_and_valid(self, pattern, text):
+        result = HirschbergAligner().align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    def test_distance_mode(self, rng):
+        pattern = random_dna(120, rng)
+        text = mutate_dna(pattern, 15, rng)
+        aligner = HirschbergAligner()
+        assert (
+            aligner.align(pattern, text, traceback=False).score
+            == aligner.align(pattern, text).score
+        )
+
+    def test_degenerate_inputs(self):
+        aligner = HirschbergAligner()
+        assert aligner.align("A", "A").score == 0
+        assert aligner.align("A", "TTTT").score == 4  # 1 sub + 3 ins
+        assert aligner.align("AAAA", "T").score == 4
+        with pytest.raises(ValueError):
+            aligner.align("", "A")
+
+
+class TestMemoryAndWorkTradeoff:
+    def test_linear_memory_even_with_traceback(self, rng):
+        """The whole point: O(m) live state, unlike NW's O(n·m) matrix."""
+        pattern = random_dna(200, rng)
+        text = mutate_dna(pattern, 20, rng)
+        hirschberg = HirschbergAligner().align(pattern, text)
+        nw = NeedlemanWunschAligner().align(pattern, text)
+        assert hirschberg.score == nw.score
+        assert hirschberg.stats.dp_bytes_peak < nw.stats.dp_bytes_peak / 50
+
+    def test_roughly_double_the_cells(self, rng):
+        """Linear memory costs ~2× the DP-cell evaluations."""
+        pattern = random_dna(256, rng)
+        text = mutate_dna(pattern, 20, rng)
+        hirschberg = HirschbergAligner().align(pattern, text)
+        cells = len(pattern) * len(text)
+        assert 1.4 * cells < hirschberg.stats.dp_cells < 2.6 * cells
+
+    def test_gmx_edges_beat_hirschberg_recompute(self, rng):
+        """GMX gets exact traceback without the 2× recomputation: fewer
+        DP-cell evaluations AND a small footprint."""
+        from repro.align import FullGmxAligner
+
+        pattern = random_dna(512, rng)
+        text = mutate_dna(pattern, 40, rng)
+        gmx = FullGmxAligner().align(pattern, text)
+        hirschberg = HirschbergAligner().align(pattern, text)
+        assert gmx.score == hirschberg.score
+        assert gmx.stats.dp_cells < hirschberg.stats.dp_cells
+        assert gmx.stats.total_instructions < (
+            hirschberg.stats.total_instructions / 50
+        )

@@ -1,0 +1,70 @@
+"""Tests for the classical DP baselines (repro.baselines.nw)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scalar_edit_distance
+from repro.baselines import NeedlemanWunschAligner, SmithWatermanAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=50)
+
+
+class TestNeedlemanWunsch:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_and_valid(self, pattern, text):
+        result = NeedlemanWunschAligner().align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_mode_agrees(self, pattern, text):
+        aligner = NeedlemanWunschAligner()
+        assert (
+            aligner.align(pattern, text, traceback=False).score
+            == aligner.align(pattern, text).score
+        )
+
+    def test_quadratic_footprint_with_traceback(self):
+        result = NeedlemanWunschAligner().align("A" * 100, "C" * 100)
+        assert result.stats.dp_bytes_peak == 4 * 101 * 101
+
+    def test_linear_footprint_distance_only(self):
+        result = NeedlemanWunschAligner().align(
+            "A" * 100, "C" * 100, traceback=False
+        )
+        assert result.stats.dp_bytes_peak == 4 * 2 * 101
+
+    def test_five_instructions_per_cell(self):
+        """§4.2's accounting: 5 full-integer instructions per DP element."""
+        result = NeedlemanWunschAligner().align(
+            "ACGT" * 5, "TGCA" * 5, traceback=False
+        )
+        assert result.stats.instructions["int_alu"] == 5 * 20 * 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NeedlemanWunschAligner().align("", "A")
+
+
+class TestSmithWaterman:
+    def test_finds_embedded_common_segment(self):
+        result = SmithWatermanAligner().align("TTTACGTACGTTT", "GGGACGTACGGGG")
+        assert -result.score >= 7  # ACGTACG shared (7 bases)
+        result.alignment.validate()
+
+    def test_no_common_characters(self):
+        result = SmithWatermanAligner().align("AAAA", "TTTT")
+        assert result.score == 0
+        assert result.alignment is None
+
+    def test_local_score_never_positive_in_reported_convention(self):
+        """Reported score is the negated local score (lower is better)."""
+        result = SmithWatermanAligner().align("ACGT", "ACGT")
+        assert result.score == -4
+
+    def test_rejects_nonpositive_match(self):
+        with pytest.raises(ValueError):
+            SmithWatermanAligner(match=0)

@@ -1,0 +1,80 @@
+"""Tests for substitution-matrix support in the affine module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AffineAligner,
+    AffinePenalties,
+    affine_score,
+    affine_score_banded,
+    transition_transversion_matrix,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=20)
+
+
+class TestTransitionTransversion:
+    def test_classification(self):
+        matrix = transition_transversion_matrix(transition=1, transversion=3)
+        assert matrix[("A", "G")] == 1  # purine↔purine
+        assert matrix[("C", "T")] == 1  # pyrimidine↔pyrimidine
+        assert matrix[("A", "C")] == 3
+        assert matrix[("G", "T")] == 3
+        assert ("A", "A") not in matrix
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transition_transversion_matrix(transition=0)
+        with pytest.raises(ValueError):
+            transition_transversion_matrix(transition=5, transversion=2)
+
+
+class TestPenaltiesWithMatrix:
+    def test_substitution_lookup_and_fallback(self):
+        pen = AffinePenalties(matrix={("A", "G"): 1})
+        assert pen.substitution("A", "G") == 1
+        assert pen.substitution("G", "A") == 1  # symmetric fallback
+        assert pen.substitution("A", "C") == pen.mismatch
+        assert pen.substitution("A", "A") == pen.match
+
+    def test_substitution_table_consistent(self):
+        pen = AffinePenalties(matrix=transition_transversion_matrix())
+        table = pen.substitution_table()
+        for a in "ACGT":
+            for b in "ACGT":
+                assert table[ord(a), ord(b)] == pen.substitution(a, b)
+
+
+class TestScoringWithMatrix:
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_numpy_and_python_paths_agree(self, pattern, text):
+        pen = AffinePenalties(matrix=transition_transversion_matrix())
+        aligner_score = AffineAligner(pen).align(pattern, text).score
+        assert aligner_score == affine_score(pattern, text, pen)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_never_exceeds_flat(self, pattern, text):
+        """Transitions at 2 ≤ the flat mismatch 4: weighted score ≤ flat."""
+        flat = AffinePenalties()
+        weighted = AffinePenalties(matrix=transition_transversion_matrix())
+        assert affine_score(pattern, text, weighted) <= affine_score(
+            pattern, text, flat
+        )
+
+    def test_banded_supports_matrix(self):
+        pen = AffinePenalties(matrix=transition_transversion_matrix())
+        pattern, text = "ACGTACGTAC", "ACGTGCGTAC"
+        assert affine_score_banded(pattern, text, 10, pen) == affine_score(
+            pattern, text, pen
+        )
+
+    def test_transition_rich_pair_scores_lower(self):
+        """A pair differing only by transitions beats a transversion pair."""
+        pen = AffinePenalties(matrix=transition_transversion_matrix())
+        transitions = affine_score("AAAA", "GGGG", pen)  # 4 transitions
+        transversions = affine_score("AAAA", "CCCC", pen)
+        assert transitions < transversions

@@ -1,0 +1,118 @@
+"""Tests for gap-affine alignment (repro.baselines.swg)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    AffineAligner,
+    AffinePenalties,
+    affine_score,
+    affine_score_banded,
+)
+from repro.baselines.swg import INF
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=25)
+
+
+def reference_affine(pattern, text, pen):
+    """Independent O(nm) Gotoh reference."""
+    n, m = len(pattern), len(text)
+    big = 1 << 20
+    h = [[big] * (m + 1) for _ in range(n + 1)]
+    e = [[big] * (m + 1) for _ in range(n + 1)]
+    f = [[big] * (m + 1) for _ in range(n + 1)]
+    h[0][0] = 0
+    for j in range(1, m + 1):
+        e[0][j] = pen.gap_open + j * pen.gap_extend
+        h[0][j] = e[0][j]
+    for i in range(1, n + 1):
+        f[i][0] = pen.gap_open + i * pen.gap_extend
+        h[i][0] = f[i][0]
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            e[i][j] = min(
+                h[i][j - 1] + pen.gap_open + pen.gap_extend,
+                e[i][j - 1] + pen.gap_extend,
+            )
+            f[i][j] = min(
+                h[i - 1][j] + pen.gap_open + pen.gap_extend,
+                f[i - 1][j] + pen.gap_extend,
+            )
+            sub = pen.match if pattern[i - 1] == text[j - 1] else pen.mismatch
+            h[i][j] = min(h[i - 1][j - 1] + sub, e[i][j], f[i][j])
+    return h[n][m]
+
+
+class TestExactScore:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_antidiagonal_matches_reference(self, pattern, text):
+        pen = AffinePenalties()
+        assert affine_score(pattern, text, pen) == reference_affine(
+            pattern, text, pen
+        )
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_aligner_matches_score_and_alignment_is_optimal(self, pattern, text):
+        pen = AffinePenalties()
+        result = AffineAligner(pen).align(pattern, text)
+        expected = reference_affine(pattern, text, pen)
+        assert result.score == expected
+        result.alignment.validate()
+        assert result.alignment.affine_score(
+            match=pen.match,
+            mismatch=pen.mismatch,
+            gap_open=pen.gap_open,
+            gap_extend=pen.gap_extend,
+        ) == expected
+
+    def test_custom_penalties(self):
+        pen = AffinePenalties(match=0, mismatch=2, gap_open=3, gap_extend=1)
+        # AA vs AAA: one insertion: open 3 + extend 1 = 4 < mismatch paths
+        assert affine_score("AA", "AAA", pen) == 4
+
+    def test_identical_sequences_score_zero(self):
+        assert affine_score("ACGTACGT", "ACGTACGT") == 0
+
+
+class TestBandedScore:
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_wide_band_equals_exact(self, pattern, text):
+        pen = AffinePenalties()
+        band = len(pattern) + len(text)
+        assert affine_score_banded(pattern, text, band, pen) == affine_score(
+            pattern, text, pen
+        )
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_band_never_underestimates(self, pattern, text):
+        pen = AffinePenalties()
+        banded = affine_score_banded(pattern, text, 2, pen)
+        assert banded >= affine_score(pattern, text, pen)
+
+    def test_band_smaller_than_length_gap_disconnects(self):
+        assert affine_score_banded("A", "AAAAAAAA", 2) == INF
+
+    def test_zdrop_can_terminate_early(self):
+        """A hopeless alignment trips the Z-drop cutoff."""
+        score = affine_score_banded(
+            "A" * 64, "T" * 64, band=64, zdrop=10
+        )
+        assert score == INF
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            affine_score("", "A")
+        with pytest.raises(ValueError):
+            AffineAligner().align("A", "")
+
+    def test_gap_helper(self):
+        pen = AffinePenalties()
+        assert pen.gap(0) == 0
+        assert pen.gap(3) == pen.gap_open + 3 * pen.gap_extend

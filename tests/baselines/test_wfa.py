@@ -1,0 +1,75 @@
+"""Tests for the wavefront aligner (repro.baselines.wfa)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.baselines.wfa import WfaAligner
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=45)
+
+
+class TestCorrectness:
+    @given(dna, dna)
+    @settings(max_examples=120, deadline=None)
+    def test_optimal_and_valid(self, pattern, text):
+        result = WfaAligner().align(pattern, text)
+        assert result.score == scalar_edit_distance(pattern, text)
+        result.alignment.validate()
+
+    def test_identical_sequences_cost_nothing_extra(self, rng):
+        sequence = random_dna(500, rng)
+        result = WfaAligner().align(sequence, sequence)
+        assert result.score == 0
+        assert result.stats.dp_cells == 0  # only the initial extension
+
+    def test_distance_mode(self, rng):
+        pattern = random_dna(200, rng)
+        text = mutate_dna(pattern, 12, rng)
+        aligner = WfaAligner()
+        assert (
+            aligner.align(pattern, text, traceback=False).score
+            == aligner.align(pattern, text).score
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WfaAligner().align("", "A")
+
+
+class TestScoreBoundedWork:
+    def test_work_scales_with_divergence_not_length(self, rng):
+        """WFA's defining property: cells ∝ s², independent of n·m."""
+        aligner = WfaAligner()
+        base = random_dna(400, rng)
+        low = aligner.align(base, mutate_dna(base, 4, rng), traceback=False)
+        high = aligner.align(base, mutate_dna(base, 40, rng), traceback=False)
+        assert high.stats.dp_cells > 10 * max(1, low.stats.dp_cells)
+        long_clean = random_dna(2_000, rng)
+        clean = aligner.align(
+            long_clean, mutate_dna(long_clean, 4, rng), traceback=False
+        )
+        # 5× the length at the same divergence: similar wavefront work.
+        assert clean.stats.dp_cells < 4 * max(1, low.stats.dp_cells) + 100
+
+    def test_wfa_beats_bpm_on_low_divergence(self, rng):
+        """The modern-software claim: WFA does less work than BPM when
+        sequences are similar."""
+        from repro.baselines import BpmAligner
+
+        pattern = random_dna(2_000, rng)
+        text = mutate_dna(pattern, 10, rng)
+        wfa = WfaAligner().align(pattern, text, traceback=False)
+        bpm = BpmAligner().align(pattern, text, traceback=False)
+        assert wfa.score == bpm.score
+        assert wfa.stats.total_instructions < bpm.stats.total_instructions
+
+    def test_traceback_memory_is_score_squared(self, rng):
+        pattern = random_dna(800, rng)
+        near = mutate_dna(pattern, 5, rng)
+        far = mutate_dna(pattern, 60, rng)
+        aligner = WfaAligner()
+        small = aligner.align(pattern, near).stats.dp_bytes_peak
+        large = aligner.align(pattern, far).stats.dp_bytes_peak
+        assert large > 20 * small

@@ -1,0 +1,92 @@
+"""Tests for GenASM-CPU and Darwin GACT windowed baselines."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.baselines import (
+    DARWIN_OVERLAP,
+    DARWIN_WINDOW,
+    DarwinGactAligner,
+    GENASM_OVERLAP,
+    GENASM_WINDOW,
+    GenasmCpuAligner,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestGenasmCpu:
+    def test_paper_window_configuration(self):
+        aligner = GenasmCpuAligner()
+        assert (aligner.window, aligner.overlap) == (
+            GENASM_WINDOW,
+            GENASM_OVERLAP,
+        ) == (96, 32)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_valid_upper_bound(self, pattern, text):
+        result = GenasmCpuAligner(window=16, overlap=8, word_size=8).align(
+            pattern, text
+        )
+        result.alignment.validate()
+        assert result.score >= scalar_edit_distance(pattern, text)
+
+    def test_optimal_on_low_divergence(self, rng):
+        hits = 0
+        for _ in range(10):
+            pattern = random_dna(250, rng)
+            text = mutate_dna(pattern, 5, rng)
+            result = GenasmCpuAligner().align(pattern, text)
+            hits += result.score == scalar_edit_distance(pattern, text)
+        assert hits >= 9
+
+    def test_bitap_cost_inside_windows(self, rng):
+        """GenASM-CPU work grows with window divergence (Bitap's k)."""
+        pattern = random_dna(300, rng)
+        similar = mutate_dna(pattern, 4, rng)
+        noisy = mutate_dna(pattern, 60, rng)
+        aligner = GenasmCpuAligner()
+        cheap = aligner.align(pattern, similar)
+        costly = aligner.align(pattern, noisy)
+        assert (
+            costly.stats.total_instructions
+            > cheap.stats.total_instructions
+        )
+
+
+class TestDarwinGact:
+    def test_paper_window_configuration(self):
+        aligner = DarwinGactAligner()
+        assert (aligner.window, aligner.overlap) == (
+            DARWIN_WINDOW,
+            DARWIN_OVERLAP,
+        ) == (96, 32)
+
+    @given(dna, dna)
+    @settings(max_examples=25, deadline=None)
+    def test_valid_alignment(self, pattern, text):
+        result = DarwinGactAligner(window=16, overlap=8).align(pattern, text)
+        result.alignment.validate()
+        assert result.score >= scalar_edit_distance(pattern, text)
+
+    def test_good_affine_alignments_on_low_divergence(self, rng):
+        """GACT optimises the affine objective inside each window."""
+        pattern = random_dna(250, rng)
+        text = mutate_dna(pattern, 5, rng)
+        result = DarwinGactAligner().align(pattern, text)
+        # The stitched alignment must be near the optimal affine score.
+        from repro.baselines import affine_score
+
+        optimal = affine_score(pattern, text)
+        assert result.alignment.affine_score() <= optimal * 1.5 + 20
+
+    def test_constant_window_memory(self, rng):
+        short = DarwinGactAligner().align(
+            random_dna(150, rng), random_dna(150, rng)
+        )
+        long = DarwinGactAligner().align(
+            random_dna(600, rng), random_dna(600, rng)
+        )
+        assert long.stats.dp_bytes_peak == short.stats.dp_bytes_peak

@@ -1,0 +1,67 @@
+"""Shared test fixtures and reference implementations.
+
+The reference edit-distance DP here is deliberately independent of the
+library code (no imports from :mod:`repro`), so every kernel is checked
+against a second implementation rather than against itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+DNA = "ACGT"
+
+
+def scalar_edit_matrix(pattern: str, text: str) -> List[List[int]]:
+    """Reference (n+1)×(m+1) unit-cost edit-distance matrix."""
+    n = len(pattern)
+    m = len(text)
+    matrix = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        matrix[i][0] = i
+    for j in range(m + 1):
+        matrix[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            matrix[i][j] = min(
+                matrix[i - 1][j] + 1,
+                matrix[i][j - 1] + 1,
+                matrix[i - 1][j - 1] + (pattern[i - 1] != text[j - 1]),
+            )
+    return matrix
+
+
+def scalar_edit_distance(pattern: str, text: str) -> int:
+    """Reference unit-cost edit distance."""
+    return scalar_edit_matrix(pattern, text)[len(pattern)][len(text)]
+
+
+def random_dna(length: int, rng: random.Random) -> str:
+    """Uniform random DNA string."""
+    return "".join(rng.choice(DNA) for _ in range(length))
+
+
+def mutate_dna(sequence: str, edits: int, rng: random.Random) -> str:
+    """Apply ``edits`` random single-character edits."""
+    chars = list(sequence)
+    for _ in range(edits):
+        kind = rng.choice("mid")
+        if not chars:
+            kind = "i"
+        if kind == "m":
+            position = rng.randrange(len(chars))
+            chars[position] = rng.choice(DNA)
+        elif kind == "i":
+            chars.insert(rng.randrange(len(chars) + 1), rng.choice(DNA))
+        elif len(chars) > 1:
+            del chars[rng.randrange(len(chars))]
+    return "".join(chars)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic per-test RNG."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,63 @@
+"""Tests for DNA alphabet utilities (repro.core.alphabet)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alphabet import (
+    AlphabetError,
+    decode_2bit,
+    encode_2bit,
+    reverse_complement,
+    validate_dna,
+)
+
+dna_strategy = st.text(alphabet="ACGT", min_size=0, max_size=100)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        assert validate_dna("ACGTACGT") == "ACGTACGT"
+
+    def test_rejects_lowercase(self):
+        with pytest.raises(AlphabetError):
+            validate_dna("acgt")
+
+    def test_rejects_n_by_default(self):
+        with pytest.raises(AlphabetError):
+            validate_dna("ACGN")
+
+    def test_allows_n_when_asked(self):
+        assert validate_dna("ACGN", allow_n=True) == "ACGN"
+
+    def test_error_reports_position(self):
+        with pytest.raises(AlphabetError, match="position 2"):
+            validate_dna("ACxGT")
+
+
+class TestEncoding:
+    @given(dna_strategy)
+    def test_roundtrip(self, sequence):
+        assert decode_2bit(encode_2bit(sequence)) == sequence
+
+    def test_codes(self):
+        assert encode_2bit("ACGT") == [0, 1, 2, 3]
+
+    def test_encode_rejects_n(self):
+        with pytest.raises(AlphabetError):
+            encode_2bit("N")
+
+    def test_decode_rejects_bad_code(self):
+        with pytest.raises(AlphabetError):
+            decode_2bit([4])
+
+
+class TestReverseComplement:
+    def test_known(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAC") == "GTT"
+        assert reverse_complement("N") == "N"
+
+    @given(dna_strategy)
+    def test_involution(self, sequence):
+        assert reverse_complement(reverse_complement(sequence)) == sequence

@@ -1,0 +1,188 @@
+"""Tests for alignment operations and CIGAR handling (repro.core.cigar)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cigar import (
+    ALL_OPS,
+    Alignment,
+    AlignmentError,
+    CODE_TO_OP,
+    OP_TO_CODE,
+    OP_DELETION,
+    OP_INSERTION,
+    OP_MATCH,
+    OP_MISMATCH,
+    cigar_to_ops,
+    edit_cost,
+    ops_to_cigar,
+    relabel_diagonal_ops,
+)
+
+ops_strategy = st.lists(st.sampled_from(ALL_OPS), min_size=0, max_size=80)
+
+
+class TestCigarRoundtrip:
+    @given(ops_strategy)
+    def test_roundtrip(self, ops):
+        assert cigar_to_ops(ops_to_cigar(ops)) == list(ops)
+
+    def test_known(self):
+        assert ops_to_cigar(list("MMXMIID")) == "2M1X1M2I1D"
+        assert cigar_to_ops("2M1X") == ["M", "M", "X"]
+
+    def test_equals_maps_to_match(self):
+        assert cigar_to_ops("3=") == ["M", "M", "M"]
+
+    def test_empty(self):
+        assert ops_to_cigar([]) == ""
+        assert cigar_to_ops("") == []
+
+    def test_malformed_rejected(self):
+        with pytest.raises(AlignmentError):
+            cigar_to_ops("3Q")
+        with pytest.raises(AlignmentError):
+            cigar_to_ops("M3")
+
+
+class TestEditCost:
+    def test_matches_free(self):
+        assert edit_cost("MMMM") == 0
+
+    def test_each_error_costs_one(self):
+        assert edit_cost("MXID") == 3
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(AlignmentError):
+            edit_cost("Z")
+
+
+class TestOpCodes:
+    def test_two_bit_encoding_roundtrip(self):
+        for op, code in OP_TO_CODE.items():
+            assert 0 <= code <= 3
+            assert CODE_TO_OP[code] == op
+
+
+class TestAlignmentValidate:
+    def test_paper_example(self):
+        """Figure 1: GCAT vs GATT aligns as M D M M I with distance 2."""
+        alignment = Alignment(
+            pattern="GCAT", text="GATT", ops=tuple("MDMMI"), score=2
+        )
+        alignment.validate()
+
+    def test_detects_wrong_score(self):
+        alignment = Alignment(
+            pattern="GCAT", text="GATT", ops=tuple("MDMMI"), score=3
+        )
+        with pytest.raises(AlignmentError, match="score"):
+            alignment.validate()
+
+    def test_detects_mislabelled_match(self):
+        alignment = Alignment(pattern="A", text="C", ops=("M",), score=0)
+        with pytest.raises(AlignmentError, match="mismatching"):
+            alignment.validate()
+
+    def test_detects_mislabelled_mismatch(self):
+        alignment = Alignment(pattern="A", text="A", ops=("X",), score=1)
+        with pytest.raises(AlignmentError, match="matching"):
+            alignment.validate()
+
+    def test_detects_underrun(self):
+        alignment = Alignment(pattern="AA", text="A", ops=("M",), score=0)
+        with pytest.raises(AlignmentError, match="consumes"):
+            alignment.validate()
+
+    def test_detects_overrun(self):
+        alignment = Alignment(pattern="A", text="A", ops=("M", "I"), score=1)
+        with pytest.raises(AlignmentError, match="overruns"):
+            alignment.validate()
+
+
+class TestAffineScore:
+    def test_all_matches_scores_zero(self):
+        alignment = Alignment(pattern="AAA", text="AAA", ops=tuple("MMM"), score=0)
+        assert alignment.affine_score() == 0
+
+    def test_gap_open_charged_once_per_run(self):
+        alignment = Alignment(
+            pattern="AAA", text="AAAAA", ops=tuple("MMMII"), score=2
+        )
+        # one gap of length 2: open 6 + 2 * extend 2
+        assert alignment.affine_score() == 10
+
+    def test_separate_gaps_open_twice(self):
+        alignment = Alignment(
+            pattern="AAA", text="AAAAA", ops=tuple("IMMMI"), score=2
+        )
+        assert alignment.affine_score() == 16
+
+    def test_insertion_then_deletion_both_open(self):
+        alignment = Alignment(pattern="A", text="C", ops=tuple("ID"), score=2)
+        assert alignment.affine_score() == 16
+
+
+class TestRelabel:
+    def test_relabels_by_characters(self):
+        ops = relabel_diagonal_ops("AC", "AG", ["M", "M"])
+        assert ops == ["M", "X"]
+
+    def test_preserves_indels(self):
+        ops = relabel_diagonal_ops("A", "AG", ["M", "I"])
+        assert ops == ["M", "I"]
+
+
+class TestPackedOps:
+    @given(ops_strategy)
+    def test_roundtrip(self, ops):
+        from repro.core.cigar import pack_ops, unpack_ops
+
+        assert unpack_ops(pack_ops(ops), len(ops)) == list(ops)
+
+    def test_four_ops_per_byte(self):
+        from repro.core.cigar import pack_ops
+
+        assert len(pack_ops(["M"] * 9)) == 3
+
+    def test_bounds_checked(self):
+        from repro.core.cigar import pack_ops, unpack_ops
+
+        with pytest.raises(AlignmentError):
+            unpack_ops(pack_ops(["M"] * 4), 5)
+        with pytest.raises(AlignmentError):
+            pack_ops(["Z"])
+
+
+class TestAlignmentStats:
+    def test_counts_and_identity(self):
+        from repro.core.cigar import alignment_stats
+
+        stats = alignment_stats(list("MMMXID"))
+        assert (stats.matches, stats.mismatches) == (3, 1)
+        assert (stats.insertions, stats.deletions) == (1, 1)
+        assert stats.columns == 6
+        assert stats.gaps == 2
+        assert stats.identity == pytest.approx(0.5)
+
+    def test_empty_alignment(self):
+        from repro.core.cigar import alignment_stats
+
+        stats = alignment_stats([])
+        assert stats.identity == 0.0
+
+    def test_unknown_op_rejected(self):
+        from repro.core.cigar import alignment_stats
+
+        with pytest.raises(AlignmentError):
+            alignment_stats(["Q"])
+
+    def test_identity_of_real_alignment(self):
+        from repro.align import align_pair
+        from repro.core.cigar import alignment_stats
+
+        result = align_pair("GCAT", "GATT")
+        stats = alignment_stats(result.alignment.ops)
+        assert stats.identity >= 0.5
+        assert stats.columns == len(result.alignment.ops)

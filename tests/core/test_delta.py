@@ -1,0 +1,99 @@
+"""Tests for the GMXΔ function (repro.core.delta)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.delta import (
+    DELTA_VALUES,
+    DeltaEncodingError,
+    decode_delta,
+    encode_delta,
+    enumerate_gmx_delta_truth_table,
+    gmx_delta,
+    gmx_delta_bits,
+    gmx_delta_via_bits,
+)
+
+
+class TestArithmeticForm:
+    def test_matches_bpm_recurrence_on_all_inputs(self):
+        """GMXΔ must equal min{-eq, Δa, Δb} + 1 − Δb (Eq. 2)."""
+        for a in DELTA_VALUES:
+            for b in DELTA_VALUES:
+                for eq in (0, 1):
+                    assert gmx_delta(a, b, eq) == min(-eq, a, b) + 1 - b
+
+    def test_output_always_in_delta_range(self):
+        for _, _, _, out in enumerate_gmx_delta_truth_table():
+            assert out in DELTA_VALUES
+
+    def test_truth_table_has_18_entries(self):
+        assert len(list(enumerate_gmx_delta_truth_table())) == 18
+
+    def test_match_cancels_complement(self):
+        """With eq=1 the diagonal is free: D[i,j] = D[i−1,j−1], so the
+        output difference is exactly the negated complement (−Δb)."""
+        for a in DELTA_VALUES:
+            for b in DELTA_VALUES:
+                assert gmx_delta(a, b, 1) == -b
+
+    @pytest.mark.parametrize("bad", [-2, 2, 5, None])
+    def test_rejects_bad_delta(self, bad):
+        with pytest.raises(DeltaEncodingError):
+            gmx_delta(bad, 0, 0)
+        with pytest.raises(DeltaEncodingError):
+            gmx_delta(0, bad, 0)
+
+    @pytest.mark.parametrize("bad_eq", [-1, 2, 7])
+    def test_rejects_bad_eq(self, bad_eq):
+        with pytest.raises(DeltaEncodingError):
+            gmx_delta(0, 0, bad_eq)
+
+
+class TestBooleanForm:
+    def test_equivalent_to_arithmetic_on_all_18_inputs(self):
+        """The paper verifies Eq. 3 by brute-force enumeration; so do we."""
+        for a in DELTA_VALUES:
+            for b in DELTA_VALUES:
+                for eq in (0, 1):
+                    assert gmx_delta_via_bits(a, b, eq) == gmx_delta(a, b, eq)
+
+    def test_never_produces_illegal_bit_pattern(self):
+        for a in DELTA_VALUES:
+            for b in DELTA_VALUES:
+                a0, a1 = encode_delta(a)
+                b0, b1 = encode_delta(b)
+                for eq in (0, 1):
+                    out0, out1 = gmx_delta_bits(a0, a1, b0, b1, eq)
+                    assert (out0, out1) != (1, 1)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for delta in DELTA_VALUES:
+            assert decode_delta(*encode_delta(delta)) == delta
+
+    def test_encoding_definition(self):
+        """Δ[0] = (Δ == +1), Δ[1] = (Δ == −1), per the paper."""
+        assert encode_delta(1) == (1, 0)
+        assert encode_delta(0) == (0, 0)
+        assert encode_delta(-1) == (0, 1)
+
+    def test_decode_rejects_illegal_pattern(self):
+        with pytest.raises(DeltaEncodingError):
+            decode_delta(1, 1)
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(DeltaEncodingError):
+            encode_delta(2)
+
+
+@given(
+    a=st.sampled_from(DELTA_VALUES),
+    b=st.sampled_from(DELTA_VALUES),
+    eq=st.sampled_from([0, 1]),
+)
+def test_delta_bounded_by_one_property(a, b, eq):
+    """Output differences never exceed ±1 — the BPM invariant."""
+    assert -1 <= gmx_delta(a, b, eq) <= 1

@@ -1,0 +1,106 @@
+"""Tests for GMX instruction-word encodings (repro.core.encoding)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    CSR_ADDRESSES,
+    CUSTOM0_OPCODE,
+    EncodingError,
+    FUNCT3,
+    csr_address,
+    csr_name,
+    decode,
+    encode,
+)
+
+registers = st.integers(min_value=0, max_value=31)
+mnemonics = st.sampled_from(sorted(FUNCT3))
+
+
+class TestEncode:
+    def test_known_word(self):
+        # gmx.v x10, x11, x12: funct7=0, rs2=12, rs1=11, funct3=0, rd=10.
+        word = encode("gmx.v", 10, 11, 12)
+        assert word == (12 << 20) | (11 << 15) | (10 << 7) | CUSTOM0_OPCODE
+
+    def test_all_words_use_custom0(self):
+        for mnemonic in FUNCT3:
+            rd = 0 if mnemonic == "gmx.tb" else 5
+            assert encode(mnemonic, rd, 6, 7) & 0x7F == CUSTOM0_OPCODE
+
+    def test_distinct_funct3(self):
+        assert len(set(FUNCT3.values())) == len(FUNCT3)
+
+    def test_gmx_tb_forbids_destination(self):
+        with pytest.raises(EncodingError):
+            encode("gmx.tb", 5, 6, 7)
+        assert encode("gmx.tb", 0, 6, 7)
+
+    def test_register_bounds(self):
+        with pytest.raises(EncodingError):
+            encode("gmx.v", 32, 0, 0)
+        with pytest.raises(EncodingError):
+            encode("gmx.v", 0, -1, 0)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode("gmx.warp", 0, 0, 0)
+
+
+class TestDecode:
+    @given(mnemonics, registers, registers, registers)
+    def test_roundtrip(self, mnemonic, rd, rs1, rs2):
+        if mnemonic == "gmx.tb":
+            rd = 0
+        word = encode(mnemonic, rd, rs1, rs2)
+        decoded = decode(word)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) == (
+            mnemonic, rd, rs1, rs2,
+        )
+
+    def test_rejects_wrong_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0b0110011)  # base-ISA OP
+
+    def test_rejects_unassigned_funct3(self):
+        word = encode("gmx.v", 1, 2, 3) | (0b111 << 12)
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_rejects_nonzero_funct7(self):
+        word = encode("gmx.v", 1, 2, 3) | (1 << 25)
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_rejects_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_disassembly_text(self):
+        assert str(decode(encode("gmx.v", 10, 11, 12))) == "gmx.v x10, x11, x12"
+        assert str(decode(encode("gmx.tb", 0, 4, 5))) == "gmx.tb x4, x5"
+
+
+class TestCsrMap:
+    def test_five_csrs_in_custom_space(self):
+        assert len(CSR_ADDRESSES) == 5
+        for address in CSR_ADDRESSES.values():
+            assert 0x800 <= address <= 0x8FF  # custom R/W CSR space
+
+    def test_roundtrip(self):
+        for name, address in CSR_ADDRESSES.items():
+            assert csr_address(name) == address
+            assert csr_name(address) == name
+
+    def test_unknowns_rejected(self):
+        with pytest.raises(EncodingError):
+            csr_address("gmx_bogus")
+        with pytest.raises(EncodingError):
+            csr_name(0x7FF)
+
+    def test_matches_isa_model_registers(self):
+        from repro.core.isa import CSR_NAMES
+
+        assert set(CSR_ADDRESSES) == set(CSR_NAMES)

@@ -1,0 +1,156 @@
+"""Tests for the functional GMX ISA model (repro.core.isa)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scalar_edit_matrix
+from repro.core.isa import (
+    GmxIsa,
+    IsaError,
+    clamp_pos,
+    decode_pos,
+    encode_pos,
+    pack_vector,
+    unpack_vector,
+)
+from repro.core.tile import boundary_deltas, compute_tile
+from repro.core.traceback import NextTile
+
+dna8 = st.text(alphabet="ACGT", min_size=1, max_size=8)
+
+
+class TestPosEncoding:
+    def test_bottom_row_slots(self):
+        for col in range(8):
+            image = encode_pos(7, col, tile_size=8)
+            assert image == 1 << col
+            assert decode_pos(image, tile_size=8) == (7, col)
+
+    def test_right_column_slots(self):
+        for row in range(7):  # row 7 is covered by the bottom-row slot
+            image = encode_pos(row, 7, tile_size=8)
+            assert image == 1 << (8 + row)
+            assert decode_pos(image, tile_size=8) == (row, 7)
+
+    def test_interior_cell_rejected(self):
+        with pytest.raises(IsaError):
+            encode_pos(2, 3, tile_size=8)
+
+    def test_out_of_tile_rejected(self):
+        with pytest.raises(IsaError):
+            encode_pos(8, 0, tile_size=8)
+
+    def test_decode_rejects_non_one_hot(self):
+        with pytest.raises(IsaError):
+            decode_pos(0b11, tile_size=8)
+        with pytest.raises(IsaError):
+            decode_pos(0, tile_size=8)
+
+    def test_clamp_onto_partial_tile(self):
+        assert clamp_pos(31, 31, 5, 7) == (4, 6)
+        assert clamp_pos(3, 31, 8, 8) == (3, 7)
+
+
+class TestCsrAccess:
+    def test_write_read_roundtrip(self):
+        isa = GmxIsa(tile_size=8)
+        isa.csrw("gmx_pattern", "ACGT")
+        isa.csrw("gmx_text", "TTTT")
+        assert isa.csrr("gmx_pattern") == "ACGT"
+        assert isa.csrr("gmx_text") == "TTTT"
+        assert isa.retired["csrw"] == 2
+        assert isa.retired["csrr"] == 2
+
+    def test_unknown_csr_rejected(self):
+        isa = GmxIsa()
+        with pytest.raises(IsaError):
+            isa.csrw("gmx_bogus", 1)
+        with pytest.raises(IsaError):
+            isa.csrr("gmx_bogus")
+
+    def test_oversized_chunk_rejected(self):
+        isa = GmxIsa(tile_size=4)
+        with pytest.raises(IsaError):
+            isa.csrw("gmx_pattern", "ACGTA")
+
+    def test_non_string_chunk_rejected(self):
+        isa = GmxIsa()
+        with pytest.raises(IsaError):
+            isa.csrw("gmx_text", 0xBEEF)
+
+
+class TestTileInstructions:
+    @given(dna8, dna8)
+    @settings(max_examples=100)
+    def test_gmx_v_h_match_tile_kernel(self, pattern, text):
+        isa = GmxIsa(tile_size=8)
+        isa.csrw("gmx_pattern", pattern)
+        isa.csrw("gmx_text", text)
+        dv_in = pack_vector(boundary_deltas(len(pattern)))
+        dh_in = pack_vector(boundary_deltas(len(text)))
+        expected = compute_tile(
+            pattern, text,
+            boundary_deltas(len(pattern)), boundary_deltas(len(text)),
+            tile_size=8,
+        )
+        assert unpack_vector(isa.gmx_v(dv_in, dh_in), len(pattern)) == list(
+            expected.dv_out
+        )
+        assert unpack_vector(isa.gmx_h(dv_in, dh_in), len(text)) == list(
+            expected.dh_out
+        )
+        assert isa.retired["gmx.v"] == 1
+        assert isa.retired["gmx.h"] == 1
+
+    def test_gmx_vh_fused_matches_separate(self):
+        isa = GmxIsa(tile_size=8)
+        isa.csrw("gmx_pattern", "ACGTACGT")
+        isa.csrw("gmx_text", "ACGAACGA")
+        dv = pack_vector(boundary_deltas(8))
+        dh = pack_vector(boundary_deltas(8))
+        fused = isa.gmx_vh(dv, dh)
+        assert fused == (isa.gmx_v(dv, dh), isa.gmx_h(dv, dh))
+        assert isa.retired["gmx.vh"] == 1
+
+    def test_requires_pattern_and_text(self):
+        isa = GmxIsa(tile_size=8)
+        with pytest.raises(IsaError):
+            isa.gmx_v(0, 0)
+
+
+class TestTracebackInstruction:
+    def test_single_tile_traceback_updates_csrs(self):
+        isa = GmxIsa(tile_size=4)
+        isa.csrw("gmx_pattern", "GCAT")
+        isa.csrw("gmx_text", "GATT")
+        isa.csrw("gmx_pos", encode_pos(3, 3, tile_size=4))
+        dv = pack_vector(boundary_deltas(4))
+        dh = pack_vector(boundary_deltas(4))
+        result = isa.gmx_tb(dv, dh)
+        assert isa.retired["gmx.tb"] == 1
+        # The alignment of GCAT/GATT costs 2 (Figure 1/6).
+        cost = sum(1 for op in result.ops if op != "M")
+        assert cost <= 2
+        assert isa.gmx_lo or isa.gmx_hi  # encoded ops landed in the CSRs
+        assert result.next_tile in tuple(NextTile)
+
+    def test_pos_clamped_for_partial_tiles(self):
+        """Drivers set the full-tile corner; the ISA clamps to the chunk."""
+        isa = GmxIsa(tile_size=8)
+        isa.csrw("gmx_pattern", "ACG")
+        isa.csrw("gmx_text", "ACG")
+        isa.csrw("gmx_pos", encode_pos(7, 7, tile_size=8))
+        dv = pack_vector(boundary_deltas(3))
+        dh = pack_vector(boundary_deltas(3))
+        result = isa.gmx_tb(dv, dh)
+        assert list(result.ops) == ["M", "M", "M"]
+
+
+class TestAccounting:
+    def test_reset(self):
+        isa = GmxIsa(tile_size=4)
+        isa.csrw("gmx_pattern", "AC")
+        assert isa.retired_total == 1
+        isa.reset_counters()
+        assert isa.retired_total == 0

@@ -1,0 +1,148 @@
+"""Directed ISA conformance vectors for the GMX extension.
+
+Modelled after riscv-tests style directed testing: each case pins down one
+architectural behaviour with hand-computed expected values (not computed
+by the implementation under test).  T = 4 keeps the vectors checkable by
+hand; the tile-size-independence of the semantics is covered elsewhere.
+"""
+
+import pytest
+
+from repro.core.isa import GmxIsa, encode_pos, pack_vector, unpack_vector
+from repro.core.traceback import NextTile
+
+T = 4
+PLUS4 = pack_vector([1, 1, 1, 1])
+
+
+def fresh_isa(pattern: str, text: str) -> GmxIsa:
+    isa = GmxIsa(tile_size=T)
+    isa.csrw("gmx_pattern", pattern)
+    isa.csrw("gmx_text", text)
+    return isa
+
+
+class TestGmxVH:
+    def test_all_match_tile(self):
+        """Identical chunks: the DP matrix is D[i][j] = |i − j|.
+
+        Right edge (j = 4): Δv[i][4] = |i−4| − |i−1−4| = −1 for i ≤ 4.
+        Bottom edge (i = 4): Δh[4][j] = |4−j| − |4−j+1| = −1.
+        """
+        isa = fresh_isa("ACGT", "ACGT")
+        assert unpack_vector(isa.gmx_v(PLUS4, PLUS4), 4) == [-1, -1, -1, -1]
+        assert unpack_vector(isa.gmx_h(PLUS4, PLUS4), 4) == [-1, -1, -1, -1]
+
+    def test_all_mismatch_tile(self):
+        """Disjoint alphabets: D[i][j] = max(i, j).
+
+        Right edge: Δv[i][4] = max(i,4) − max(i−1,4) = 0 (i ≤ 4).
+        Bottom edge: Δh[4][j] = 0 likewise.
+        """
+        isa = fresh_isa("AAAA", "TTTT")
+        assert unpack_vector(isa.gmx_v(PLUS4, PLUS4), 4) == [0, 0, 0, 0]
+        assert unpack_vector(isa.gmx_h(PLUS4, PLUS4), 4) == [0, 0, 0, 0]
+
+    def test_paper_figure6_tile(self):
+        """Figure 6's 4×4 matrix: GCAT (pattern) vs GATT (text).
+
+        Hand-computed D:      G  A  T  T
+                        G  1  0  1  2  3
+                        C  2  1  1  2  3
+                        A  3  2  1  2  3
+                        T  4  3  2  1  2
+        Right edge Δv = D[i][4] − D[i−1][4] = [3−4... ] → [3,3,3,2] diffs:
+        [3-4? no: col 4 values 3,3,3,2 minus 4? Δv uses vertical deltas:
+        3−4=−1? — vertical: D[1][4]=3 vs D[0][4]=4 → −1; then 0, 0, −1.
+        Bottom edge Δh: D[4][j] − D[4][j−1] over 4,3,2,1,2 → [−1,−1,−1,+1].
+        """
+        isa = fresh_isa("GCAT", "GATT")
+        assert unpack_vector(isa.gmx_v(PLUS4, PLUS4), 4) == [-1, 0, 0, -1]
+        assert unpack_vector(isa.gmx_h(PLUS4, PLUS4), 4) == [-1, -1, -1, 1]
+
+    def test_zero_top_boundary_infix_semantics(self):
+        """ΔH_in = 0 (free text prefix): an embedded match zeroes the
+        bottom row wherever the pattern ends."""
+        isa = fresh_isa("A", "TAAT")
+        zero4 = pack_vector([0, 0, 0, 0])
+        dh_out = unpack_vector(isa.gmx_h(pack_vector([1]), zero4), 4)
+        # D[1][j] over j=0..4 with free top: 1,1,0,0,1 → Δh = [0,−1,0,+1]
+        assert dh_out == [0, -1, 0, 1]
+
+    def test_vh_equals_v_plus_h(self):
+        isa = fresh_isa("GCAT", "GATT")
+        dv, dh = isa.gmx_vh(PLUS4, PLUS4)
+        assert dv == isa.gmx_v(PLUS4, PLUS4)
+        assert dh == isa.gmx_h(PLUS4, PLUS4)
+
+
+class TestGmxTb:
+    def test_pure_match_traceback(self):
+        isa = fresh_isa("ACGT", "ACGT")
+        isa.csrw("gmx_pos", encode_pos(3, 3, T))
+        result = isa.gmx_tb(PLUS4, PLUS4)
+        assert result.ops == ("M", "M", "M", "M")
+        assert result.next_tile is NextTile.DIAGONAL
+        # gmx_lo holds antidiagonals 0..3; M encodes as 00, so with the
+        # next-tile code 00 the registers are all-zero.
+        assert isa.gmx_lo == 0
+        assert (isa.gmx_hi >> (2 * (T - 1))) & 0b11 == NextTile.DIAGONAL.code
+
+    def test_pure_mismatch_traceback(self):
+        isa = fresh_isa("AAAA", "TTTT")
+        isa.csrw("gmx_pos", encode_pos(3, 3, T))
+        result = isa.gmx_tb(PLUS4, PLUS4)
+        assert result.ops == ("X", "X", "X", "X")
+        assert result.next_tile is NextTile.DIAGONAL
+        # X encodes as 01; the walk hits antidiagonals 6, 4, 2, 0.
+        # lo holds diags 0..3 (fields at bits 0,2,4,6): diag 0 and 2 → 0b010001.
+        # hi holds diags 4..6 (fields at bits 0,2,4): diag 4 and 6 → 0b010001,
+        # with the DIAGONAL next-tile code (00) in bits 7:6.
+        assert isa.gmx_lo == 0b01_00_01
+        assert isa.gmx_hi == 0b01_00_01
+
+    def test_right_edge_start_updates_pos(self):
+        """Entering on the right column mid-height."""
+        isa = fresh_isa("ACGT", "ACGT")
+        isa.csrw("gmx_pos", encode_pos(1, 3, T))  # right column, row 1
+        result = isa.gmx_tb(PLUS4, PLUS4)
+        # From (1,3): A≠T... pattern[1]=C vs text[3]=T mismatch; the walk
+        # still exits through the top (row −1) after two diagonal steps.
+        assert result.next_tile in (NextTile.UP, NextTile.DIAGONAL)
+        # gmx_pos now encodes the next tile's entry cell.
+        row, col = result.next_pos
+        assert isa.gmx_pos == encode_pos(row, col, T)
+
+    def test_deletion_column(self):
+        """Pattern vs a single mismatching char: D ops up column 0."""
+        isa = fresh_isa("AAAA", "C")
+        isa.csrw("gmx_pos", encode_pos(3, 3, T))  # clamped to (3, 0)
+        result = isa.gmx_tb(PLUS4, pack_vector([1]))
+        assert result.ops.count("D") == 3
+        assert result.ops[-1] == "X"  # cell (0,0) substitutes
+
+    def test_tb_retires_one_instruction(self):
+        isa = fresh_isa("ACGT", "ACGT")
+        isa.csrw("gmx_pos", encode_pos(3, 3, T))
+        isa.gmx_tb(PLUS4, PLUS4)
+        assert isa.retired["gmx.tb"] == 1
+
+
+class TestRegisterWidths:
+    def test_vector_outputs_fit_2t_bits(self):
+        isa = fresh_isa("GCAT", "GATT")
+        assert isa.gmx_v(PLUS4, PLUS4) < (1 << (2 * T))
+        assert isa.gmx_h(PLUS4, PLUS4) < (1 << (2 * T))
+
+    def test_lo_hi_fit_2t_bits(self):
+        isa = fresh_isa("AAAA", "TTTT")
+        isa.csrw("gmx_pos", encode_pos(3, 3, T))
+        isa.gmx_tb(PLUS4, PLUS4)
+        assert isa.gmx_lo < (1 << (2 * T))
+        assert isa.gmx_hi < (1 << (2 * T))
+
+    def test_pos_is_one_hot_2t(self):
+        for row in range(T):
+            image = encode_pos(row, T - 1, T)
+            assert image < (1 << (2 * T))
+            assert bin(image).count("1") == 1

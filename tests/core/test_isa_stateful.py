@@ -1,0 +1,99 @@
+"""Stateful fuzzing of the GMX ISA model.
+
+A Hypothesis rule-based state machine drives :class:`GmxIsa` with random
+instruction sequences (CSR writes, tile computations, tracebacks) while
+maintaining an independent mirror of the architectural state, checking
+after every step that:
+
+* CSR reads return the mirrored values;
+* ``gmx.v``/``gmx.h`` outputs equal the reference cell-by-cell kernel for
+  whatever chunks happen to be loaded;
+* the retired-instruction counter advances by exactly one per instruction;
+* ``gmx.tb`` leaves gmx_pos one-hot and gmx_lo/gmx_hi within 2T bits.
+
+This catches ordering/state bugs that directed tests (which always set up
+a fresh ISA) cannot — e.g. stale Peq caches after a pattern rewrite.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.bitvec import pack_deltas, unpack_deltas
+from repro.core.isa import GmxIsa, encode_pos
+from repro.core.tile import compute_tile_reference
+
+TILE = 6
+
+chunk_strategy = st.text(alphabet="ACGT", min_size=1, max_size=TILE)
+delta_strategy = st.lists(
+    st.sampled_from([-1, 0, 1]), min_size=TILE, max_size=TILE
+)
+
+
+class IsaMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.isa = GmxIsa(tile_size=TILE)
+        self.mirror_pattern = ""
+        self.mirror_text = ""
+        self.retired = 0
+
+    # -- rules -------------------------------------------------------------
+
+    @rule(chunk=chunk_strategy)
+    def write_pattern(self, chunk):
+        self.isa.csrw("gmx_pattern", chunk)
+        self.mirror_pattern = chunk
+        self.retired += 1
+
+    @rule(chunk=chunk_strategy)
+    def write_text(self, chunk):
+        self.isa.csrw("gmx_text", chunk)
+        self.mirror_text = chunk
+        self.retired += 1
+
+    @precondition(lambda self: self.mirror_pattern and self.mirror_text)
+    @rule(dv=delta_strategy, dh=delta_strategy)
+    def compute_tile(self, dv, dh):
+        dv_in = dv[: len(self.mirror_pattern)]
+        dh_in = dh[: len(self.mirror_text)]
+        got_v = self.isa.gmx_v(pack_deltas(dv_in), pack_deltas(dh_in))
+        got_h = self.isa.gmx_h(pack_deltas(dv_in), pack_deltas(dh_in))
+        self.retired += 2
+        expected = compute_tile_reference(
+            self.mirror_pattern, self.mirror_text, dv_in, dh_in,
+            tile_size=TILE,
+        )
+        assert unpack_deltas(got_v, len(dv_in)) == list(expected.dv_out)
+        assert unpack_deltas(got_h, len(dh_in)) == list(expected.dh_out)
+
+    @precondition(lambda self: self.mirror_pattern and self.mirror_text)
+    @rule(dv=delta_strategy, dh=delta_strategy)
+    def traceback_tile(self, dv, dh):
+        dv_in = dv[: len(self.mirror_pattern)]
+        dh_in = dh[: len(self.mirror_text)]
+        self.isa.csrw("gmx_pos", encode_pos(TILE - 1, TILE - 1, TILE))
+        result = self.isa.gmx_tb(pack_deltas(dv_in), pack_deltas(dh_in))
+        self.retired += 2  # csrw + gmx.tb
+        assert 1 <= len(result.ops) <= 2 * TILE - 1
+        # gmx_pos must be one-hot within 2T slots.
+        pos = self.isa.gmx_pos
+        assert pos > 0 and pos & (pos - 1) == 0
+        assert pos < (1 << (2 * TILE))
+        assert self.isa.gmx_lo < (1 << (2 * TILE))
+        assert self.isa.gmx_hi < (1 << (2 * TILE))
+
+    @rule()
+    def read_back_chunks(self):
+        assert self.isa.csrr("gmx_pattern") == self.mirror_pattern
+        assert self.isa.csrr("gmx_text") == self.mirror_text
+        self.retired += 2
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def retired_counter_tracks_instructions(self):
+        assert self.isa.retired_total == self.retired
+
+
+TestIsaStateMachine = IsaMachine.TestCase

@@ -1,0 +1,154 @@
+"""Tests for GMX-Tile computation (repro.core.tile)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scalar_edit_matrix
+from repro.core.tile import (
+    TileOpCounter,
+    TileShapeError,
+    boundary_deltas,
+    build_peq,
+    compute_tile,
+    compute_tile_interior,
+    compute_tile_reference,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=16)
+
+
+def full_matrix_tile(pattern, text, tile_size=16, kernel=compute_tile):
+    """Compute the whole DP matrix as a single tile."""
+    return kernel(
+        pattern,
+        text,
+        boundary_deltas(len(pattern)),
+        boundary_deltas(len(text)),
+        tile_size=tile_size,
+    )
+
+
+class TestReferenceKernel:
+    @given(dna, dna)
+    @settings(max_examples=150)
+    def test_edges_match_scalar_dp(self, pattern, text):
+        matrix = scalar_edit_matrix(pattern, text)
+        n, m = len(pattern), len(text)
+        result = full_matrix_tile(pattern, text, kernel=compute_tile_reference)
+        assert result.dv_out == tuple(
+            matrix[i][m] - matrix[i - 1][m] for i in range(1, n + 1)
+        )
+        assert result.dh_out == tuple(
+            matrix[n][j] - matrix[n][j - 1] for j in range(1, m + 1)
+        )
+
+    def test_paper_example(self):
+        """Figure 6: GCAT vs GATT, ΔH bottom row = [-1, 0, 0, -1]... checked
+        via the distance instead (deltas sum to D[n][m] − n)."""
+        result = full_matrix_tile("GATT", "GCAT", tile_size=4)
+        distance = 4 + sum(result.dh_out)
+        assert distance == 2
+
+
+class TestBitParallelKernel:
+    @given(dna, dna)
+    @settings(max_examples=200)
+    def test_matches_reference(self, pattern, text):
+        reference = full_matrix_tile(pattern, text, kernel=compute_tile_reference)
+        fast = full_matrix_tile(pattern, text, kernel=compute_tile)
+        assert fast == reference
+
+    @given(
+        dna,
+        dna,
+        st.lists(st.sampled_from([-1, 0, 1]), min_size=16, max_size=16),
+        st.lists(st.sampled_from([-1, 0, 1]), min_size=16, max_size=16),
+    )
+    @settings(max_examples=150)
+    def test_matches_reference_on_arbitrary_edges(self, pattern, text, dv, dh):
+        """Interior tiles see arbitrary edge vectors, not just boundaries."""
+        dv_in = dv[: len(pattern)]
+        dh_in = dh[: len(text)]
+        reference = compute_tile_reference(pattern, text, dv_in, dh_in, tile_size=16)
+        fast = compute_tile(pattern, text, dv_in, dh_in, tile_size=16)
+        assert fast == reference
+
+    def test_peq_reuse_gives_same_result(self):
+        pattern, text = "ACGTACGT", "ACGGACGA"
+        peq = build_peq(pattern)
+        with_peq = compute_tile(
+            pattern, text, boundary_deltas(8), boundary_deltas(8), peq=peq
+        )
+        without = compute_tile(
+            pattern, text, boundary_deltas(8), boundary_deltas(8)
+        )
+        assert with_peq == without
+
+
+class TestInterior:
+    @given(dna, dna)
+    @settings(max_examples=80)
+    def test_interior_matches_scalar_dp(self, pattern, text):
+        matrix = scalar_edit_matrix(pattern, text)
+        interior = compute_tile_interior(
+            pattern,
+            text,
+            boundary_deltas(len(pattern)),
+            boundary_deltas(len(text)),
+            tile_size=16,
+        )
+        for i in range(len(pattern)):
+            for j in range(len(text)):
+                assert interior.dv[i][j] == matrix[i + 1][j + 1] - matrix[i][j + 1]
+                assert interior.dh[i][j] == matrix[i + 1][j + 1] - matrix[i + 1][j]
+
+
+class TestShapeChecking:
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(TileShapeError):
+            compute_tile("", "A", [], [1])
+
+    def test_oversized_chunk_rejected(self):
+        with pytest.raises(TileShapeError):
+            compute_tile("A" * 33, "A", boundary_deltas(33), [1], tile_size=32)
+
+    def test_mismatched_dv_length_rejected(self):
+        with pytest.raises(TileShapeError):
+            compute_tile("AC", "A", [1], [1])
+
+    def test_mismatched_dh_length_rejected(self):
+        with pytest.raises(TileShapeError):
+            compute_tile("AC", "A", [1, 1], [1, 1])
+
+
+class TestBoundary:
+    def test_boundary_is_all_plus_one(self):
+        assert boundary_deltas(4) == (1, 1, 1, 1)
+
+
+class TestPeq:
+    def test_bits_match_characters(self):
+        peq = build_peq("ACGA")
+        assert peq["A"] == 0b1001
+        assert peq["C"] == 0b0010
+        assert peq["G"] == 0b0100
+        assert "T" not in peq
+
+
+class TestOpCounter:
+    def test_paper_cost_accounting(self):
+        """§4.2: 12 bit-ops per element, 4T bits stored per tile edge pair."""
+        counter = TileOpCounter()
+        counter.record(32, 32)
+        assert counter.tiles == 1
+        assert counter.dp_elements == 1024
+        assert counter.bitops == 12 * 1024
+        assert counter.edge_bits_stored == 2 * 64
+
+    def test_shape_histogram(self):
+        counter = TileOpCounter()
+        counter.record(32, 32)
+        counter.record(32, 32)
+        counter.record(8, 32)
+        assert counter.per_shape == {(32, 32): 2, (8, 32): 1}

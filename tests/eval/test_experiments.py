@@ -1,0 +1,245 @@
+"""Tests for the per-figure evaluation harness (repro.eval.experiments).
+
+Each test asserts the *qualitative claim* the corresponding figure makes in
+the paper — who wins, with sane magnitudes — rather than exact numbers.
+"""
+
+import pytest
+
+from repro.eval import (
+    FIGURE10_ALIGNERS,
+    figure3,
+    figure11,
+    figure12,
+    figure13,
+    figure15,
+    memory_footprint_rows,
+    scalability_1mbp,
+    speedup_summary,
+    table1,
+    table2,
+    throughput_rows,
+    tile_cost_table,
+)
+from repro.eval.reporting import render_table
+from repro.sim.soc import GEM5_INORDER, RTL_INORDER
+
+
+@pytest.fixture(scope="module")
+def fig10_rows():
+    return throughput_rows(GEM5_INORDER)
+
+
+class TestFigure10:
+    def test_full_coverage(self, fig10_rows):
+        datasets = {row["dataset"] for row in fig10_rows}
+        assert len(datasets) == 15  # 5 short + 10 long
+        aligners = {row["aligner"] for row in fig10_rows}
+        assert aligners == set(FIGURE10_ALIGNERS)
+
+    def test_gmx_wins_every_family_on_every_dataset(self, fig10_rows):
+        table = {}
+        for row in fig10_rows:
+            table.setdefault(row["dataset"], {})[row["aligner"]] = row[
+                "alignments_per_second"
+            ]
+        for dataset, values in table.items():
+            assert values["Full(GMX)"] > values["Full(BPM)"] > values["Full(DP)"]
+            assert values["Banded(GMX)"] > values["Banded(Edlib)"]
+            assert values["Windowed(GMX)"] > values["Windowed(GenASM-CPU)"]
+
+    def test_speedup_magnitudes(self, fig10_rows):
+        """Order of magnitude of the §7.2 headline ratios."""
+        summary = {
+            (row["family"], row["kind"]): row["geomean_speedup"]
+            for row in speedup_summary(fig10_rows)
+        }
+        assert 10 < summary[("Full(GMX) vs Full(BPM)", "short")] < 60
+        assert 15 < summary[("Full(GMX) vs Full(BPM)", "long")] < 90
+        assert summary[("Full(GMX) vs Full(DP)", "short")] > 100
+        assert summary[("Full(GMX) vs Full(DP)", "long")] > 300
+        assert summary[("Windowed(GMX) vs Windowed(GenASM-CPU)", "long")] > 50
+
+    def test_gmx_gains_grow_with_length(self, fig10_rows):
+        """§7.2: GMX improves more on longer sequences."""
+        summary = {
+            (row["family"], row["kind"]): row["geomean_speedup"]
+            for row in speedup_summary(fig10_rows)
+        }
+        for family in (
+            "Full(GMX) vs Full(DP)",
+            "Full(GMX) vs Full(BPM)",
+            "Banded(GMX) vs Banded(Edlib)",
+            "Windowed(GMX) vs Windowed(GenASM-CPU)",
+        ):
+            assert summary[(family, "long")] > summary[(family, "short")]
+
+
+class TestFigure11:
+    def test_ooo_always_faster(self):
+        for row in figure11():
+            assert row["ooo_speedup"] > 1.5
+
+    def test_speedup_band(self):
+        """Paper reports 2.4–6.4×; our model lands in a comparable band."""
+        speedups = [row["ooo_speedup"] for row in figure11()]
+        assert min(speedups) > 2.0
+        assert max(speedups) < 10.0
+
+
+class TestFigure12:
+    def test_shapes(self):
+        results = figure12()
+        scaling = results["scaling"]
+        at16 = {
+            (row["aligner"], row["length"]): row["speedup"]
+            for row in scaling
+            if row["threads"] == 16
+        }
+        # Full(BPM) collapses at 10 kbp; GMX full/banded stay near-linear.
+        assert at16[("Full(BPM)", 10_000)] < 9
+        assert at16[("Full(GMX)", 10_000)] > 12
+        assert at16[("Banded(GMX)", 10_000)] > 12
+        # Windowed(GMX) is the other sub-linear one (contention).
+        assert at16[("Windowed(GMX)", 10_000)] < 12
+
+    def test_bpm_bandwidth_demand(self):
+        """Paper: BPM demands >65 % of the DDR4 peak at long lengths."""
+        bandwidth = figure12()["bandwidth"]
+        bpm_10k = next(
+            row
+            for row in bandwidth
+            if row["aligner"] == "Full(BPM)" and row["length"] == 10_000
+        )
+        assert bpm_10k["utilization"] > 0.65
+
+
+class TestFigure13:
+    def test_anchors(self):
+        rows = figure13()
+        gmx = next(row for row in rows if row["component"] == "GMX total")
+        assert gmx["area_mm2"] == pytest.approx(0.0216)
+        assert gmx["area_fraction"] == pytest.approx(0.017, rel=0.02)
+        assert gmx["power_mw"] == pytest.approx(8.47, rel=0.01)
+
+
+class TestFigure14:
+    def test_rtl_ranking_consistent_with_gem5(self):
+        """Fig. 14: same ordering as Fig. 10 on the edge SoC."""
+        rows = throughput_rows(RTL_INORDER)
+        table = {}
+        for row in rows:
+            table.setdefault(row["dataset"], {})[row["aligner"]] = row[
+                "alignments_per_second"
+            ]
+        for values in table.values():
+            assert values["Full(GMX)"] > values["Full(BPM)"]
+            assert values["Banded(GMX)"] > values["Banded(Edlib)"]
+
+    def test_bpm_suffers_more_on_the_edge_soc(self, fig10_rows):
+        """§7.3: the small hierarchy hurts Full(BPM) more than Full(GMX)."""
+        gem5 = {
+            (r["dataset"], r["aligner"]): r["alignments_per_second"]
+            for r in fig10_rows
+        }
+        rtl = {
+            (r["dataset"], r["aligner"]): r["alignments_per_second"]
+            for r in throughput_rows(RTL_INORDER)
+        }
+        dataset = "10000bp-15%"
+        bpm_drop = gem5[(dataset, "Full(BPM)")] / rtl[(dataset, "Full(BPM)")]
+        gmx_drop = gem5[(dataset, "Full(GMX)")] / rtl[(dataset, "Full(GMX)")]
+        assert bpm_drop > gmx_drop
+
+
+class TestFigure15:
+    def test_paper_ranges(self):
+        rows = figure15()
+        for row in rows:
+            assert 1.0 < row["gmx_vs_genasm"] < 3.0  # paper: 1.3–1.9×
+            assert 5.0 < row["gmx_vs_darwin"] < 25.0  # paper: 7.2–16.2×
+            assert 0.25 < row["gmx_tpa_vs_genasm"] < 0.7  # paper: 0.35–0.52×
+
+
+class TestTables:
+    def test_table1_covers_table(self):
+        rows = table1()
+        parameters = {row["parameter"] for row in rows}
+        assert "Pipeline" in parameters
+        assert "LLC" in parameters
+
+    def test_table2_model_regenerates_gmx_row(self):
+        rows = table2()
+        modelled = next(r for r in rows if r["study"] == "GMX Unit (this model)")
+        published = next(r for r in rows if r["study"] == "GMX Unit")
+        assert modelled["pgcups_per_pe"] == published["pgcups_per_pe"]
+        assert modelled["area_per_pe"] == pytest.approx(
+            published["area_per_pe"], rel=0.1
+        )
+
+
+class TestTextExperiments:
+    def test_scalability_1mbp(self):
+        rows = {row["aligner"]: row for row in scalability_1mbp()}
+        banded = rows["Banded(GMX)"]["alignments_per_second"]
+        windowed = rows["Windowed(GMX)"]["alignments_per_second"]
+        genasm = rows["GenASM accelerator"]["alignments_per_second"]
+        # Paper: 20 al/s banded, 374 al/s windowed, windowed 1.58× GenASM.
+        assert 4 < banded < 100
+        assert 80 < windowed < 1500
+        assert windowed > banded
+        assert 0.8 < windowed / genasm < 3.0
+        assert rows["Full(GMX) (excluded)"]["dp_footprint_mb"] > 10_000
+
+    def test_memory_footprint_example(self):
+        """§3.1: 381.4 / 119.2 / 47.6 MB and the 16× GMX reduction."""
+        rows = {row["algorithm"]: row for row in memory_footprint_rows()}
+        assert rows["Classical DP"]["footprint_mib"] == pytest.approx(381.5, abs=0.5)
+        assert rows["Bitap"]["footprint_mib"] == pytest.approx(119.2, abs=0.5)
+        assert rows["BPM"]["footprint_mib"] == pytest.approx(47.7, abs=0.5)
+        assert rows["GMX (T=32)"]["reduction_vs_bpm"] == pytest.approx(16.0)
+
+    def test_tile_cost_table(self):
+        """§4.2: 12T² GMX vs 17T² BPM vs 7T³ Bitap vs 5T² DP ops."""
+        rows = {row["algorithm"]: row for row in tile_cost_table(32)}
+        assert rows["GMX-Tile"]["ops_per_tile"] == 12 * 1024
+        assert rows["BPM"]["ops_per_tile"] == 17 * 1024
+        assert rows["Bitap"]["ops_per_tile"] == 7 * 32**3
+        assert rows["GMX-Tile"]["bits_per_tile"] == 4 * 32
+
+
+class TestEnergyExtension:
+    def test_gmx_kernels_most_efficient(self):
+        from repro.eval import energy_table
+
+        rows = {row["aligner"]: row for row in energy_table()}
+        gmx_best = min(
+            rows[label]["pj_per_cell"]
+            for label in ("Full(GMX)", "Banded(GMX)", "Windowed(GMX)")
+        )
+        baseline_best = min(
+            rows[label]["pj_per_cell"]
+            for label in ("Full(DP)", "Full(BPM)", "Banded(Edlib)")
+        )
+        assert gmx_best < baseline_best / 10
+
+
+class TestFigure3:
+    def test_edit_distance_fast_and_accurate_on_clean_data(self):
+        """The Fig. 3 claim: near-zero deviation, much higher throughput."""
+        rows = figure3(hifi_length=600, pairs=4)
+        by_key = {(row["dataset"], row["method"]): row for row in rows}
+        for dataset in {row["dataset"] for row in rows}:
+            edit = by_key[(dataset, "Edlib (edit)")]
+            exact = by_key[(dataset, "KSW2 (gap-affine)")]
+            assert edit["alignments_per_second"] > 3 * exact["alignments_per_second"]
+            assert exact["mean_affine_deviation"] == 0.0
+            # Low-divergence data: edit alignments are near-affine-optimal.
+            assert edit["mean_affine_deviation"] < 10.0
+
+
+class TestRendering:
+    def test_tables_render(self):
+        text = render_table(tile_cost_table(), title="tile costs")
+        assert "GMX-Tile" in text
+        assert text.count("\n") >= 5

@@ -1,0 +1,44 @@
+"""Tests for the JSON experiment export (repro.eval.export)."""
+
+import json
+
+import pytest
+
+from repro.eval.export import export_json, run_all
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return run_all(quick=True)
+
+
+class TestRunAll:
+    def test_covers_every_experiment(self, all_results):
+        expected = {
+            "figure3", "figure10", "figure11", "figure12", "figure13",
+            "figure14", "figure15", "table1", "table2", "scalability_1mbp",
+            "memory_footprint", "tile_costs", "energy", "speedup_summary",
+        }
+        assert set(all_results) == expected
+
+    def test_rows_are_non_empty(self, all_results):
+        for name, rows in all_results.items():
+            if isinstance(rows, dict):
+                assert all(rows.values()), name
+            else:
+                assert rows, name
+
+    def test_headline_summary_present(self, all_results):
+        families = {row["family"] for row in all_results["speedup_summary"]}
+        assert "Full(GMX) vs Full(BPM)" in families
+
+
+class TestExportJson:
+    def test_roundtrip(self, tmp_path):
+        path = export_json(tmp_path / "results.json")
+        loaded = json.loads(path.read_text())
+        assert "figure10" in loaded
+        assert loaded["memory_footprint"][0]["algorithm"] == "Classical DP"
+        # The JSON is self-contained: figures carry numbers, not objects.
+        row = loaded["figure10"][0]
+        assert isinstance(row["alignments_per_second"], (int, float))

@@ -1,0 +1,72 @@
+"""Tests for text rendering helpers (repro.eval.reporting)."""
+
+import pytest
+
+from repro.eval.reporting import (
+    format_value,
+    geometric_mean,
+    ratio,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_value(1.5e7)
+        assert "e" in format_value(1.5e-5)
+
+    def test_thousands_separator(self):
+        assert format_value(12345.6) == "12,345.6"
+
+    def test_small_floats_three_sig_figs(self):
+        assert format_value(0.12345) == "0.123"
+
+    def test_integers_verbatim(self):
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            [{"a": 1, "b": "xy"}, {"a": 100, "b": "z"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_explicit_column_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_missing_cells_render_dash(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in text.splitlines()[2]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+
+class TestMath:
+    def test_ratio(self):
+        assert ratio(6, 3) == 2.0
+        assert ratio(1, 0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, -3]) == 0.0  # non-positive filtered
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)

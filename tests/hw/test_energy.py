@@ -1,0 +1,77 @@
+"""Tests for the energy model (repro.hw.energy)."""
+
+import pytest
+
+from repro.align.base import KernelStats
+from repro.hw.energy import EnergyProfile, estimate_energy
+from repro.sim.core_model import estimate_kernel
+from repro.sim.cost_model import expected_distance, predict_bpm, predict_full_gmx
+from repro.sim.soc import RTL_INORDER
+
+
+def stats_with(**counts) -> KernelStats:
+    stats = KernelStats()
+    for kind, count in counts.items():
+        stats.add_instr(kind, count)
+    return stats
+
+
+class TestProfile:
+    def test_dynamic_energy_sums_classes(self):
+        profile = EnergyProfile()
+        stats = stats_with(int_alu=100, load=10)
+        expected = 100 * 8.0 + 10 * 25.0
+        assert profile.dynamic_energy_pj(stats) == pytest.approx(expected)
+
+    def test_unknown_class_rejected(self):
+        profile = EnergyProfile(instruction_energy_pj={"int_alu": 8.0})
+        stats = stats_with(load=1)
+        with pytest.raises(ValueError):
+            profile.dynamic_energy_pj(stats)
+
+    def test_gmx_instruction_energy_anchored_on_module_power(self):
+        """gmx.v/gmx.h energy = GMX-AC power share × its 2-cycle occupancy."""
+        profile = EnergyProfile()
+        ac_power = 8.47 * 0.008 / 0.0216
+        assert profile.instruction_energy_pj["gmx"] == pytest.approx(
+            ac_power * 2
+        )
+
+
+class TestEstimate:
+    def test_static_energy_scales_with_cycles(self):
+        stats = stats_with(int_alu=10)
+        short = estimate_energy(stats, cycles=1_000)
+        long = estimate_energy(stats, cycles=10_000)
+        assert long.static_pj == pytest.approx(10 * short.static_pj)
+        assert long.dynamic_pj == short.dynamic_pj
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_energy(stats_with(int_alu=1), cycles=-1)
+
+    def test_units(self):
+        stats = stats_with(int_alu=1000)  # 8000 pJ dynamic
+        estimate = estimate_energy(stats, cycles=0)
+        assert estimate.total_pj == pytest.approx(8000)
+        assert estimate.nj_per_alignment == pytest.approx(8.0)
+
+
+class TestEfficiencyClaim:
+    def test_gmx_far_more_energy_efficient_than_bpm(self):
+        """The §7.3 efficiency argument, quantified: per DP cell, the GMX
+        kernel spends at least an order of magnitude less energy."""
+        length = 2_000
+        distance = expected_distance(length, 0.15)
+        results = {}
+        for label, predictor in (
+            ("gmx", predict_full_gmx),
+            ("bpm", predict_bpm),
+        ):
+            stats = predictor(
+                length, length, traceback=True, distance=distance
+            )
+            timing = estimate_kernel(stats, RTL_INORDER.core, RTL_INORDER.memory)
+            results[label] = estimate_energy(stats, timing.cycles)
+        assert results["gmx"].pj_per_cell < results["bpm"].pj_per_cell / 10
+        assert results["gmx"].gcups_per_watt > results["bpm"].gcups_per_watt * 10

@@ -1,0 +1,64 @@
+"""Tests for the area/power model (repro.hw.floorplan)."""
+
+import pytest
+
+from repro.hw.floorplan import (
+    GMX_AC_AREA_MM2,
+    GMX_TB_AREA_MM2,
+    GMX_TOTAL_AREA_MM2,
+    gmx_area_mm2,
+    gmx_power_mw,
+    soc_report,
+)
+
+
+class TestPaperAnchors:
+    def test_total_gmx_area(self):
+        """§7.3: GMX adds 0.0216 mm² to the SoC."""
+        assert gmx_area_mm2(32) == pytest.approx(0.0216)
+
+    def test_module_split(self):
+        """§7.3: 0.008 mm² GMX-AC and 0.0108 mm² GMX-TB."""
+        assert GMX_AC_AREA_MM2 == pytest.approx(0.008)
+        assert GMX_TB_AREA_MM2 == pytest.approx(0.0108)
+        assert GMX_AC_AREA_MM2 + GMX_TB_AREA_MM2 < GMX_TOTAL_AREA_MM2
+
+    def test_area_fraction_1_7_percent(self):
+        report = soc_report(32)
+        assert report.gmx_area_fraction == pytest.approx(0.017, rel=0.01)
+
+    def test_power_8_47_mw_and_2_1_percent(self):
+        report = soc_report(32)
+        assert report.gmx_power == pytest.approx(8.47, rel=0.01)
+        assert report.gmx_power_fraction == pytest.approx(0.021, rel=0.01)
+
+
+class TestScaling:
+    def test_area_scales_roughly_quadratically(self):
+        """§6.3: cell arrays dominate, so area ≈ quadratic in T."""
+        ratio = gmx_area_mm2(64) / gmx_area_mm2(32)
+        assert 3.5 < ratio < 4.1
+
+    def test_small_tiles_cheaper(self):
+        assert gmx_area_mm2(8) < gmx_area_mm2(32) / 8
+
+    def test_power_tracks_area(self):
+        assert gmx_power_mw(64) / gmx_power_mw(32) == pytest.approx(
+            gmx_area_mm2(64) / gmx_area_mm2(32)
+        )
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(ValueError):
+            gmx_area_mm2(1)
+
+
+class TestBreakdown:
+    def test_component_areas_sum_to_soc(self):
+        report = soc_report(32)
+        total = sum(report.component_areas().values())
+        assert total == pytest.approx(report.soc_area, rel=0.01)
+
+    def test_gmx_modules_reported_individually(self):
+        areas = soc_report(32).component_areas()
+        assert {"gmx_ac", "gmx_tb", "gmx_csr"} <= set(areas)
+        assert {"l2_cache", "core", "l1_dcache", "l1_icache"} <= set(areas)

@@ -1,0 +1,40 @@
+"""Tests for the design-space sweep (repro.hw.frequency)."""
+
+import pytest
+
+from repro.hw.frequency import design_point, sweep_tile_sizes
+
+
+class TestDesignPoint:
+    def test_paper_design_point(self):
+        """T = 32 @ 1 GHz: 2-cycle AC, 6-cycle TB, 1024 peak GCUPS."""
+        point = design_point(32, 1.0)
+        assert point.ac_stages == 2
+        assert point.tb_stages == 6
+        assert point.peak_gcups == pytest.approx(1024.0)
+        assert point.area_mm2 == pytest.approx(0.0216)
+
+    def test_gcups_per_area(self):
+        point = design_point(32)
+        assert point.gcups_per_mm2 == pytest.approx(1024.0 / 0.0216, rel=1e-6)
+
+
+class TestSweep:
+    def test_throughput_quadratic_latency_linear(self):
+        """The §6.3 scaling argument across the sweep."""
+        points = {p.tile_size: p for p in sweep_tile_sizes((8, 16, 32, 64))}
+        assert (
+            points[64].elements_per_instruction
+            == 4 * points[32].elements_per_instruction
+        )
+        assert points[64].ac_stages <= 2.5 * points[32].ac_stages
+
+    def test_monotone_area(self):
+        points = sweep_tile_sizes((4, 8, 16, 32, 64))
+        areas = [p.area_mm2 for p in points]
+        assert areas == sorted(areas)
+
+    def test_efficiency_improves_with_t(self):
+        """Bigger tiles amortise the fixed register cost: GCUPS/mm² rises."""
+        points = sweep_tile_sizes((8, 32))
+        assert points[1].gcups_per_mm2 > points[0].gcups_per_mm2

@@ -1,0 +1,60 @@
+"""Tests for gate-level primitives (repro.hw.gates)."""
+
+import pytest
+
+from repro.hw.gates import (
+    GateBudget,
+    GateError,
+    comparator_budget,
+    gmx_delta_budget,
+    gmx_delta_delay_levels,
+)
+
+
+class TestGateBudget:
+    def test_add_and_totals(self):
+        budget = GateBudget().add("and2", 3).add("not", 2)
+        assert budget.total_gates == 5
+        assert budget.nand2_equivalents == 3 * 1.5 + 2 * 0.5
+
+    def test_merge_with_copies(self):
+        unit = GateBudget().add("xor2", 1)
+        array = GateBudget().merge(unit, copies=10)
+        assert array.gates["xor2"] == 10
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(GateError):
+            GateBudget().add("flux_capacitor")
+
+
+class TestGmxDeltaNetlist:
+    def test_handful_of_gates(self):
+        """§4.2's selling point: GMXΔ is a few gates, no adder, no LUT."""
+        budget = gmx_delta_budget()
+        assert budget.total_gates <= 10
+        assert "dff" not in budget.gates  # purely combinational
+
+    def test_shallow_critical_path(self):
+        assert gmx_delta_delay_levels() <= 4.0
+
+
+class TestComparator:
+    def test_dna_comparator(self):
+        budget = comparator_budget(2)
+        assert budget.gates["xnor2"] == 2
+        assert budget.gates["and2"] == 1
+
+    def test_single_bit_needs_no_reduction(self):
+        budget = comparator_budget(1)
+        assert "and2" not in budget.gates
+
+    def test_ascii_comparator_scales(self):
+        """§5: register width can grow for larger alphabets."""
+        assert (
+            comparator_budget(8).nand2_equivalents
+            > comparator_budget(2).nand2_equivalents
+        )
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(GateError):
+            comparator_budget(0)

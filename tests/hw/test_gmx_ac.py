@@ -1,0 +1,69 @@
+"""Tests for the GMX-AC microarchitecture model (repro.hw.gmx_ac)."""
+
+import pytest
+
+from repro.hw.gmx_ac import GmxAcModel
+
+
+class TestStructure:
+    def test_cell_count_quadratic(self):
+        assert GmxAcModel(tile_size=32).cell_count == 1024
+        assert GmxAcModel(tile_size=16).cell_count == 256
+
+    def test_cell_has_two_delta_modules(self):
+        budget = GmxAcModel(tile_size=8).cell_budget()
+        # Two GMXΔ modules contribute 2 × (2 OR + 3 AND + 3 NOT).
+        assert budget.gates["or2"] >= 4
+        assert budget.gates["and2"] >= 6
+
+    def test_throughput_is_t_squared(self):
+        """GMX computes 1024 DP elements per instruction at T = 32 (§7)."""
+        assert GmxAcModel(tile_size=32).throughput_elements_per_cycle == 1024
+
+    def test_small_tile_rejected(self):
+        with pytest.raises(ValueError):
+            GmxAcModel(tile_size=1)
+
+
+class TestTiming:
+    def test_critical_path_crosses_2t_minus_1_cells(self):
+        """§6.3: the longest path traverses 2T − 1 compute cells."""
+        assert GmxAcModel(tile_size=32).critical_path_cells == 63
+
+    def test_paper_anchor_two_cycles_at_1ghz(self):
+        """The paper's T = 32 design runs GMX-AC in 2 cycles at 1 GHz."""
+        assert GmxAcModel(tile_size=32).latency_cycles(1.0) == 2
+
+    def test_latency_grows_linearly_not_quadratically(self):
+        """§6.3: latency is linear in T while throughput is quadratic."""
+        small = GmxAcModel(tile_size=16).critical_path_ns
+        large = GmxAcModel(tile_size=64).critical_path_ns
+        assert 3.5 < large / small < 4.5
+
+    def test_segmentation_balances_stages(self):
+        plan = GmxAcModel(tile_size=32).segment(2)
+        assert plan.stages == 2
+        assert max(plan.stage_delays_ns) - min(plan.stage_delays_ns) <= 0.032
+
+    def test_segmentation_registers_cost_4t_bits_per_boundary(self):
+        plan = GmxAcModel(tile_size=32).segment(3)
+        assert plan.register_bits == 2 * 4 * 32
+
+    def test_more_stages_higher_frequency(self):
+        model = GmxAcModel(tile_size=32)
+        assert (
+            model.segment(4).max_frequency_ghz
+            > model.segment(1).max_frequency_ghz
+        )
+
+    def test_unreachable_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            GmxAcModel(tile_size=8, cell_delay_ns=10.0).stages_for_frequency(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            GmxAcModel(tile_size=8).segment(0)
+        with pytest.raises(ValueError):
+            GmxAcModel(tile_size=8).stages_for_frequency(0)
+        with pytest.raises(ValueError):
+            GmxAcModel(tile_size=8, cell_delay_ns=0)

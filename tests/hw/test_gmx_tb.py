@@ -1,0 +1,45 @@
+"""Tests for the GMX-TB microarchitecture model (repro.hw.gmx_tb)."""
+
+import pytest
+
+from repro.hw.gmx_ac import GmxAcModel
+from repro.hw.gmx_tb import GmxTbModel
+
+
+class TestStructure:
+    def test_traceback_cell_is_bigger_than_compute_cell(self):
+        """CC_TB embeds the recomputation logic plus the priority selector."""
+        tb = GmxTbModel(tile_size=8).cell_budget()
+        ac = GmxAcModel(tile_size=8).cell_budget()
+        assert tb.nand2_equivalents > ac.nand2_equivalents
+
+    def test_one_op_per_antidiagonal(self):
+        """§6.2: the path enables at most one CC_TB per antidiagonal."""
+        assert GmxTbModel(tile_size=32).max_ops_per_traceback == 63
+
+
+class TestTiming:
+    def test_paper_anchor_six_cycles_at_1ghz(self):
+        """The paper's T = 32 design runs gmx.tb in 6 cycles at 1 GHz."""
+        assert GmxTbModel(tile_size=32).latency_cycles(1.0) == 6
+
+    def test_tb_needs_more_stages_than_ac(self):
+        """§6.3: C_d + P_d per cell means deeper segmentation than GMX-AC."""
+        ac = GmxAcModel(tile_size=32)
+        tb = GmxTbModel(tile_size=32)
+        assert tb.stages_for_frequency(1.0) > ac.stages_for_frequency(1.0)
+
+    def test_critical_path_includes_recompute_and_select(self):
+        model = GmxTbModel(tile_size=16)
+        expected = 31 * (model.compute_delay_ns + model.select_delay_ns)
+        assert model.critical_path_ns == pytest.approx(expected)
+
+    def test_segmentation_validation(self):
+        with pytest.raises(ValueError):
+            GmxTbModel(tile_size=8).segment(0)
+        with pytest.raises(ValueError):
+            GmxTbModel(tile_size=8).stages_for_frequency(-1)
+
+    def test_small_tile_rejected(self):
+        with pytest.raises(ValueError):
+            GmxTbModel(tile_size=0)

@@ -1,0 +1,110 @@
+"""Tests for the gate-level GMX-AC array simulation (repro.hw.rtl_sim)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tile import boundary_deltas, compute_tile_reference
+from repro.hw.gmx_ac import GmxAcModel
+from repro.hw.rtl_sim import GmxAcArraySim
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=12)
+deltas = st.lists(st.sampled_from([-1, 0, 1]), min_size=12, max_size=12)
+
+
+class TestFunctionalEquivalence:
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_combinational_array_matches_reference(self, pattern, text):
+        sim = GmxAcArraySim(tile_size=12, stages=1)
+        simulated = sim.simulate(
+            pattern, text,
+            boundary_deltas(len(pattern)), boundary_deltas(len(text)),
+        )
+        reference = compute_tile_reference(
+            pattern, text,
+            boundary_deltas(len(pattern)), boundary_deltas(len(text)),
+            tile_size=12,
+        )
+        assert simulated.result == reference
+
+    @pytest.mark.parametrize("stages", [1, 2, 3, 5, 23])
+    def test_pipelining_never_changes_values(self, stages):
+        """The RTL invariant: segmentation is purely a timing transform."""
+        pattern, text = "ACGTACGTACGT", "TTGCACGTAAGC"
+        reference = GmxAcArraySim(tile_size=12, stages=1).simulate(
+            pattern, text, boundary_deltas(12), boundary_deltas(12)
+        )
+        pipelined = GmxAcArraySim(tile_size=12, stages=stages).simulate(
+            pattern, text, boundary_deltas(12), boundary_deltas(12)
+        )
+        assert pipelined.result == reference.result
+
+    @given(dna, dna, deltas, deltas)
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_edge_vectors(self, pattern, text, dv, dh):
+        """Interior tiles: the array must be exact for any legal inputs."""
+        dv_in = dv[: len(pattern)]
+        dh_in = dh[: len(text)]
+        sim = GmxAcArraySim(tile_size=12, stages=2)
+        simulated = sim.simulate(pattern, text, dv_in, dh_in)
+        reference = compute_tile_reference(
+            pattern, text, dv_in, dh_in, tile_size=12
+        )
+        assert simulated.result == reference
+
+
+class TestTiming:
+    def test_latency_equals_stage_count(self):
+        sim = GmxAcArraySim(tile_size=8, stages=3)
+        result = sim.simulate(
+            "ACGTACGT", "ACGTACGT", boundary_deltas(8), boundary_deltas(8)
+        )
+        assert result.latency_cycles == 3
+
+    def test_stream_retires_one_tile_per_cycle(self):
+        """Pipelined throughput: S + k − 1 cycles for k tiles (peak GCUPS)."""
+        sim = GmxAcArraySim(tile_size=4, stages=2)
+        tiles = [
+            ("ACGT", "ACGA", boundary_deltas(4), boundary_deltas(4))
+            for _ in range(10)
+        ]
+        results, cycles = sim.simulate_stream(tiles)
+        assert len(results) == 10
+        assert cycles == 2 + 9
+
+    def test_stage_assignment_is_monotone(self):
+        sim = GmxAcArraySim(tile_size=16, stages=4)
+        previous = 0
+        for diagonal in range(31):
+            stage = sim.stage_of(diagonal, 0) if diagonal < 16 else sim.stage_of(
+                15, diagonal - 15
+            )
+            assert stage >= previous
+            previous = stage
+
+    def test_paper_design_point_geometry(self):
+        """The executable array at the paper's 2-stage T=32 configuration
+        agrees with the cost model's plan."""
+        model = GmxAcModel(tile_size=32)
+        sim = GmxAcArraySim(tile_size=32, stages=model.stages_for_frequency(1.0))
+        assert sim.matches_cost_model(model)
+        assert sim.stages == 2
+
+
+class TestValidation:
+    def test_oversized_chunk_rejected(self):
+        sim = GmxAcArraySim(tile_size=4)
+        with pytest.raises(ValueError):
+            sim.simulate("ACGTA", "ACGT", [1] * 5, [1] * 4)
+
+    def test_mismatched_edges_rejected(self):
+        sim = GmxAcArraySim(tile_size=4)
+        with pytest.raises(ValueError):
+            sim.simulate("ACGT", "ACGT", [1] * 3, [1] * 4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GmxAcArraySim(tile_size=1)
+        with pytest.raises(ValueError):
+            GmxAcArraySim(tile_size=8, stages=0)

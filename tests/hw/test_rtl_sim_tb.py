@@ -1,0 +1,93 @@
+"""Tests for the gate-level GMX-TB array simulation (repro.hw.rtl_sim)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tile import boundary_deltas
+from repro.core.traceback import pack_tile_ops, traceback_tile
+from repro.hw.rtl_sim import GmxTbArraySim
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=12)
+
+
+class TestFunctionalEquivalence:
+    @given(dna, dna)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_functional_traceback(self, pattern, text):
+        n, m = len(pattern), len(text)
+        start = (n - 1, m - 1)
+        simulated = GmxTbArraySim(tile_size=12).simulate(
+            pattern, text, boundary_deltas(n), boundary_deltas(m), start
+        )
+        reference = traceback_tile(
+            pattern, text, boundary_deltas(n), boundary_deltas(m), start,
+            tile_size=12,
+        )
+        assert simulated.ops == reference.ops
+        assert simulated.next_tile_code == reference.next_tile.code
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_register_images_match_packer(self, pattern, text):
+        """The hardware's gmx_lo/gmx_hi must equal the ISA-level packing."""
+        n, m = len(pattern), len(text)
+        start = (n - 1, m - 1)
+        simulated = GmxTbArraySim(tile_size=12).simulate(
+            pattern, text, boundary_deltas(n), boundary_deltas(m), start
+        )
+        reference = traceback_tile(
+            pattern, text, boundary_deltas(n), boundary_deltas(m), start,
+            tile_size=12,
+        )
+        lo, hi = pack_tile_ops(
+            reference.ops, start, reference.next_tile, tile_size=12
+        )
+        assert (simulated.gmx_lo, simulated.gmx_hi) == (lo, hi)
+
+    def test_start_on_right_edge(self):
+        """Traceback may start anywhere on the bottom/right edge."""
+        simulated = GmxTbArraySim(tile_size=8).simulate(
+            "ACGTACGT", "ACGT", boundary_deltas(8), boundary_deltas(4), (3, 3)
+        )
+        assert simulated.ops  # a path was produced
+        cost = sum(1 for op in simulated.ops if op != "M")
+        assert cost >= 0
+
+
+class TestTiming:
+    def test_paper_latency(self):
+        """6-stage design at T = 32 (§6.3)."""
+        sim = GmxTbArraySim(tile_size=32, stages=6)
+        result = sim.simulate(
+            "ACGT" * 8, "ACGT" * 8, boundary_deltas(32), boundary_deltas(32),
+            (31, 31),
+        )
+        assert result.latency_cycles == 6
+
+    def test_one_op_per_antidiagonal_enforced(self):
+        """The invariant the register packing depends on (§6.2)."""
+        sim = GmxTbArraySim(tile_size=10)
+        result = sim.simulate(
+            "ACGTACGTAC", "TGCATGCATG",
+            boundary_deltas(10), boundary_deltas(10), (9, 9),
+        )
+        assert len(result.ops) <= 19  # 2T − 1 antidiagonals
+
+
+class TestValidation:
+    def test_bad_start_rejected(self):
+        sim = GmxTbArraySim(tile_size=4)
+        with pytest.raises(ValueError):
+            sim.simulate("AC", "AC", [1, 1], [1, 1], (3, 3))
+
+    def test_oversized_chunk_rejected(self):
+        sim = GmxTbArraySim(tile_size=4)
+        with pytest.raises(ValueError):
+            sim.simulate("ACGTA", "AC", [1] * 5, [1, 1], (4, 1))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GmxTbArraySim(tile_size=1)
+        with pytest.raises(ValueError):
+            GmxTbArraySim(tile_size=8, stages=0)

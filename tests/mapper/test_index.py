@@ -1,0 +1,72 @@
+"""Tests for the k-mer index (repro.mapper.index)."""
+
+import pytest
+
+from conftest import random_dna
+from repro.mapper import KmerIndex, Seed
+
+
+class TestIndexConstruction:
+    def test_indexes_every_position(self, rng):
+        reference = random_dna(200, rng)
+        index = KmerIndex(reference, k=8)
+        for position in range(0, 193, 37):
+            kmer = reference[position : position + 8]
+            assert position in index.lookup(kmer)
+
+    def test_stride_reduces_entries(self, rng):
+        reference = random_dna(500, rng)
+        dense = KmerIndex(reference, k=10, stride=1)
+        sparse = KmerIndex(reference, k=10, stride=4)
+        dense_positions = sum(len(dense.lookup(kmer)) for kmer in
+                              {reference[i:i+10] for i in range(0, 491)})
+        sparse_positions = sum(len(sparse.lookup(kmer)) for kmer in
+                               {reference[i:i+10] for i in range(0, 491)})
+        assert sparse_positions < dense_positions / 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KmerIndex("ACGT", k=0)
+        with pytest.raises(ValueError):
+            KmerIndex("ACGT", k=8)
+        with pytest.raises(ValueError):
+            KmerIndex("ACGTACGTACGT", k=4, stride=0)
+
+    def test_lookup_length_checked(self, rng):
+        index = KmerIndex(random_dna(100, rng), k=8)
+        with pytest.raises(ValueError):
+            index.lookup("ACG")
+
+
+class TestSeeding:
+    def test_embedded_read_seeds_on_its_diagonal(self, rng):
+        reference = random_dna(400, rng)
+        origin = 150
+        read = reference[origin : origin + 60]
+        index = KmerIndex(reference, k=12)
+        diagonals = [seed.diagonal for seed in index.seeds(read)]
+        assert diagonals.count(origin) >= 40  # most k-mers vote correctly
+
+    def test_candidate_ranking_puts_origin_first(self, rng):
+        reference = random_dna(2_000, rng)
+        origin = 700
+        read = reference[origin : origin + 100]
+        index = KmerIndex(reference, k=14)
+        candidates = index.candidate_diagonals(read)
+        top_diagonal, votes = candidates[0]
+        assert abs(top_diagonal - origin) <= 16  # bucket quantisation
+        assert votes >= 50
+
+    def test_seed_dataclass(self):
+        seed = Seed(read_offset=5, reference_position=105)
+        assert seed.diagonal == 100
+
+    def test_step_sampling(self, rng):
+        reference = random_dna(300, rng)
+        read = reference[50:150]
+        index = KmerIndex(reference, k=10)
+        all_seeds = list(index.seeds(read, step=1))
+        sampled = list(index.seeds(read, step=5))
+        assert len(sampled) < len(all_seeds)
+        with pytest.raises(ValueError):
+            list(index.seeds(read, step=0))

@@ -1,0 +1,107 @@
+"""Tests for the end-to-end read mapper (repro.mapper.mapper)."""
+
+import pytest
+
+from conftest import mutate_dna, random_dna
+from repro.core.alphabet import reverse_complement
+from repro.mapper import ReadMapper
+
+
+@pytest.fixture(scope="module")
+def reference():
+    import random
+
+    return random_dna(10_000, random.Random(0xFEED))
+
+
+@pytest.fixture(scope="module")
+def mapper(reference):
+    return ReadMapper(reference, k=14)
+
+
+class TestForwardMapping:
+    def test_perfect_reads_map_to_origin(self, mapper, reference, rng):
+        for _ in range(10):
+            origin = rng.randrange(0, len(reference) - 150)
+            read = reference[origin : origin + 150]
+            mapping = mapper.map_read(read)
+            assert mapping is not None
+            assert mapping.strand == "+"
+            assert mapping.score == 0
+            assert mapping.position == origin
+            mapping.alignment.validate()
+
+    def test_noisy_reads_map_near_origin(self, mapper, reference, rng):
+        hits = 0
+        for _ in range(15):
+            origin = rng.randrange(0, len(reference) - 150)
+            read = mutate_dna(reference[origin : origin + 150], 8, rng)
+            mapping = mapper.map_read(read)
+            if mapping and abs(mapping.position - origin) <= 12:
+                assert mapping.score <= 8
+                mapping.alignment.validate()
+                hits += 1
+        assert hits >= 13
+
+    def test_alignment_covers_reported_span(self, mapper, reference, rng):
+        origin = rng.randrange(0, len(reference) - 200)
+        read = mutate_dna(reference[origin : origin + 200], 10, rng)
+        mapping = mapper.map_read(read)
+        assert mapping is not None
+        assert mapping.alignment.text == reference[mapping.position : mapping.end]
+
+
+class TestReverseStrand:
+    def test_reverse_complement_reads_map_minus(self, mapper, reference, rng):
+        for _ in range(5):
+            origin = rng.randrange(0, len(reference) - 120)
+            read = reverse_complement(reference[origin : origin + 120])
+            mapping = mapper.map_read(read)
+            assert mapping is not None
+            assert mapping.strand == "-"
+            assert mapping.position == origin
+
+
+class TestRejection:
+    def test_random_reads_do_not_map(self, mapper, rng):
+        unmapped = 0
+        for _ in range(10):
+            read = random_dna(150, rng)  # unrelated to the reference
+            if mapper.map_read(read) is None:
+                unmapped += 1
+        assert unmapped >= 9
+
+    def test_over_budget_reads_rejected(self, reference, rng):
+        strict = ReadMapper(reference, k=14, max_error_rate=0.02)
+        origin = rng.randrange(0, len(reference) - 150)
+        read = mutate_dna(reference[origin : origin + 150], 20, rng)
+        mapping = strict.map_read(read)
+        assert mapping is None or mapping.score <= 3
+
+    def test_short_read_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.map_read("ACGT")
+
+    def test_constructor_validation(self, reference):
+        with pytest.raises(ValueError):
+            ReadMapper(reference, max_error_rate=0.0)
+        with pytest.raises(ValueError):
+            ReadMapper(reference, min_votes=0)
+
+
+class TestPipelineAccounting:
+    def test_verification_work_is_tracked(self, reference, rng):
+        mapper = ReadMapper(reference, k=14)
+        origin = rng.randrange(0, len(reference) - 150)
+        mapper.map_read(reference[origin : origin + 150])
+        assert mapper.stats.total_instructions > 0
+        assert mapper.stats.instructions["gmx"] > 0
+
+    def test_batch_mapping(self, mapper, reference, rng):
+        reads = [
+            reference[o : o + 120]
+            for o in (rng.randrange(0, len(reference) - 120) for _ in range(5))
+        ]
+        mappings = mapper.map_all(reads)
+        assert len(mappings) == 5
+        assert all(m is not None for m in mappings)

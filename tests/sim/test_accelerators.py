@@ -1,0 +1,65 @@
+"""Tests for the DSA comparator models (repro.sim.accelerators)."""
+
+import pytest
+
+from repro.sim.accelerators import (
+    TABLE2_SPECS,
+    darwin_gact_model,
+    genasm_vault_model,
+    table2_rows,
+    throughput_per_area,
+)
+
+
+class TestTable2Data:
+    def test_gmx_rows_match_paper(self):
+        by_name = {spec.name: spec for spec in TABLE2_SPECS}
+        assert by_name["GMX Unit"].peak_gcups_per_pe == 1024.0
+        assert by_name["GMX Unit"].area_per_pe == 0.02
+        assert by_name["Core+GMX"].area_per_pe == 1.24
+        assert by_name["GenASM"].peak_gcups_per_pe == 64.0
+        assert by_name["Darwin"].gap_affine
+
+    def test_gmx_has_best_gcups_per_pe(self):
+        """Table 2's takeaway: GMX offers the highest GCUPS per PE."""
+        gmx = next(s for s in TABLE2_SPECS if s.name == "GMX Unit")
+        assert all(
+            s.peak_gcups_per_pe <= gmx.peak_gcups_per_pe for s in TABLE2_SPECS
+        )
+
+    def test_throughput_per_area_only_for_mm2_entries(self):
+        gpu = next(s for s in TABLE2_SPECS if s.device == "GPU")
+        assert throughput_per_area(gpu) is None
+
+    def test_rows_cover_all_specs(self):
+        assert len(table2_rows()) == len(TABLE2_SPECS)
+
+
+class TestWindowedModels:
+    def test_window_counts(self):
+        genasm = genasm_vault_model()
+        assert genasm.windows_for(96) == 1
+        assert genasm.windows_for(97) == 2
+        assert genasm.windows_for(10_000) == 1 + -(-(10_000 - 96) // 64)
+
+    def test_genasm_area_ratio_vs_gmx(self):
+        """§7.4: GMX needs 15.46× less area than one GenASM vault."""
+        assert genasm_vault_model().area_mm2 / 0.0216 == pytest.approx(
+            15.46, rel=0.01
+        )
+
+    def test_darwin_area_ratio_vs_gmx(self):
+        """§7.4: 26.29× less area than one Darwin GACT PE."""
+        assert darwin_gact_model().area_mm2 / 0.0216 == pytest.approx(
+            26.29, rel=0.01
+        )
+
+    def test_throughput_decreases_with_length(self):
+        genasm = genasm_vault_model()
+        assert genasm.alignments_per_second(
+            1_000, 0.15
+        ) > genasm.alignments_per_second(10_000, 0.15)
+
+    def test_darwin_slower_than_genasm_per_window(self):
+        """Host orchestration makes the loosely-coupled PE slower (§7.4)."""
+        assert darwin_gact_model().window_cycles() > genasm_vault_model().window_cycles()

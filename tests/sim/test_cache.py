@@ -1,0 +1,116 @@
+"""Tests for the set-associative cache simulator (repro.sim.cache)."""
+
+import pytest
+
+from repro.sim.cache import Cache, CacheConfig, CacheHierarchy
+
+
+def tiny_cache(size=1024, ways=2, line=64, latency=1, next_level=None):
+    return Cache(
+        CacheConfig("L1", size, ways, line_bytes=line, latency_cycles=latency),
+        next_level,
+    )
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        config = CacheConfig("L1", 32 * 1024, 4, line_bytes=64)
+        assert config.num_sets == 128
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, line_bytes=64)
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 0, 1)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_spatial_locality_within_line(self):
+        cache = tiny_cache(line=64)
+        cache.access(0)
+        cache.access(63)
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        # 2-way, 8 sets of 64B lines: three lines mapping to set 0.
+        cache = tiny_cache(size=1024, ways=2, line=64)
+        set_stride = 8 * 64
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)  # evicts line 0 (LRU)
+        cache.access(0)
+        assert cache.stats.misses == 4
+
+    def test_lru_refresh_on_reuse(self):
+        cache = tiny_cache(size=1024, ways=2, line=64)
+        set_stride = 8 * 64
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(0)  # refresh line 0
+        cache.access(2 * set_stride)  # evicts line set_stride instead
+        cache.access(0)
+        assert cache.stats.hits == 2
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = tiny_cache(size=1024, ways=2, line=64)
+        set_stride = 8 * 64
+        cache.access(0, write=True)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)
+        assert cache.stats.writebacks == 1
+
+    def test_flush_writes_dirty_lines(self):
+        cache = tiny_cache()
+        cache.access(0, write=True)
+        cache.access(128, write=True)
+        cache.access(256)
+        assert cache.flush() == 2
+
+
+class TestHierarchy:
+    def test_miss_latency_accumulates(self):
+        hierarchy = CacheHierarchy(
+            [
+                CacheConfig("L1", 1024, 2, latency_cycles=1),
+                CacheConfig("L2", 8192, 4, latency_cycles=10),
+            ]
+        )
+        cold = hierarchy.access(0)
+        warm = hierarchy.access(0)
+        assert cold >= 11
+        assert warm == 1
+
+    def test_l2_catches_l1_evictions(self):
+        hierarchy = CacheHierarchy(
+            [
+                CacheConfig("L1", 512, 1, latency_cycles=1),
+                CacheConfig("L2", 64 * 1024, 8, latency_cycles=10),
+            ]
+        )
+        # Working set of 4 KB: thrashes L1, fits L2.
+        for _ in range(3):
+            for address in range(0, 4096, 64):
+                hierarchy.access(address)
+        stats = hierarchy.stats_by_level
+        assert stats["L1"].miss_rate > 0.5
+        assert stats["L2"].misses == 64  # only cold misses
+
+    def test_streaming_working_set_larger_than_llc(self):
+        hierarchy = CacheHierarchy(
+            [CacheConfig("L1", 1024, 2), CacheConfig("LLC", 4096, 4)]
+        )
+        for address in range(0, 64 * 1024, 64):
+            hierarchy.access(address, write=True)
+        hierarchy.finalize()
+        assert hierarchy.memory_accesses >= 1024  # every line spilled
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])

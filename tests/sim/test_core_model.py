@@ -1,0 +1,120 @@
+"""Tests for the core timing models (repro.sim.core_model)."""
+
+import pytest
+
+from repro.align.base import KernelStats
+from repro.sim.core_model import estimate_kernel, throughput_alignments_per_second
+from repro.sim.soc import GEM5_INORDER, GEM5_OOO, RTL_INORDER
+
+
+def make_stats(
+    int_alu=0, load=0, store=0, branch=0, csr=0, gmx=0, gmx_tb=0,
+    hot=1024, peak=1024, read=0, written=0,
+):
+    stats = KernelStats()
+    for klass, count in (
+        ("int_alu", int_alu), ("load", load), ("store", store),
+        ("branch", branch), ("csr", csr), ("gmx", gmx), ("gmx_tb", gmx_tb),
+    ):
+        stats.add_instr(klass, count)
+    stats.hot_bytes = hot
+    stats.dp_bytes_peak = peak
+    stats.dp_bytes_read = read
+    stats.dp_bytes_written = written
+    return stats
+
+
+class TestInOrder:
+    def test_cpi_one_baseline(self):
+        stats = make_stats(int_alu=1_000_000)
+        estimate = estimate_kernel(stats, GEM5_INORDER.core, GEM5_INORDER.memory)
+        assert estimate.compute_cycles == pytest.approx(1_000_000)
+
+    def test_gmx_tb_latency_exposed(self):
+        plain = make_stats(int_alu=1000)
+        with_tb = make_stats(int_alu=1000, gmx_tb=100)
+        a = estimate_kernel(plain, GEM5_INORDER.core, GEM5_INORDER.memory)
+        b = estimate_kernel(with_tb, GEM5_INORDER.core, GEM5_INORDER.memory)
+        # 100 instructions + 100 × 5 extra latency cycles
+        assert b.compute_cycles - a.compute_cycles == pytest.approx(600)
+
+    def test_loads_beyond_l1_stall(self):
+        in_l1 = make_stats(load=10_000, hot=4 * 1024)
+        in_l2 = make_stats(load=10_000, hot=512 * 1024)
+        a = estimate_kernel(in_l1, GEM5_INORDER.core, GEM5_INORDER.memory)
+        b = estimate_kernel(in_l2, GEM5_INORDER.core, GEM5_INORDER.memory)
+        assert b.mem_stall_cycles > a.mem_stall_cycles
+
+
+class TestOutOfOrder:
+    def test_width_speeds_up_compute(self):
+        stats = make_stats(int_alu=1_000_000)
+        inorder = estimate_kernel(stats, GEM5_INORDER.core, GEM5_INORDER.memory)
+        ooo = estimate_kernel(stats, GEM5_OOO.core, GEM5_OOO.memory)
+        assert ooo.compute_cycles < inorder.compute_cycles / 2
+
+    def test_mlp_hides_load_latency(self):
+        stats = make_stats(load=100_000, hot=512 * 1024)
+        inorder = estimate_kernel(stats, GEM5_INORDER.core, GEM5_INORDER.memory)
+        ooo = estimate_kernel(stats, GEM5_OOO.core, GEM5_OOO.memory)
+        assert ooo.mem_stall_cycles < inorder.mem_stall_cycles / 4
+
+    def test_gmx_unit_can_be_the_bottleneck(self):
+        stats = make_stats(gmx=1_000_000)
+        estimate = estimate_kernel(stats, GEM5_OOO.core, GEM5_OOO.memory)
+        # 1.5 cycles effective per dependent gmx.v/gmx.h pair member.
+        assert estimate.compute_cycles >= 1_400_000
+
+
+class TestBandwidthWall:
+    def test_streaming_kernel_is_bandwidth_bound(self):
+        stats = make_stats(
+            int_alu=1000,
+            hot=4 * 1024,
+            peak=200 * 1024 * 1024,
+            read=200 * 1024 * 1024,
+            written=200 * 1024 * 1024,
+        )
+        estimate = estimate_kernel(stats, GEM5_OOO.core, GEM5_OOO.memory)
+        assert estimate.bandwidth_bound
+
+    def test_bandwidth_share_slows_streaming(self):
+        stats = make_stats(
+            int_alu=1000,
+            hot=4 * 1024,
+            peak=200 * 1024 * 1024,
+            read=200 * 1024 * 1024,
+            written=200 * 1024 * 1024,
+        )
+        full = estimate_kernel(stats, GEM5_OOO.core, GEM5_OOO.memory)
+        shared = estimate_kernel(
+            stats, GEM5_OOO.core, GEM5_OOO.memory, bandwidth_share=0.25
+        )
+        assert shared.seconds > 3 * full.seconds
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_kernel(
+                make_stats(int_alu=1),
+                GEM5_OOO.core,
+                GEM5_OOO.memory,
+                bandwidth_share=0,
+            )
+
+
+class TestThroughputHelper:
+    def test_pairs_scale_throughput(self):
+        stats = make_stats(int_alu=1_000_000)
+        one = throughput_alignments_per_second(
+            stats, 1, RTL_INORDER.core, RTL_INORDER.memory
+        )
+        ten = throughput_alignments_per_second(
+            stats, 10, RTL_INORDER.core, RTL_INORDER.memory
+        )
+        assert ten == pytest.approx(10 * one)
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_alignments_per_second(
+                make_stats(int_alu=1), 0, RTL_INORDER.core, RTL_INORDER.memory
+            )

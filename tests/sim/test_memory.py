@@ -1,0 +1,65 @@
+"""Tests for the analytic memory model (repro.sim.memory)."""
+
+import pytest
+
+from repro.sim.cache import CacheConfig
+from repro.sim.memory import (
+    MemorySystemConfig,
+    bandwidth_limited_time,
+    classify_kernel,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+CONFIG = MemorySystemConfig(
+    levels=(
+        CacheConfig("L1", 64 * KB, 4, latency_cycles=2),
+        CacheConfig("L2", 1 * MB, 8, latency_cycles=12),
+        CacheConfig("LLC", 1 * MB, 16, latency_cycles=30),
+    ),
+    dram_latency_cycles=120,
+    dram_bandwidth_gbs=47.8,
+)
+
+
+class TestResidence:
+    def test_residence_levels(self):
+        assert CONFIG.residence_level(1 * KB) == 0
+        assert CONFIG.residence_level(512 * KB) == 1
+        assert CONFIG.residence_level(1 * MB) == 1
+        assert CONFIG.residence_level(100 * MB) == 3
+
+    def test_access_latency_accumulates_down_the_hierarchy(self):
+        assert CONFIG.access_latency(0) == 2
+        assert CONFIG.access_latency(1) == 14
+        assert CONFIG.access_latency(2) == 44
+        assert CONFIG.access_latency(3) == 164
+
+
+class TestClassification:
+    def test_cache_resident_kernel_has_no_dram_traffic(self):
+        traffic = classify_kernel(CONFIG, 8 * KB, 256 * KB, 10 * MB, 10 * MB)
+        assert traffic.dram_bytes == 0
+        assert traffic.hot_level == 0
+
+    def test_spilling_kernel_streams_to_dram(self):
+        """Full(BPM)'s regime: matrices far beyond the LLC (Fig. 12).
+
+        Only the write-once stream reaches DRAM; reads are hot."""
+        traffic = classify_kernel(CONFIG, 2 * KB, 50 * MB, 50 * MB, 50 * MB)
+        assert 45 * MB < traffic.dram_bytes <= 50 * MB
+
+    def test_partial_spill_scales_with_excess(self):
+        half_spill = classify_kernel(CONFIG, 2 * KB, 2 * MB, 8 * MB, 8 * MB)
+        assert 0 < half_spill.dram_bytes < 16 * MB
+
+
+class TestBandwidthWall:
+    def test_compute_bound_when_traffic_small(self):
+        assert bandwidth_limited_time(0, 1.0, 47.8) == 1.0
+        assert bandwidth_limited_time(1000, 1.0, 47.8) == 1.0
+
+    def test_bandwidth_bound_when_traffic_large(self):
+        seconds = bandwidth_limited_time(47_800_000_000, 0.1, 47.8)
+        assert seconds == pytest.approx(1.0)

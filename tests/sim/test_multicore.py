@@ -1,0 +1,73 @@
+"""Tests for the multicore scaling model (repro.sim.multicore)."""
+
+import pytest
+
+from repro.sim.cost_model import expected_distance, predict_bpm, predict_full_gmx
+from repro.sim.multicore import multicore_scaling
+from repro.sim.soc import MULTICORE_OOO
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def scale(stats, length):
+    return multicore_scaling(
+        stats, 1, length, length,
+        MULTICORE_OOO.core, MULTICORE_OOO.memory, THREADS,
+    )
+
+
+class TestScalingShapes:
+    def test_cache_resident_kernel_scales_linearly(self):
+        """Fig. 12: GMX kernels scale (near-)linearly."""
+        stats = predict_full_gmx(
+            5_000, 5_000, traceback=True, distance=expected_distance(5_000, 0.15)
+        )
+        points = scale(stats, 5_000)
+        assert points[-1].speedup > 13
+
+    def test_bpm_hits_the_bandwidth_wall_at_long_lengths(self):
+        """Fig. 12: Full(BPM) at 10 kbp exceeds the DDR4 controllers."""
+        stats = predict_bpm(
+            10_000, 10_000, traceback=True,
+            distance=expected_distance(10_000, 0.15),
+        )
+        points = scale(stats, 10_000)
+        assert points[-1].speedup < 9
+        assert points[-1].utilization > 0.9
+
+    def test_bpm_scales_at_short_lengths(self):
+        """Fig. 12: at ~1 kbp the matrices still fit in the caches."""
+        stats = predict_bpm(
+            1_000, 1_000, traceback=True, distance=expected_distance(1_000, 0.15)
+        )
+        points = scale(stats, 1_000)
+        assert points[-1].speedup > 10
+
+    def test_speedup_monotone_in_threads(self):
+        stats = predict_full_gmx(2_000, 2_000, traceback=True, distance=255)
+        speedups = [p.speedup for p in scale(stats, 2_000)]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_bandwidth_never_exceeds_peak(self):
+        for stats_fn, length in (
+            (predict_bpm, 10_000),
+            (predict_full_gmx, 10_000),
+        ):
+            stats = stats_fn(
+                length, length, traceback=True,
+                distance=expected_distance(length, 0.15),
+            )
+            for point in scale(stats, length):
+                assert (
+                    point.bandwidth_gbs
+                    <= MULTICORE_OOO.memory.dram_bandwidth_gbs * 1.001
+                )
+
+    def test_invalid_pairs_rejected(self):
+        stats = predict_full_gmx(100, 100, traceback=False)
+        with pytest.raises(ValueError):
+            multicore_scaling(
+                stats, 0, 100, 100,
+                MULTICORE_OOO.core, MULTICORE_OOO.memory, THREADS,
+            )

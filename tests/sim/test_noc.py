@@ -1,0 +1,84 @@
+"""Tests for the mesh NoC model (repro.sim.noc)."""
+
+import pytest
+
+from repro.sim.noc import MESH_4X4, MeshNoc
+
+
+class TestTopology:
+    def test_16_nodes(self):
+        assert MESH_4X4.nodes == 16
+
+    def test_corner_to_corner_hops(self):
+        assert MESH_4X4.hops(0, 15) == 6  # (0,0) → (3,3)
+
+    def test_hops_symmetric(self):
+        for a in range(16):
+            for b in range(16):
+                assert MESH_4X4.hops(a, b) == MESH_4X4.hops(b, a)
+
+    def test_self_distance_zero(self):
+        assert MESH_4X4.hops(5, 5) == 0
+        assert MESH_4X4.latency_cycles(5, 5) == MESH_4X4.router_cycles
+
+    def test_average_hops_4x4(self):
+        """Mean Manhattan distance on a 4×4 mesh is 2.5 exactly:
+        E|Δ| per dimension = 1.25 for uniform pairs over 4 positions."""
+        assert MESH_4X4.average_hops == pytest.approx(2.5)
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MESH_4X4.hops(0, 16)
+
+
+class TestLatencyAndBandwidth:
+    def test_llc_latency_grows_with_mesh(self):
+        small = MeshNoc(rows=2, cols=2)
+        large = MeshNoc(rows=8, cols=8)
+        assert large.average_llc_latency() > small.average_llc_latency()
+
+    def test_bisection_links_4x4(self):
+        assert MESH_4X4.bisection_links == 4
+        assert MESH_4X4.bisection_bandwidth_gbs == pytest.approx(
+            2 * 4 * MESH_4X4.link_bandwidth_gbs
+        )
+
+    def test_bisection_exceeds_dram_peak(self):
+        """Sanity: the on-chip mesh is not the bottleneck — DRAM is, which
+        is why Figure 12's wall is the DDR4 controllers."""
+        from repro.sim.memory import DDR4_PEAK_BANDWIDTH_GBS
+
+        assert MESH_4X4.bisection_bandwidth_gbs > DDR4_PEAK_BANDWIDTH_GBS
+
+
+class TestContention:
+    def test_monotone_in_utilization(self):
+        factors = [MESH_4X4.contention_factor(u / 10) for u in range(10)]
+        assert factors == sorted(factors)
+        assert factors[0] == pytest.approx(1.0)
+
+    def test_saturation_capped(self):
+        assert MESH_4X4.contention_factor(0.999) <= 8.0
+        assert MESH_4X4.contention_factor(1.5) == 8.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MESH_4X4.contention_factor(-0.1)
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MeshNoc(rows=0, cols=4)
+        with pytest.raises(ValueError):
+            MeshNoc(hop_cycles=-1)
+
+
+class TestRegistry:
+    def test_system_registry_names(self):
+        from repro.sim.soc import system_registry
+
+        registry = system_registry()
+        assert {"gem5-InOrder", "gem5-OoO", "RTL-InOrder",
+                "16-core gem5-OoO"} == set(registry)
+        assert registry["16-core gem5-OoO"].cores == 16

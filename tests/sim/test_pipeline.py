@@ -1,0 +1,105 @@
+"""Tests for the micro-op pipeline simulator (repro.sim.pipeline)."""
+
+import pytest
+
+from repro.sim.pipeline import (
+    InOrderPipeline,
+    MicroOp,
+    synthesize_bpm_column,
+    synthesize_full_gmx_compute,
+)
+
+
+class TestPipelineMechanics:
+    def test_independent_ops_issue_every_cycle(self):
+        pipeline = InOrderPipeline()
+        result = pipeline.run([MicroOp("int_alu") for _ in range(100)])
+        assert result.cycles == 100
+        assert result.stall_cycles == 0
+        assert result.ipc == pytest.approx(1.0)
+
+    def test_load_use_stall(self):
+        pipeline = InOrderPipeline()
+        result = pipeline.run([MicroOp("load"), MicroOp("int_alu", (0,))])
+        # Load issues at cycle 1, result ready at 3; consumer stalls to 3.
+        assert result.cycles == 3
+        assert result.stall_cycles == 1
+
+    def test_gmx_tb_serial_chain(self):
+        """Chained gmx.tb ops expose the full 6-cycle latency (§6.3)."""
+        pipeline = InOrderPipeline()
+        ops = [MicroOp("gmx_tb")]
+        for i in range(1, 10):
+            ops.append(MicroOp("gmx_tb", (i - 1,)))
+        result = pipeline.run(ops)
+        # Each dependent gmx.tb waits latency−1 extra cycles on gmx_pos.
+        assert 9 * 5 <= result.cycles <= 10 * 6
+
+    def test_misprediction_flush(self):
+        pipeline = InOrderPipeline(branch_penalty=4)
+        result = pipeline.run(
+            [MicroOp("branch"), MicroOp("branch", mispredicted=True)]
+        )
+        assert result.flush_cycles == 4
+        assert result.cycles == 6
+
+    def test_future_source_rejected(self):
+        pipeline = InOrderPipeline()
+        with pytest.raises(ValueError):
+            pipeline.run([MicroOp("int_alu", (0,))])
+
+    def test_unknown_kind_rejected(self):
+        pipeline = InOrderPipeline()
+        with pytest.raises(ValueError):
+            pipeline.run([MicroOp("warp_drive")])
+
+    def test_long_stream_constant_memory(self):
+        """A million-op stream must run (the window keeps state bounded)."""
+        pipeline = InOrderPipeline()
+        ops = (MicroOp("int_alu") for _ in range(1_000_000))
+        result = pipeline.run(ops)
+        assert result.instructions == 1_000_000
+
+
+class TestKernelSynthesis:
+    def test_full_gmx_cycles_near_analytic_recipe(self):
+        """Pipeline-level and closed-form in-order costs must agree.
+
+        Analytic recipe: ~11 issue slots per tile plus ~1 exposed gmx
+        cycle; the pipeline adds the real load-use and ΔH-chain stalls.
+        """
+        tile_rows, tile_columns = 8, 8
+        pipeline = InOrderPipeline()
+        result = pipeline.run(
+            synthesize_full_gmx_compute(tile_rows, tile_columns)
+        )
+        tiles = tile_rows * tile_columns
+        cycles_per_tile = result.cycles / tiles
+        assert 11 <= cycles_per_tile <= 16
+
+    def test_bpm_cycles_match_serial_chain(self):
+        """The 17-op serial chain bounds BPM at ~17+ cycles per block."""
+        pipeline = InOrderPipeline()
+        result = pipeline.run(synthesize_bpm_column(blocks=4, columns=16))
+        steps = 4 * 16
+        cycles_per_step = result.cycles / steps
+        assert 17 <= cycles_per_step <= 28
+
+    def test_gmx_beats_bpm_per_cell(self):
+        """The headline: tiles amortise; with T=8 tiles, GMX needs far
+        fewer cycles per DP cell than the 17-op block step per 64 cells."""
+        pipeline = InOrderPipeline()
+        tile = 8
+        gmx = pipeline.run(synthesize_full_gmx_compute(4, 4))
+        gmx_per_cell = gmx.cycles / (16 * tile * tile)
+        bpm = pipeline.run(synthesize_bpm_column(blocks=4, columns=16))
+        bpm_per_cell = bpm.cycles / (4 * 16 * 64)
+        assert gmx_per_cell < bpm_per_cell
+
+    def test_distance_only_trace_is_cheaper(self):
+        pipeline = InOrderPipeline()
+        with_stores = pipeline.run(synthesize_full_gmx_compute(8, 8))
+        without = pipeline.run(
+            synthesize_full_gmx_compute(8, 8, store_edges=False)
+        )
+        assert without.cycles < with_stores.cycles

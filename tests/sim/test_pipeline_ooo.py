@@ -1,0 +1,89 @@
+"""Tests for the out-of-order pipeline model (repro.sim.pipeline)."""
+
+import pytest
+
+from repro.sim.pipeline import (
+    InOrderPipeline,
+    MicroOp,
+    OutOfOrderPipeline,
+    synthesize_bpm_column,
+    synthesize_full_gmx_compute,
+)
+
+
+class TestMechanics:
+    def test_width_limits_independent_ipc(self):
+        pipeline = OutOfOrderPipeline(width=4)
+        result = pipeline.run([MicroOp("int_alu") for _ in range(1000)])
+        assert result.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_serial_chain_is_latency_bound(self):
+        pipeline = OutOfOrderPipeline(width=8)
+        ops = [MicroOp("int_alu")]
+        for i in range(1, 400):
+            ops.append(MicroOp("int_alu", (i - 1,)))
+        result = pipeline.run(ops)
+        assert result.ipc == pytest.approx(1.0, rel=0.1)
+
+    def test_gmx_tb_structural_hazard(self):
+        """One GMX unit, unpipelined gmx.tb: 6 cycles each, even if
+        independent — the §6.3 multicycle design."""
+        pipeline = OutOfOrderPipeline(width=8)
+        result = pipeline.run([MicroOp("gmx_tb") for _ in range(20)])
+        assert result.cycles >= 20 * 6
+
+    def test_gmx_vh_pipelined_throughput(self):
+        """gmx.v/gmx.h are pipelined: one per cycle despite 2-cycle latency."""
+        pipeline = OutOfOrderPipeline(width=8)
+        result = pipeline.run([MicroOp("gmx") for _ in range(100)])
+        assert result.cycles <= 110
+
+    def test_rob_limits_runahead(self):
+        """A tiny ROB serialises behind a long-latency op."""
+        ops = [MicroOp("gmx_tb")]
+        ops.extend(MicroOp("int_alu") for _ in range(64))
+        small = OutOfOrderPipeline(width=4, rob_size=4).run(ops)
+        large = OutOfOrderPipeline(width=4, rob_size=128).run(ops)
+        assert small.cycles >= large.cycles
+
+    def test_misprediction_stalls_fetch(self):
+        ops = [MicroOp("branch", mispredicted=True)]
+        ops.extend(MicroOp("int_alu") for _ in range(8))
+        result = OutOfOrderPipeline(width=4, branch_penalty=12).run(ops)
+        assert result.cycles > 12
+        assert result.flush_cycles == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutOfOrderPipeline(width=0)
+        with pytest.raises(ValueError):
+            OutOfOrderPipeline(width=8, rob_size=4)
+        with pytest.raises(ValueError):
+            OutOfOrderPipeline().run([MicroOp("int_alu", (0,))])
+        with pytest.raises(ValueError):
+            OutOfOrderPipeline().run([MicroOp("hyperdrive")])
+
+
+class TestKernelsOutOfOrder:
+    def test_ooo_speeds_up_full_gmx(self):
+        """Figure 11's direction at micro-op fidelity."""
+        stream = list(synthesize_full_gmx_compute(8, 8))
+        inorder = InOrderPipeline().run(iter(stream))
+        ooo = OutOfOrderPipeline(width=4).run(iter(stream))
+        speedup = inorder.cycles / ooo.cycles
+        assert 2.0 < speedup < 5.0
+
+    def test_bpm_gains_less_from_ooo_than_gmx(self):
+        """BPM's 17-op serial chain throttles out-of-order gains —
+        dependency-bound kernels can't use the width."""
+        gmx_stream = list(synthesize_full_gmx_compute(8, 8))
+        bpm_stream = list(synthesize_bpm_column(8, 64))
+        gmx_speedup = (
+            InOrderPipeline().run(iter(gmx_stream)).cycles
+            / OutOfOrderPipeline(width=4).run(iter(gmx_stream)).cycles
+        )
+        bpm_speedup = (
+            InOrderPipeline().run(iter(bpm_stream)).cycles
+            / OutOfOrderPipeline(width=4).run(iter(bpm_stream)).cycles
+        )
+        assert bpm_speedup < gmx_speedup

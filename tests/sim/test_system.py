@@ -1,0 +1,73 @@
+"""Tests for the detailed system simulation (repro.sim.system).
+
+The headline requirement: the detailed path (micro-op pipeline + cache
+replay) and the fast analytic path must agree within a small factor on
+kernels small enough to run both — that consistency licenses the analytic
+path at megabase scales.
+"""
+
+import pytest
+
+from repro.sim.core_model import estimate_kernel
+from repro.sim.cost_model import predict_bpm, predict_full_gmx
+from repro.sim.soc import GEM5_INORDER, GEM5_OOO, RTL_INORDER
+from repro.sim.system import DETAILED_KERNELS, simulate_kernel_detailed
+
+
+class TestDetailedSimulation:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            simulate_kernel_detailed("quantum", 100, 100, RTL_INORDER)
+
+    def test_produces_cache_stats(self):
+        estimate = simulate_kernel_detailed("full-gmx", 512, 512, RTL_INORDER)
+        assert "L1d" in estimate.cache_stats
+        assert estimate.cache_stats["L1d"].accesses > 0
+        assert estimate.cycles >= estimate.pipeline.cycles
+
+    def test_seconds_conversion(self):
+        estimate = simulate_kernel_detailed("full-gmx", 128, 128, RTL_INORDER)
+        assert estimate.seconds(1.0) == pytest.approx(estimate.cycles / 1e9)
+
+    @pytest.mark.parametrize("kernel", DETAILED_KERNELS)
+    def test_ooo_faster_than_inorder(self, kernel):
+        inorder = simulate_kernel_detailed(kernel, 512, 512, GEM5_INORDER)
+        ooo = simulate_kernel_detailed(kernel, 512, 512, GEM5_OOO)
+        assert ooo.cycles < inorder.cycles
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize(
+        "kernel,predictor", [("full-gmx", predict_full_gmx), ("bpm", predict_bpm)]
+    )
+    def test_within_factor_of_analytic(self, kernel, predictor):
+        """Detailed vs analytic cycles within 2.5× on a 1 kbp kernel."""
+        n = m = 1_024
+        detailed = simulate_kernel_detailed(kernel, n, m, GEM5_INORDER)
+        stats = predictor(n, m, traceback=True, distance=40)
+        analytic = estimate_kernel(stats, GEM5_INORDER.core, GEM5_INORDER.memory)
+        ratio = detailed.cycles / analytic.cycles
+        assert 0.4 < ratio < 2.5, ratio
+
+    def test_ranking_preserved(self):
+        """GMX must beat BPM per cell in both modelling paths."""
+        n = m = 1_024
+        cells = n * m
+        detailed_gmx = simulate_kernel_detailed("full-gmx", n, m, GEM5_INORDER)
+        detailed_bpm = simulate_kernel_detailed("bpm", n, m, GEM5_INORDER)
+        assert detailed_gmx.cycles / cells < detailed_bpm.cycles / cells
+        analytic_gmx = estimate_kernel(
+            predict_full_gmx(n, m, traceback=True, distance=40),
+            GEM5_INORDER.core,
+            GEM5_INORDER.memory,
+        )
+        analytic_bpm = estimate_kernel(
+            predict_bpm(n, m, traceback=True, distance=40),
+            GEM5_INORDER.core,
+            GEM5_INORDER.memory,
+        )
+        assert analytic_gmx.cycles < analytic_bpm.cycles
+        # And the two paths agree on the *magnitude* of the gap (loosely).
+        detailed_gap = detailed_bpm.cycles / detailed_gmx.cycles
+        analytic_gap = analytic_bpm.cycles / analytic_gmx.cycles
+        assert 0.3 < detailed_gap / analytic_gap < 3.0

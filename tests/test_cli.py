@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAlign:
+    def test_paper_example(self, capsys):
+        assert main(["align", "GCAT", "GATT", "--tile-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "score=2" in out
+        assert "cigar=" in out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["full-gmx", "banded-gmx", "windowed-gmx", "nw", "bpm", "edlib",
+         "bitap", "genasm", "darwin"],
+    )
+    def test_every_algorithm_runs(self, algorithm, capsys):
+        assert main(["align", "ACGTACGT", "ACGAACGT", "--algorithm", algorithm]) == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_infix_mode_reports_span(self, capsys):
+        assert (
+            main(["align", "AACGT", "TTTTAACGTTTTT", "--mode", "infix"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "score=0" in out
+        assert "span=4:9" in out
+
+    def test_stats_flag(self, capsys):
+        assert main(["align", "ACGT", "ACGT", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions=" in out
+        assert "dp_cells=" in out
+
+    def test_no_traceback(self, capsys):
+        assert main(["align", "ACGT", "ACGA", "--no-traceback"]) == 0
+        assert "cigar" not in capsys.readouterr().out
+
+    def test_missing_operands_fails(self, capsys):
+        assert main(["align"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerateAndPairs:
+    def test_generate_then_align_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "pairs.seq")
+        assert (
+            main(
+                ["generate", "--length", "80", "--count", "4", "--out", path]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["align", "--pairs", path, "--algorithm", "edlib"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("score=") == 4
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["memory", "tilecost", "table1", "table2",
+                                      "fig13", "energy"])
+    def test_cheap_experiments_render(self, name, capsys):
+        assert main(["experiment", name]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") > 3
+
+    def test_fig12_renders_both_panels(self, capsys):
+        assert main(["experiment", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling" in out
+        assert "bandwidth" in out
+
+
+class TestDesign:
+    def test_paper_design_point(self, capsys):
+        assert main(["design", "--tile-size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "1024 GCUPS" in out
+        assert "0.0216" in out
+        assert "2 cycles" in out
+
+
+class TestVerify:
+    def test_self_check_passes(self, capsys):
+        assert main(["verify", "--pairs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+        assert "8 random pairs" in out
+
+    def test_seeded_determinism(self, capsys):
+        assert main(["verify", "--pairs", "5", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["verify", "--pairs", "5", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first

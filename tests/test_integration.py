@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the whole library.
+
+These tie the packages together: every exact aligner must agree with every
+other on the same inputs; edit distance must behave like a metric; the
+workload pipeline (generate → save → load → align → validate) must close;
+and the GMX ISA path must agree with the plain kernel path.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import mutate_dna, random_dna, scalar_edit_distance
+from repro.align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+from repro.baselines import (
+    BitapAligner,
+    BpmAligner,
+    EdlibAligner,
+    NeedlemanWunschAligner,
+)
+from repro.core.alphabet import reverse_complement
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=45)
+
+EXACT_ALIGNERS = [
+    FullGmxAligner(tile_size=8),
+    BandedGmxAligner(tile_size=8),
+    NeedlemanWunschAligner(),
+    BpmAligner(word_size=16),
+    EdlibAligner(word_size=16),
+    BitapAligner(),
+]
+
+
+class TestCrossAlignerAgreement:
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_all_exact_aligners_agree(self, pattern, text):
+        scores = {
+            aligner.name: aligner.align(pattern, text, traceback=False).score
+            for aligner in EXACT_ALIGNERS
+        }
+        assert len(set(scores.values())) == 1, scores
+
+    def test_agreement_on_realistic_sizes(self, rng):
+        """A sweep over lengths spanning multiple tile/word boundaries."""
+        for length in (31, 32, 33, 63, 64, 65, 127, 200):
+            pattern = random_dna(length, rng)
+            text = mutate_dna(pattern, max(1, length // 12), rng)
+            expected = scalar_edit_distance(pattern, text)
+            for aligner in EXACT_ALIGNERS:
+                result = aligner.align(pattern, text)
+                assert result.score == expected, (aligner.name, length)
+                result.alignment.validate()
+
+
+class TestMetricProperties:
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        aligner = FullGmxAligner(tile_size=8)
+        assert (
+            aligner.align(a, b, traceback=False).score
+            == aligner.align(b, a, traceback=False).score
+        )
+
+    @given(dna)
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, a):
+        assert FullGmxAligner(tile_size=8).align(a, a, traceback=False).score == 0
+
+    @given(dna, dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        aligner = FullGmxAligner(tile_size=8)
+        ab = aligner.align(a, b, traceback=False).score
+        bc = aligner.align(b, c, traceback=False).score
+        ac = aligner.align(a, c, traceback=False).score
+        assert ac <= ab + bc
+
+    @given(dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_reverse_complement_invariance(self, a, b):
+        """Edit distance is preserved under reverse-complementing both."""
+        aligner = FullGmxAligner(tile_size=8)
+        forward = aligner.align(a, b, traceback=False).score
+        reverse = aligner.align(
+            reverse_complement(a), reverse_complement(b), traceback=False
+        ).score
+        assert forward == reverse
+
+    @given(dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_length_difference_lower_bound(self, a, b):
+        score = FullGmxAligner(tile_size=8).align(a, b, traceback=False).score
+        assert score >= abs(len(a) - len(b))
+        assert score <= max(len(a), len(b))
+
+
+class TestWorkloadPipeline:
+    def test_generate_save_load_align_validate(self, tmp_path):
+        from repro.workloads import generate_pair_set, load_pairs, save_pairs
+
+        original = generate_pair_set("e2e", 200, 0.08, 5, seed=11)
+        path = tmp_path / "e2e.seq"
+        save_pairs(original, path)
+        loaded = load_pairs(path, error_rate=0.08)
+        aligner = FullGmxAligner()
+        reference = NeedlemanWunschAligner()
+        for pair in loaded:
+            result = aligner.align(pair.pattern, pair.text)
+            result.alignment.validate()
+            assert result.score == reference.align(
+                pair.pattern, pair.text, traceback=False
+            ).score
+
+
+class TestHeuristicQualityEnvelope:
+    def test_windowed_and_banded_bracket_the_optimum(self, rng):
+        """banded(certified) == optimal ≤ windowed, on noisy pairs."""
+        for _ in range(10):
+            pattern = random_dna(600, rng)
+            text = mutate_dna(pattern, 90, rng)
+            optimal = EdlibAligner().align(pattern, text, traceback=False).score
+            banded = BandedGmxAligner(tile_size=16).align(
+                pattern, text, traceback=False
+            )
+            windowed = WindowedGmxAligner(tile_size=16).align(pattern, text)
+            assert banded.exact and banded.score == optimal
+            assert optimal <= windowed.score <= optimal * 1.3 + 8
+
+
+class TestModelConsistency:
+    def test_throughput_ordering_stable_across_systems(self):
+        """GMX beats its family baseline on every modelled system."""
+        from repro.eval import aligner_throughput
+        from repro.sim.soc import GEM5_INORDER, GEM5_OOO, RTL_INORDER
+
+        for system in (GEM5_INORDER, GEM5_OOO, RTL_INORDER):
+            for baseline, accelerated in (
+                ("Full(BPM)", "Full(GMX)"),
+                ("Banded(Edlib)", "Banded(GMX)"),
+                ("Windowed(GenASM-CPU)", "Windowed(GMX)"),
+            ):
+                slow = aligner_throughput(baseline, 2_000, 0.15, system)
+                fast = aligner_throughput(accelerated, 2_000, 0.15, system)
+                assert fast > slow, (system.name, baseline)
+
+    def test_pipeline_and_analytic_model_agree_on_ranking(self):
+        """The micro-op pipeline and the closed-form model must rank
+        GMX vs BPM identically per DP cell."""
+        from repro.sim.pipeline import (
+            InOrderPipeline,
+            synthesize_bpm_column,
+            synthesize_full_gmx_compute,
+        )
+
+        pipeline = InOrderPipeline()
+        gmx = pipeline.run(synthesize_full_gmx_compute(8, 8))
+        bpm = pipeline.run(synthesize_bpm_column(blocks=8, columns=64))
+        gmx_cells = 64 * 32 * 32  # 8×8 tiles of T=32
+        bpm_cells = 8 * 64 * 64
+        assert gmx.cycles / gmx_cells < bpm.cycles / bpm_cells

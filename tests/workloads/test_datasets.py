@@ -1,0 +1,58 @@
+"""Tests for the paper's dataset suite (repro.workloads.datasets)."""
+
+import pytest
+
+from repro.workloads.datasets import (
+    LONG_LENGTHS,
+    SHORT_LENGTHS,
+    dataset_registry,
+    hifi_like,
+    illumina_like,
+    long_dataset,
+    long_suite,
+    scalability_dataset,
+    short_dataset,
+    short_suite,
+)
+
+
+class TestPaperSuite:
+    def test_five_short_datasets(self):
+        """§7.1: 100–300 bp in 50 bp steps at 5 % error."""
+        suite = short_suite(count=2)
+        assert [s.length for s in suite] == [100, 150, 200, 250, 300]
+        assert all(s.error_rate == 0.05 for s in suite)
+
+    def test_ten_long_datasets(self):
+        """§7.1: 1–10 kbp in 1 kbp steps at 15 % error."""
+        suite = long_suite(count=1)
+        assert [s.length for s in suite] == list(range(1000, 10001, 1000))
+        assert all(s.error_rate == 0.15 for s in suite)
+
+    def test_scalability_dataset(self):
+        dataset = scalability_dataset()
+        assert dataset.length == 1_000_000
+        assert dataset.error_rate == 0.15
+        assert len(dataset.pairs[0].pattern) == 1_000_000
+
+    def test_registry_contains_all(self):
+        registry = dataset_registry(short_count=1, long_count=1)
+        assert len(registry) == len(SHORT_LENGTHS) + len(LONG_LENGTHS)
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            short_dataset(123)
+        with pytest.raises(ValueError):
+            long_dataset(1500)
+
+
+class TestFigure3Profiles:
+    def test_illumina_like(self):
+        dataset = illumina_like(count=3)
+        assert dataset.length == 150
+        assert dataset.error_rate == pytest.approx(0.005)
+
+    def test_hifi_like_scaled_length(self):
+        dataset = hifi_like(length=2000, count=2)
+        assert dataset.length == 2000
+        assert dataset.error_rate == pytest.approx(0.01)

@@ -1,0 +1,114 @@
+"""Tests for the synthetic workload generator (repro.workloads.generator)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import scalar_edit_distance
+from repro.workloads.generator import (
+    generate_pair,
+    generate_pair_set,
+    mutate,
+    random_sequence,
+)
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        rng = random.Random(1)
+        sequence = random_sequence(500, rng)
+        assert len(sequence) == 500
+        assert set(sequence) <= set("ACGT")
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_sequence(0, random.Random(1))
+
+
+class TestMutate:
+    def test_zero_error_is_identity(self):
+        rng = random.Random(2)
+        sequence = random_sequence(100, rng)
+        assert mutate(sequence, 0.0, rng) == sequence
+
+    @given(st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_bounded_by_edit_budget(self, error_rate):
+        rng = random.Random(3)
+        sequence = random_sequence(200, rng)
+        mutated = mutate(sequence, error_rate, rng)
+        edits = round(error_rate * 200)
+        assert scalar_edit_distance(sequence, mutated) <= edits
+
+    def test_distance_close_to_budget_on_average(self):
+        """Edits rarely cancel completely: distance ≈ 0.8–1.0 of budget."""
+        rng = random.Random(4)
+        total_distance = 0
+        total_budget = 0
+        for _ in range(20):
+            sequence = random_sequence(300, rng)
+            mutated = mutate(sequence, 0.1, rng)
+            total_distance += scalar_edit_distance(sequence, mutated)
+            total_budget += 30
+        assert 0.6 * total_budget <= total_distance <= total_budget
+
+    def test_pure_insertion_mix_grows_sequence(self):
+        rng = random.Random(5)
+        sequence = random_sequence(100, rng)
+        mutated = mutate(sequence, 0.2, rng, mix=(0, 1, 0))
+        assert len(mutated) == 120
+
+    def test_pure_deletion_mix_shrinks_sequence(self):
+        rng = random.Random(6)
+        sequence = random_sequence(100, rng)
+        mutated = mutate(sequence, 0.2, rng, mix=(0, 0, 1))
+        assert len(mutated) == 80
+
+    def test_mismatch_preserves_length_and_changes_characters(self):
+        rng = random.Random(7)
+        sequence = "A" * 50
+        mutated = mutate(sequence, 0.5, rng, mix=(1, 0, 0))
+        assert len(mutated) == 50
+        # Repeated mismatches at one position can restore the original
+        # base, so the changed count is bounded by, not equal to, 25.
+        changed = sum(1 for c in mutated if c != "A")
+        assert 0 < changed <= 25
+
+    def test_invalid_inputs_rejected(self):
+        rng = random.Random(8)
+        with pytest.raises(ValueError):
+            mutate("ACGT", 1.5, rng)
+        with pytest.raises(ValueError):
+            mutate("ACGT", 0.1, rng, mix=(0, 0, 0))
+
+
+class TestPairSets:
+    def test_deterministic_given_seed(self):
+        a = generate_pair_set("x", 100, 0.05, 5, seed=9)
+        b = generate_pair_set("x", 100, 0.05, 5, seed=9)
+        assert [p.pattern for p in a] == [p.pattern for p in b]
+
+    def test_different_names_differ(self):
+        a = generate_pair_set("x", 100, 0.05, 5, seed=9)
+        b = generate_pair_set("y", 100, 0.05, 5, seed=9)
+        assert [p.pattern for p in a] != [p.pattern for p in b]
+
+    def test_metadata(self):
+        pair_set = generate_pair_set("z", 150, 0.05, 3)
+        assert pair_set.length == 150
+        assert len(pair_set) == 3
+        assert pair_set.total_bases > 0
+        for pair in pair_set:
+            assert pair.length == 150
+            assert pair.error_rate == 0.05
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_pair_set("z", 100, 0.05, 0)
+
+    def test_generate_pair_uses_requested_length(self):
+        rng = random.Random(10)
+        pair = generate_pair(64, 0.1, rng)
+        assert len(pair.pattern) == 64

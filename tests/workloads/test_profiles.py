@@ -1,0 +1,106 @@
+"""Tests for sequencing error profiles (repro.workloads.profiles)."""
+
+import random
+
+import pytest
+
+from conftest import scalar_edit_distance
+from repro.workloads.profiles import (
+    ILLUMINA,
+    ONT,
+    PACBIO_HIFI,
+    PROFILES,
+    ErrorProfile,
+    apply_profile,
+    generate_profiled_pair,
+)
+
+
+class TestProfileDefinitions:
+    def test_registry(self):
+        assert set(PROFILES) == {"illumina", "pacbio-hifi", "ont"}
+
+    def test_illumina_is_substitution_dominated(self):
+        mismatch, insertion, deletion = ILLUMINA.mix
+        assert mismatch > 5 * (insertion + deletion) / 2
+
+    def test_ont_is_indel_dominated_and_bursty(self):
+        mismatch, insertion, deletion = ONT.mix
+        assert insertion + deletion > mismatch
+        assert ONT.burst_mean > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorProfile("bad", 1.5, (1, 1, 1))
+        with pytest.raises(ValueError):
+            ErrorProfile("bad", 0.1, (0, 0, 0))
+        with pytest.raises(ValueError):
+            ErrorProfile("bad", 0.1, (1, 1, 1), burst_mean=0.5)
+
+    def test_burst_length_mean(self):
+        rng = random.Random(1)
+        draws = [ONT.burst_length(rng) for _ in range(3000)]
+        assert ONT.burst_mean * 0.85 < sum(draws) / len(draws) < ONT.burst_mean * 1.15
+        assert ILLUMINA.burst_length(rng) == 1
+
+
+class TestApplyProfile:
+    def test_error_budget_respected(self):
+        """Edit distance to the original stays within the base budget."""
+        rng = random.Random(2)
+        for profile in PROFILES.values():
+            sequence = "".join(rng.choice("ACGT") for _ in range(600))
+            corrupted = apply_profile(sequence, profile, rng)
+            budget = round(profile.error_rate * 600)
+            assert scalar_edit_distance(sequence, corrupted) <= budget
+
+    def test_illumina_preserves_length_closely(self):
+        rng = random.Random(3)
+        sequence = "".join(rng.choice("ACGT") for _ in range(1000))
+        corrupted = apply_profile(sequence, ILLUMINA, rng)
+        assert abs(len(corrupted) - 1000) <= 3
+
+    def test_ont_produces_indel_runs(self):
+        """Bursty profiles must create multi-base gaps in the alignment."""
+        from repro.baselines import EdlibAligner
+
+        rng = random.Random(4)
+        sequence = "".join(rng.choice("ACGT") for _ in range(800))
+        corrupted = apply_profile(sequence, ONT, rng)
+        result = EdlibAligner().align(sequence, corrupted)
+        cigar = result.alignment.cigar
+        # At least one run of ≥2 consecutive insertions or deletions.
+        import re
+
+        runs = [
+            int(count)
+            for count, op in re.findall(r"(\d+)([ID])", cigar)
+        ]
+        assert runs and max(runs) >= 2
+
+    def test_zero_rate_is_identity(self):
+        rng = random.Random(5)
+        quiet = ErrorProfile("quiet", 0.0, (1, 1, 1))
+        assert apply_profile("ACGTACGT", quiet, rng) == "ACGTACGT"
+
+
+class TestProfiledPairs:
+    def test_pair_generation(self):
+        rng = random.Random(6)
+        pair = generate_profiled_pair(500, PACBIO_HIFI, rng)
+        assert len(pair.pattern) == 500
+        assert pair.error_rate == PACBIO_HIFI.error_rate
+        assert scalar_edit_distance(pair.pattern, pair.text) <= 5
+
+    def test_aligners_handle_profiled_reads(self):
+        """The full pipeline copes with bursty ONT-like divergence."""
+        from repro.align import BandedGmxAligner, WindowedGmxAligner
+
+        rng = random.Random(7)
+        pair = generate_profiled_pair(700, ONT, rng)
+        banded = BandedGmxAligner().align(pair.pattern, pair.text)
+        assert banded.exact
+        banded.alignment.validate()
+        windowed = WindowedGmxAligner().align(pair.pattern, pair.text)
+        windowed.alignment.validate()
+        assert windowed.score >= banded.score

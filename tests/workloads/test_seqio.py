@@ -1,0 +1,57 @@
+"""Tests for .seq pair I/O (repro.workloads.seqio)."""
+
+import pytest
+
+from repro.workloads.generator import generate_pair_set
+from repro.workloads.seqio import SeqFormatError, load_pairs, save_pairs
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        original = generate_pair_set("io", 80, 0.05, 4, seed=3)
+        path = tmp_path / "pairs.seq"
+        save_pairs(original, path)
+        loaded = load_pairs(path, error_rate=0.05)
+        assert [p.pattern for p in loaded] == [p.pattern for p in original]
+        assert [p.text for p in loaded] == [p.text for p in original]
+        assert loaded.name == "pairs"
+
+    def test_wfa_format_on_disk(self, tmp_path):
+        pair_set = generate_pair_set("io", 10, 0.1, 1, seed=4)
+        path = tmp_path / "pairs.seq"
+        save_pairs(pair_set, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith(">")
+        assert lines[1].startswith("<")
+
+
+class TestMalformedInput:
+    def test_text_without_pattern(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text("<ACGT\n")
+        with pytest.raises(SeqFormatError):
+            load_pairs(path)
+
+    def test_dangling_pattern(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text(">ACGT\n")
+        with pytest.raises(SeqFormatError):
+            load_pairs(path)
+
+    def test_bad_prefix(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text("ACGT\n")
+        with pytest.raises(SeqFormatError):
+            load_pairs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.seq"
+        path.write_text("")
+        with pytest.raises(SeqFormatError):
+            load_pairs(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "ok.seq"
+        path.write_text("\n>AC\n\n<AG\n\n")
+        loaded = load_pairs(path)
+        assert len(loaded) == 1
