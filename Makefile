@@ -1,0 +1,26 @@
+# Test and benchmark entry points.
+#
+# `test` is the tier-1 gate (everything, including slow fuzz sweeps and
+# the wall-clock parallel tests).  `test-fast` drops the `slow` marker for
+# quick iteration; `test-slow` runs only the long sweeps, sized for a
+# scheduled job where the differential fuzzers can afford more cases.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-fast test-slow bench verify
+
+test:
+	$(PYTEST) -x -q
+
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+test-slow:
+	$(PYTEST) -q -m slow
+
+bench:
+	$(PYTEST) -q benchmarks
+
+verify:
+	PYTHONPATH=src $(PYTHON) -m repro verify

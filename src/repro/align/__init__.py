@@ -5,6 +5,12 @@ from .auto import AutoAligner
 from .banded_gmx import BandExceededError, BandedGmxAligner
 from .batch import BatchResult, align_batch
 from .full_gmx import FullGmxAligner, align_pair
+from .parallel import (
+    BatchTelemetry,
+    ShardTelemetry,
+    align_batch_sharded,
+    iter_shards,
+)
 from .windowed_gmx import WindowedAligner, WindowedGmxAligner
 
 __all__ = [
@@ -16,10 +22,14 @@ __all__ = [
     "BandExceededError",
     "BandedGmxAligner",
     "BatchResult",
+    "BatchTelemetry",
     "FullGmxAligner",
     "KernelStats",
+    "ShardTelemetry",
     "WindowedAligner",
     "WindowedGmxAligner",
     "align_batch",
+    "align_batch_sharded",
     "align_pair",
+    "iter_shards",
 ]

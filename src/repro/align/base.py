@@ -19,7 +19,7 @@ import abc
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..core.cigar import Alignment
 
@@ -105,7 +105,13 @@ class KernelStats:
         return self.dp_bytes_read + self.dp_bytes_written
 
     def merge(self, other: "KernelStats") -> None:
-        """Accumulate another invocation's stats into this record."""
+        """Accumulate another invocation's stats into this record.
+
+        Every reduction here is commutative and associative (sums and
+        maxes over integers), so merging per-shard partial stats in any
+        grouping reproduces the serial accumulation exactly — the property
+        the parallel batch engine relies on.
+        """
         self.instructions.update(other.instructions)
         self.dp_cells += other.dp_cells
         self.dp_bytes_peak = max(self.dp_bytes_peak, other.dp_bytes_peak)
@@ -114,6 +120,31 @@ class KernelStats:
         if other.hot_bytes is not None:
             self.hot_bytes = max(self.hot_bytes or 0, other.hot_bytes)
         self.tiles += other.tiles
+
+    def copy(self) -> "KernelStats":
+        """Independent deep copy (the Counter is not shared)."""
+        return KernelStats(
+            instructions=Counter(self.instructions),
+            dp_cells=self.dp_cells,
+            dp_bytes_peak=self.dp_bytes_peak,
+            dp_bytes_read=self.dp_bytes_read,
+            dp_bytes_written=self.dp_bytes_written,
+            hot_bytes=self.hot_bytes,
+            tiles=self.tiles,
+        )
+
+    @classmethod
+    def merged(cls, parts: Iterable["KernelStats"]) -> "KernelStats":
+        """Merge any number of stat records into a fresh one.
+
+        The shard-reduction entry point: ``merged(merged(a, b), c)`` equals
+        ``merged(a, b, c)`` equals the serial accumulation, whatever the
+        grouping.
+        """
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     @property
     def effective_hot_bytes(self) -> int:

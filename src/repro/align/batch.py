@@ -18,10 +18,14 @@ Example::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 from .base import Aligner, AlignmentResult, KernelStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel → batch)
+    from .parallel import BatchTelemetry
 
 #: Accepted pair forms: (pattern, text) tuples or SequencePair-like objects.
 PairLike = Union[Tuple[str, str], "object"]
@@ -34,10 +38,15 @@ class BatchResult:
     Attributes:
         results: per-pair alignment results, in input order.
         stats: merged kernel statistics of the whole batch.
+        telemetry: measured execution profile of the run (wall time,
+            shards, worker utilisation) — see
+            :class:`~repro.align.parallel.BatchTelemetry`.  Host-side
+            measurement only; never feeds the modelled figures.
     """
 
     results: List[AlignmentResult] = field(default_factory=list)
     stats: KernelStats = field(default_factory=KernelStats)
+    telemetry: Optional["BatchTelemetry"] = None
 
     @property
     def pairs(self) -> int:
@@ -60,19 +69,37 @@ class BatchResult:
         return all(result.exact for result in self.results)
 
     def modelled_seconds(self, system) -> float:
-        """Modelled batch runtime on a :class:`~repro.sim.soc.SystemConfig`."""
+        """Modelled batch runtime on a :class:`~repro.sim.soc.SystemConfig`.
+
+        An empty batch models as 0.0 seconds — consistent with
+        :attr:`mean_score` and :meth:`modelled_throughput`, which likewise
+        report 0.0 rather than degenerate divisions.
+        """
+        if not self.pairs:
+            return 0.0
         from ..sim.core_model import estimate_kernel
 
         return estimate_kernel(self.stats, system.core, system.memory).seconds
 
     def modelled_throughput(self, system) -> float:
-        """Modelled alignments/second of this batch on one core of ``system``."""
+        """Modelled alignments/second of this batch on one core of ``system``.
+
+        0.0 for an empty batch (nothing was aligned), and 0.0 when the
+        modelled runtime itself is zero — a batch of zero-work kernels has
+        no meaningful rate, and returning 0.0 keeps every zero-pair edge
+        consistent across ``mean_score`` / ``modelled_*``.
+        """
         if not self.pairs:
             return 0.0
-        return self.pairs / self.modelled_seconds(system)
+        seconds = self.modelled_seconds(system)
+        if seconds <= 0.0:
+            return 0.0
+        return self.pairs / seconds
 
     def modelled_energy_nj(self) -> float:
-        """Modelled energy (nJ) of the batch on the RTL SoC."""
+        """Modelled energy (nJ) of the batch on the RTL SoC (0.0 if empty)."""
+        if not self.pairs:
+            return 0.0
         from ..hw.energy import estimate_energy
         from ..sim.core_model import estimate_kernel
         from ..sim.soc import RTL_INORDER
@@ -103,17 +130,39 @@ def align_batch(
     *,
     traceback: bool = True,
     validate: bool = False,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> BatchResult:
     """Align every pair with ``aligner`` and aggregate the statistics.
 
     Args:
-        pairs: (pattern, text) tuples, :class:`SequencePair` objects, or a
-            :class:`~repro.workloads.generator.PairSet`.
+        pairs: (pattern, text) tuples, :class:`SequencePair` objects, a
+            :class:`~repro.workloads.generator.PairSet`, or any generator
+            of pair-likes (streamed, never materialised here).
         traceback: compute full alignments (vs distance only).
         validate: additionally replay every alignment against its sequences
             (raises on any inconsistency — a thorough self-check mode).
+        workers: worker processes.  ``1`` (default) aligns serially in
+            process; ``>1`` fans shards out through
+            :func:`repro.align.parallel.align_batch_sharded`, producing
+            byte-identical results, stats, and ordering.
+        shard_size: pairs per shard when ``workers > 1``.
+
+    The returned :class:`BatchResult` always carries a
+    :attr:`~BatchResult.telemetry` record with the measured wall time.
     """
+    if workers != 1 or shard_size is not None:
+        from .parallel import align_batch_sharded
+
+        return align_batch_sharded(
+            aligner, pairs,
+            workers=workers, shard_size=shard_size,
+            traceback=traceback, validate=validate,
+        )
+    from .parallel import BatchTelemetry, ShardTelemetry
+
     batch = BatchResult()
+    start = time.perf_counter()
     for item in pairs:
         pattern, text = _as_pair(item)
         result = aligner.align(pattern, text, traceback=traceback)
@@ -121,4 +170,15 @@ def align_batch(
             result.alignment.validate()
         batch.results.append(result)
         batch.stats.merge(result.stats)
+    wall = time.perf_counter() - start
+    telemetry = BatchTelemetry(workers=1, shard_size=max(1, batch.pairs))
+    if batch.pairs:
+        telemetry.shards.append(
+            ShardTelemetry(
+                index=0, pairs=batch.pairs, wall_seconds=wall,
+                worker="inline",
+            )
+        )
+    telemetry.wall_seconds = wall
+    batch.telemetry = telemetry
     return batch

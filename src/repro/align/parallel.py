@@ -1,0 +1,303 @@
+"""Sharded parallel batch alignment (inter-sequence parallelism, §7.2).
+
+The paper scales GMX across pairs, not within one alignment: 16 cores,
+each with a private GMX unit, split a read set and meet only at the memory
+controllers.  This module is the software analogue for the functional
+harness — it partitions any pair iterable into shards, fans the shards out
+over a ``multiprocessing`` pool, and merges per-shard results and
+:class:`~repro.align.base.KernelStats` back in input order, so a parallel
+run is observationally identical to :func:`repro.align.batch.align_batch`
+run serially (same results, same stats, same ordering).
+
+Three properties the engine guarantees:
+
+* **Determinism** — results and merged stats are byte-identical for any
+  worker count, including the in-process fallback.  Shards are merged in
+  input order and every stat reduction is order-insensitive.
+* **Streaming** — the input may be a generator (e.g.
+  :func:`repro.workloads.seqio.iter_pairs`); shards are cut lazily with
+  ``islice`` and the dataset is never materialised in the parent.
+* **Graceful degradation** — ``workers=1``, a non-picklable aligner, or a
+  platform without ``fork``/``spawn`` all fall back to a deterministic
+  in-process execution of the same sharded code path.
+
+Every run records a :class:`BatchTelemetry`: wall time, per-shard timings,
+worker utilisation, and pairs/second.  These are *measured host* numbers —
+they validate the shape of the paper's Figure-12 scaling claims (see
+:func:`repro.sim.multicore.measured_scaling`) but never replace the
+modelled cycle counts, which remain the source of all reported figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .base import Aligner, AlignmentResult, KernelStats
+from .batch import BatchResult, PairLike, _as_pair
+
+#: Pairs per shard when the caller does not choose (big enough to amortise
+#: pickling/IPC, small enough to load-balance across a 16-worker pool).
+DEFAULT_SHARD_SIZE = 16
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """Measured execution of one shard.
+
+    Attributes:
+        index: shard position in input order.
+        pairs: pairs aligned by the shard.
+        wall_seconds: shard execution time inside its worker.
+        worker: executing worker label (``pid:<n>``, or ``inline``).
+    """
+
+    index: int
+    pairs: int
+    wall_seconds: float
+    worker: str
+
+
+@dataclass
+class BatchTelemetry:
+    """Measured execution profile of one batch-alignment run.
+
+    Wall-clock here is *host measurement* — it characterises the harness's
+    own parallel execution (the paper's inter-sequence parallelism made
+    real), not the modelled hardware.  Modelled numbers stay with
+    :meth:`~repro.align.batch.BatchResult.modelled_throughput`.
+
+    Attributes:
+        workers: worker processes requested (1 = in-process).
+        shard_size: maximum pairs per shard.
+        wall_seconds: end-to-end batch wall time in the parent.
+        executor: how shards ran (``serial``, ``inline``, ``fork``,
+            ``spawn``, ``forkserver``).
+        shards: per-shard measurements, in input order.
+    """
+
+    workers: int
+    shard_size: int
+    wall_seconds: float = 0.0
+    executor: str = "serial"
+    shards: List[ShardTelemetry] = field(default_factory=list)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards executed."""
+        return len(self.shards)
+
+    @property
+    def pairs(self) -> int:
+        """Total pairs across all shards."""
+        return sum(shard.pairs for shard in self.shards)
+
+    @property
+    def pairs_per_second(self) -> float:
+        """Measured end-to-end pairs/second (0.0 for an empty batch)."""
+        if not self.pairs or self.wall_seconds <= 0:
+            return 0.0
+        return self.pairs / self.wall_seconds
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-occupied time summed over shards."""
+        return sum(shard.wall_seconds for shard in self.shards)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker pool kept busy (busy / workers·wall).
+
+        1.0 means perfect overlap; serial execution reports ~1.0 by
+        construction; parallel runs lose utilisation to IPC, imbalance and
+        pool startup.  0.0 for an empty batch.
+        """
+        if self.wall_seconds <= 0 or self.workers < 1:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
+
+    def speedup_vs(self, other: "BatchTelemetry") -> float:
+        """Wall-clock speedup of this run relative to ``other``."""
+        if self.wall_seconds <= 0:
+            return float("inf") if other.wall_seconds > 0 else 1.0
+        return other.wall_seconds / self.wall_seconds
+
+
+def iter_shards(
+    pairs: Iterable[PairLike], shard_size: int
+) -> Iterator[List[Tuple[str, str]]]:
+    """Lazily cut a pair iterable into shards of normalised tuples.
+
+    Consumes the input incrementally (``islice``), so generators and
+    streaming readers are never materialised; each yielded shard holds
+    plain ``(pattern, text)`` tuples, the cheapest payload to pickle.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard size must be positive, got {shard_size}")
+    iterator = iter(pairs)
+    while True:
+        shard = [
+            _as_pair(item)
+            for item in itertools.islice(iterator, shard_size)
+        ]
+        if not shard:
+            return
+        yield shard
+
+
+def _align_shard(
+    payload: Tuple[Aligner, List[Tuple[str, str]], bool, bool],
+) -> Tuple[List[AlignmentResult], KernelStats, float, str]:
+    """Worker body: align one shard and pre-merge its stats.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    aligner, shard, traceback, validate = payload
+    start = time.perf_counter()
+    results: List[AlignmentResult] = []
+    for pattern, text in shard:
+        result = aligner.align(pattern, text, traceback=traceback)
+        if validate and result.alignment is not None:
+            result.alignment.validate()
+        results.append(result)
+    stats = KernelStats.merged(result.stats for result in results)
+    return results, stats, time.perf_counter() - start, f"pid:{os.getpid()}"
+
+
+def _is_picklable(aligner: Aligner) -> bool:
+    try:
+        pickle.dumps(aligner)
+        return True
+    except Exception:
+        return False
+
+
+def _resolve_start_method(preferred: Optional[str]) -> Optional[str]:
+    import multiprocessing
+
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} unavailable (have {available})"
+            )
+        return preferred
+    # fork is cheapest and inherits the aligner for free; spawn is the
+    # portable fallback (macOS/Windows default).
+    for method in ("fork", "spawn", "forkserver"):
+        if method in available:
+            return method
+    return None
+
+
+def align_batch_sharded(
+    aligner: Aligner,
+    pairs: Iterable[PairLike],
+    *,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    traceback: bool = True,
+    validate: bool = False,
+    start_method: Optional[str] = None,
+) -> BatchResult:
+    """Align a batch across a sharded worker pool.
+
+    Args:
+        pairs: any iterable of pair-likes — lists, :class:`PairSet`,
+            generators, :func:`~repro.workloads.seqio.iter_pairs` streams.
+        workers: worker processes; ``None`` uses the host CPU count,
+            ``1`` executes in-process (deterministic fallback).
+        shard_size: pairs per shard (default ``DEFAULT_SHARD_SIZE``).
+        traceback / validate: as in :func:`~repro.align.batch.align_batch`.
+        start_method: force a multiprocessing start method (testing hook).
+
+    Returns:
+        A :class:`~repro.align.batch.BatchResult` whose ``results``,
+        ``stats`` and ordering are identical to a serial run, with
+        :attr:`~repro.align.batch.BatchResult.telemetry` populated.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if shard_size is None:
+        shard_size = DEFAULT_SHARD_SIZE
+    shards = iter_shards(pairs, shard_size)
+
+    batch = BatchResult()
+    telemetry = BatchTelemetry(workers=workers, shard_size=shard_size)
+    start = time.perf_counter()
+
+    use_pool = workers > 1 and _is_picklable(aligner)
+    method = _resolve_start_method(start_method) if use_pool else None
+    if use_pool and method is not None:
+        telemetry.executor = method
+        _run_pool(
+            aligner, shards, workers, method, traceback, validate,
+            batch, telemetry,
+        )
+    else:
+        telemetry.executor = "inline" if workers > 1 else "serial"
+        for index, shard in enumerate(shards):
+            results, stats, seconds, _ = _align_shard(
+                (aligner, shard, traceback, validate)
+            )
+            _merge_shard(batch, telemetry, index, results, stats, seconds,
+                         worker="inline")
+
+    telemetry.wall_seconds = time.perf_counter() - start
+    batch.telemetry = telemetry
+    return batch
+
+
+def _run_pool(
+    aligner: Aligner,
+    shards: Iterator[List[Tuple[str, str]]],
+    workers: int,
+    method: str,
+    traceback: bool,
+    validate: bool,
+    batch: BatchResult,
+    telemetry: BatchTelemetry,
+) -> None:
+    """Fan shards out over a pool; merge completions in input order."""
+    import multiprocessing
+
+    context = multiprocessing.get_context(method)
+    payloads = (
+        (aligner, shard, traceback, validate) for shard in shards
+    )
+    with context.Pool(processes=workers) as pool:
+        # imap preserves submission order and consumes the payload
+        # generator lazily, so streaming inputs stay streaming.
+        for index, (results, stats, seconds, worker) in enumerate(
+            pool.imap(_align_shard, payloads)
+        ):
+            _merge_shard(
+                batch, telemetry, index, results, stats, seconds,
+                worker=worker,
+            )
+
+
+def _merge_shard(
+    batch: BatchResult,
+    telemetry: BatchTelemetry,
+    index: int,
+    results: List[AlignmentResult],
+    stats: KernelStats,
+    seconds: float,
+    *,
+    worker: str,
+) -> None:
+    batch.results.extend(results)
+    batch.stats.merge(stats)
+    telemetry.shards.append(
+        ShardTelemetry(
+            index=index, pairs=len(results), wall_seconds=seconds,
+            worker=worker,
+        )
+    )

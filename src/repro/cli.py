@@ -59,6 +59,7 @@ def _experiments() -> Dict[str, Callable]:
         "fig10": harness.figure10,
         "fig11": harness.figure11,
         "fig12": harness.figure12,
+        "fig12live": harness.figure12_functional,
         "fig13": harness.figure13,
         "fig14": harness.figure14,
         "fig15": harness.figure15,
@@ -102,6 +103,20 @@ def _build_parser() -> argparse.ArgumentParser:
     align.add_argument(
         "--stats", action="store_true", help="print kernel statistics"
     )
+    align.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="align --pairs batches over N worker processes (0 = all CPUs)",
+    )
+    align.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="PAIRS",
+        help="pairs per shard for parallel batches",
+    )
 
     generate = commands.add_parser("generate", help="generate a dataset")
     generate.add_argument("--length", type=int, required=True)
@@ -134,25 +149,61 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_align(args) -> int:
-    from .workloads.seqio import load_pairs
+    import os
+
+    from .align.batch import align_batch
+    from .workloads.seqio import iter_pairs
 
     factory = ALIGNER_FACTORIES[args.algorithm]
     aligner = factory(args)
+    workers = args.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        print(f"error: --workers must be >= 0, got {workers}", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size < 1:
+        print(
+            f"error: --shard-size must be >= 1, got {args.shard_size}",
+            file=sys.stderr,
+        )
+        return 2
     if args.pairs:
-        pairs = [(p.pattern, p.text) for p in load_pairs(args.pairs)]
+        source = iter_pairs(args.pairs)  # streamed; never materialised here
     elif args.pattern and args.text:
-        pairs = [(args.pattern, args.text)]
+        source = iter([(args.pattern, args.text)])
     else:
         print("error: provide PATTERN TEXT or --pairs FILE", file=sys.stderr)
         return 2
-    for pattern, text in pairs:
-        result = aligner.align(pattern, text, traceback=not args.no_traceback)
+
+    text_lengths = []
+
+    def tracked():
+        for item in source:
+            pattern = getattr(item, "pattern", None)
+            text = getattr(item, "text", None)
+            if pattern is None:
+                pattern, text = item
+            text_lengths.append(len(text))
+            yield pattern, text
+
+    batch = align_batch(
+        aligner,
+        tracked(),
+        traceback=not args.no_traceback,
+        workers=workers,
+        shard_size=args.shard_size,
+    )
+    if args.pairs and batch.pairs == 0:
+        print(f"error: {args.pairs}: no sequence pairs found", file=sys.stderr)
+        return 2
+    for result, text_length in zip(batch.results, text_lengths):
         line = f"score={result.score} exact={result.exact}"
         if result.alignment is not None:
             line += f" cigar={result.cigar}"
             if result.text_end is not None and (
                 result.text_start, result.text_end
-            ) != (0, len(text)):
+            ) != (0, text_length):
                 line += f" span={result.text_start}:{result.text_end}"
         print(line)
         if args.stats:
@@ -165,6 +216,15 @@ def _cmd_align(args) -> int:
                 f"  dp_cells={stats.dp_cells} tiles={stats.tiles} "
                 f"dp_state_bytes={stats.dp_bytes_peak}"
             )
+    if args.pairs and (args.stats or workers > 1):
+        telemetry = batch.telemetry
+        print(
+            f"batch: pairs={telemetry.pairs} workers={telemetry.workers} "
+            f"shards={telemetry.shard_count} executor={telemetry.executor} "
+            f"wall={telemetry.wall_seconds:.3f}s "
+            f"pairs/s={telemetry.pairs_per_second:.1f} "
+            f"utilization={telemetry.worker_utilization:.0%}"
+        )
     return 0
 
 

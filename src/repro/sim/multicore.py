@@ -12,14 +12,20 @@ time versus per-pair memory traffic:
 * Windowed(GMX) does so little compute per character that even its modest
   streaming (sequences in, alignment out) raises contention, whose latency
   inflation makes its scaling slightly sub-linear — matching §7.2.
+
+Besides the analytic model, :func:`measured_scaling` backs the same
+inter-sequence decomposition with *real* parallel execution: it runs the
+sharded batch engine (:mod:`repro.align.parallel`) at each worker count on
+the host, verifies the parallel results stay identical to serial, and
+reports measured wall-clock speedups next to the modelled ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
-from ..align.base import KernelStats
+from ..align.base import Aligner, KernelStats
 from .core_model import CoreConfig, estimate_kernel
 from .memory import MemorySystemConfig
 
@@ -98,6 +104,95 @@ def multicore_scaling(
                 speedup=rate / base_rate,
                 bandwidth_gbs=bandwidth / 1e9,
                 utilization=min(1.0, bandwidth / peak),
+            )
+        )
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Measured scaling: the analytic model's claims, executed for real
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One real parallel execution of a batch at a fixed worker count.
+
+    Attributes:
+        workers: worker processes used.
+        wall_seconds: measured end-to-end batch wall time.
+        speedup: wall-clock speedup relative to the 1-worker run.
+        pairs_per_second: measured host throughput.
+        worker_utilization: busy-time fraction of the worker pool.
+        executor: how the engine ran (``serial``/``inline``/``fork``/...).
+    """
+
+    workers: int
+    wall_seconds: float
+    speedup: float
+    pairs_per_second: float
+    worker_utilization: float
+    executor: str
+
+
+def measured_scaling(
+    aligner: Aligner,
+    pairs: Sequence,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    *,
+    shard_size: Optional[int] = None,
+    traceback: bool = True,
+) -> List[MeasuredPoint]:
+    """Measure real inter-sequence scaling of the sharded batch engine.
+
+    Runs ``pairs`` through :func:`repro.align.batch.align_batch` once per
+    worker count and reports measured wall-clock speedups relative to the
+    first count (callers conventionally put 1 first).  Every parallel run
+    is checked for result/stat identity against the first run — the
+    determinism contract of the engine — so a reported speedup can never
+    come from diverging work.
+
+    Host caveat: wall-clock reflects the *host* core count, not the
+    modelled 16-core SoC; on a single-CPU host all speedups hover near (or
+    below, from pool overhead) 1.0 while the modelled Figure-12 scaling is
+    unaffected.
+    """
+    from ..align.batch import align_batch
+
+    if not worker_counts:
+        raise ValueError("worker_counts must be non-empty")
+    pairs = list(pairs)
+    points: List[MeasuredPoint] = []
+    reference = None
+    base_wall = None
+    for workers in worker_counts:
+        batch = align_batch(
+            aligner, pairs,
+            workers=workers, shard_size=shard_size, traceback=traceback,
+        )
+        if reference is None:
+            reference = batch
+        elif (
+            batch.results != reference.results
+            or batch.stats != reference.stats
+        ):
+            raise AssertionError(
+                f"parallel run at workers={workers} diverged from the "
+                f"workers={worker_counts[0]} reference"
+            )
+        telemetry = batch.telemetry
+        if base_wall is None:
+            base_wall = telemetry.wall_seconds
+        points.append(
+            MeasuredPoint(
+                workers=workers,
+                wall_seconds=telemetry.wall_seconds,
+                speedup=(
+                    base_wall / telemetry.wall_seconds
+                    if telemetry.wall_seconds > 0 else 1.0
+                ),
+                pairs_per_second=telemetry.pairs_per_second,
+                worker_utilization=telemetry.worker_utilization,
+                executor=telemetry.executor,
             )
         )
     return points

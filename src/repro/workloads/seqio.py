@@ -4,12 +4,18 @@ The paper open-sources its generated datasets as ``.seq`` files in the WFA
 tools' format: two lines per pair, the pattern prefixed with ``>`` and the
 text with ``<``.  This module reads and writes that format so externally
 generated datasets can be dropped into the harness.
+
+Two read paths are provided: :func:`load_pairs` materialises a whole file
+into a :class:`PairSet`, while :func:`iter_pairs` streams pairs one at a
+time — the batch engine (``align_batch(..., workers=N)``) consumes such
+streams shard by shard, so arbitrarily large ``.seq`` files never need to
+fit in memory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import Iterator, List, Union
 
 from .generator import PairSet, SequencePair
 
@@ -27,20 +33,18 @@ def save_pairs(pairs: PairSet, path: Union[str, Path]) -> None:
             handle.write(f"<{pair.text}\n")
 
 
-def load_pairs(
-    path: Union[str, Path],
-    *,
-    name: str = "",
-    error_rate: float = 0.0,
-) -> PairSet:
-    """Read a ``.seq`` file into a :class:`PairSet`.
+def iter_pairs(
+    path: Union[str, Path], *, error_rate: float = 0.0
+) -> Iterator[SequencePair]:
+    """Stream a ``.seq`` file pair by pair without materialising it.
+
+    Yields each :class:`SequencePair` as soon as its two lines are read;
+    format errors raise :class:`SeqFormatError` at the offending line.
 
     Args:
-        name: dataset name; defaults to the file stem.
         error_rate: nominal divergence to record (unknown for external data).
     """
     path = Path(path)
-    pairs: List[SequencePair] = []
     pattern = None
     with path.open() as handle:
         for line_number, raw in enumerate(handle, start=1):
@@ -58,10 +62,8 @@ def load_pairs(
                     raise SeqFormatError(
                         f"{path}:{line_number}: text without preceding pattern"
                     )
-                pairs.append(
-                    SequencePair(
-                        pattern=pattern, text=line[1:], error_rate=error_rate
-                    )
+                yield SequencePair(
+                    pattern=pattern, text=line[1:], error_rate=error_rate
                 )
                 pattern = None
             else:
@@ -70,6 +72,22 @@ def load_pairs(
                 )
     if pattern is not None:
         raise SeqFormatError(f"{path}: trailing pattern without text")
+
+
+def load_pairs(
+    path: Union[str, Path],
+    *,
+    name: str = "",
+    error_rate: float = 0.0,
+) -> PairSet:
+    """Read a ``.seq`` file into a :class:`PairSet`.
+
+    Args:
+        name: dataset name; defaults to the file stem.
+        error_rate: nominal divergence to record (unknown for external data).
+    """
+    path = Path(path)
+    pairs: List[SequencePair] = list(iter_pairs(path, error_rate=error_rate))
     if not pairs:
         raise SeqFormatError(f"{path}: no sequence pairs found")
     length = pairs[0].length

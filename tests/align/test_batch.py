@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.align import BandedGmxAligner, FullGmxAligner, align_batch
+from repro.align import BandedGmxAligner, BatchResult, FullGmxAligner, align_batch
+from repro.align.base import AlignmentResult, KernelStats
 from repro.baselines import NeedlemanWunschAligner
 from repro.sim.soc import GEM5_INORDER, RTL_INORDER
 from repro.workloads import generate_pair_set, short_dataset
@@ -69,3 +70,44 @@ class TestAggregation:
     def test_energy_positive(self):
         batch = align_batch(FullGmxAligner(), short_dataset(100, count=2))
         assert batch.modelled_energy_nj() > 0
+
+
+class TestZeroPairConsistency:
+    """Regression: every zero-pair/zero-work edge reports 0.0, uniformly.
+
+    mean_score returned 0.0 for an empty batch while the modelled_*
+    family still ran the timing models (dividing through modelled
+    seconds); they now all short-circuit the same way.
+    """
+
+    def test_empty_batch_all_metrics_zero(self):
+        batch = align_batch(FullGmxAligner(), [])
+        assert batch.mean_score == 0.0
+        assert batch.modelled_seconds(RTL_INORDER) == 0.0
+        assert batch.modelled_seconds(GEM5_INORDER) == 0.0
+        assert batch.modelled_throughput(RTL_INORDER) == 0.0
+        assert batch.modelled_energy_nj() == 0.0
+
+    def test_empty_batch_metrics_agree_across_workers(self):
+        for workers in (1, 2, 4):
+            batch = align_batch(FullGmxAligner(), [], workers=workers)
+            assert batch.mean_score == 0.0
+            assert batch.modelled_throughput(RTL_INORDER) == 0.0
+
+    def test_zero_work_results_do_not_divide_by_zero(self):
+        """Pairs present but with empty stats: modelled runtime is 0.0 and
+        throughput must report 0.0 instead of raising ZeroDivisionError."""
+        batch = BatchResult(
+            results=[
+                AlignmentResult(score=0, alignment=None, stats=KernelStats())
+            ]
+        )
+        assert batch.pairs == 1
+        assert batch.modelled_seconds(RTL_INORDER) == 0.0
+        assert batch.modelled_throughput(RTL_INORDER) == 0.0
+
+    def test_telemetry_always_recorded(self):
+        batch = align_batch(FullGmxAligner(), [("ACGT", "ACGA")])
+        assert batch.telemetry is not None
+        assert batch.telemetry.pairs == 1
+        assert batch.telemetry.wall_seconds > 0

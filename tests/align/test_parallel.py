@@ -1,0 +1,229 @@
+"""Parallel-vs-serial equivalence tests for the sharded batch engine.
+
+The engine's contract: for any worker count, ``align_batch`` produces
+results, merged stats, and ordering identical to the serial loop — the
+only observable difference is the telemetry record.
+"""
+
+import os
+
+import pytest
+
+from repro.align import (
+    BatchTelemetry,
+    FullGmxAligner,
+    align_batch,
+    align_batch_sharded,
+    iter_shards,
+)
+from repro.baselines import NeedlemanWunschAligner
+from repro.workloads import generate_pair_set, save_pairs
+from repro.workloads.seqio import iter_pairs
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _dataset(count=12, length=90, seed=11):
+    return generate_pair_set("parallel", length, 0.08, count, seed=seed)
+
+
+def _host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_results_stats_order_identical(self, workers):
+        dataset = _dataset()
+        serial = align_batch(FullGmxAligner(), dataset)
+        parallel = align_batch(
+            FullGmxAligner(), dataset, workers=workers, shard_size=5
+        )
+        assert parallel.results == serial.results
+        assert parallel.stats == serial.stats
+        assert [r.score for r in parallel.results] == [
+            r.score for r in serial.results
+        ]
+        assert [r.cigar for r in parallel.results] == [
+            r.cigar for r in serial.results
+        ]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_empty_batch(self, workers):
+        batch = align_batch(FullGmxAligner(), [], workers=workers)
+        assert batch.pairs == 0
+        assert batch.results == []
+        assert batch.mean_score == 0.0
+        assert batch.telemetry.pairs == 0
+        assert batch.telemetry.pairs_per_second == 0.0
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_single_pair_batch(self, workers):
+        dataset = _dataset(count=1)
+        serial = align_batch(FullGmxAligner(), dataset)
+        parallel = align_batch(FullGmxAligner(), dataset, workers=workers)
+        assert parallel.results == serial.results
+        assert parallel.stats == serial.stats
+
+    def test_nw_baseline_parallel(self):
+        dataset = _dataset(count=6, length=60)
+        serial = align_batch(NeedlemanWunschAligner(), dataset)
+        parallel = align_batch(
+            NeedlemanWunschAligner(), dataset, workers=2, shard_size=2
+        )
+        assert parallel.results == serial.results
+        assert parallel.stats == serial.stats
+
+    def test_traceback_off(self):
+        dataset = _dataset(count=6)
+        serial = align_batch(FullGmxAligner(), dataset, traceback=False)
+        parallel = align_batch(
+            FullGmxAligner(), dataset, traceback=False, workers=2
+        )
+        assert parallel.results == serial.results
+        assert all(r.alignment is None for r in parallel.results)
+
+    def test_validate_mode_parallel(self):
+        dataset = _dataset(count=6)
+        batch = align_batch(
+            FullGmxAligner(), dataset, validate=True, workers=2
+        )
+        assert batch.pairs == 6
+
+    def test_generator_input_streams(self):
+        dataset = _dataset()
+        serial = align_batch(FullGmxAligner(), dataset)
+        generator = ((p.pattern, p.text) for p in dataset)
+        parallel = align_batch(
+            FullGmxAligner(), generator, workers=2, shard_size=4
+        )
+        assert parallel.results == serial.results
+        assert parallel.telemetry.shard_count == 3
+
+    def test_seq_file_stream_input(self, tmp_path):
+        dataset = _dataset(count=5)
+        path = tmp_path / "pairs.seq"
+        save_pairs(dataset, path)
+        serial = align_batch(FullGmxAligner(), dataset)
+        streamed = align_batch(
+            FullGmxAligner(), iter_pairs(path), workers=2, shard_size=2
+        )
+        assert streamed.results == serial.results
+
+    def test_non_picklable_aligner_falls_back_inline(self):
+        class Unpicklable(FullGmxAligner):
+            def __init__(self):
+                super().__init__()
+                self.hook = lambda result: result  # defeats pickling
+
+        dataset = _dataset(count=4)
+        serial = align_batch(FullGmxAligner(), dataset)
+        batch = align_batch(Unpicklable(), dataset, workers=4)
+        assert batch.telemetry.executor == "inline"
+        assert batch.results == serial.results
+        assert batch.stats == serial.stats
+
+
+class TestSharding:
+    def test_iter_shards_sizes_and_order(self):
+        items = [(f"A{i}", f"C{i}") for i in range(10)]
+        shards = list(iter_shards(items, 4))
+        assert [len(s) for s in shards] == [4, 4, 2]
+        assert [pair for shard in shards for pair in shard] == items
+
+    def test_iter_shards_normalises_pair_objects(self):
+        dataset = _dataset(count=3)
+        (shard,) = iter_shards(dataset, 8)
+        assert shard == [(p.pattern, p.text) for p in dataset]
+
+    def test_iter_shards_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(iter_shards([("A", "A")], 0))
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            align_batch_sharded(FullGmxAligner(), [], workers=0)
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError):
+            align_batch_sharded(
+                FullGmxAligner(),
+                [("ACGT", "ACGT")],
+                workers=2,
+                start_method="bogus",
+            )
+
+    def test_default_workers_uses_host_cpus(self):
+        batch = align_batch_sharded(FullGmxAligner(), _dataset(count=2))
+        assert batch.telemetry.workers == (os.cpu_count() or 1)
+
+
+class TestTelemetry:
+    def test_serial_run_records_telemetry(self):
+        batch = align_batch(FullGmxAligner(), _dataset(count=3))
+        telemetry = batch.telemetry
+        assert isinstance(telemetry, BatchTelemetry)
+        assert telemetry.executor == "serial"
+        assert telemetry.workers == 1
+        assert telemetry.shard_count == 1
+        assert telemetry.pairs == 3
+        assert telemetry.wall_seconds > 0
+        assert telemetry.pairs_per_second > 0
+        assert 0 < telemetry.worker_utilization <= 1.0
+
+    def test_parallel_run_records_shards(self):
+        batch = align_batch(
+            FullGmxAligner(), _dataset(count=10), workers=2, shard_size=3
+        )
+        telemetry = batch.telemetry
+        assert telemetry.workers == 2
+        assert telemetry.shard_count == 4
+        assert [s.index for s in telemetry.shards] == [0, 1, 2, 3]
+        assert [s.pairs for s in telemetry.shards] == [3, 3, 3, 1]
+        assert telemetry.pairs == 10
+        assert telemetry.busy_seconds > 0
+        assert telemetry.executor in ("fork", "spawn", "forkserver", "inline")
+
+    def test_empty_batch_telemetry_is_inert(self):
+        telemetry = align_batch(FullGmxAligner(), [], workers=2).telemetry
+        assert telemetry.pairs == 0
+        assert telemetry.pairs_per_second == 0.0
+        assert telemetry.busy_seconds == 0.0
+
+    def test_speedup_vs(self):
+        fast = BatchTelemetry(workers=4, shard_size=8, wall_seconds=1.0)
+        slow = BatchTelemetry(workers=1, shard_size=8, wall_seconds=3.0)
+        assert fast.speedup_vs(slow) == pytest.approx(3.0)
+        assert slow.speedup_vs(fast) == pytest.approx(1 / 3)
+
+
+@pytest.mark.slow
+class TestWallClock:
+    """The PR's acceptance batch: 500 pairs, workers=4 vs serial."""
+
+    def test_500_pair_parallel_identical_to_serial(self):
+        dataset = generate_pair_set("acceptance", 80, 0.05, 500, seed=2)
+        serial = align_batch(FullGmxAligner(), dataset)
+        parallel = align_batch(FullGmxAligner(), dataset, workers=4)
+        assert parallel.results == serial.results
+        assert parallel.stats == serial.stats
+        assert parallel.telemetry.pairs == 500
+
+    @pytest.mark.skipif(
+        _host_cpus() < 2,
+        reason="wall-clock speedup requires >= 2 host CPUs",
+    )
+    def test_500_pair_speedup_over_1_5x(self):
+        dataset = generate_pair_set("acceptance-speed", 100, 0.05, 500, seed=2)
+        serial = align_batch(FullGmxAligner(), dataset)
+        parallel = align_batch(FullGmxAligner(), dataset, workers=4)
+        assert parallel.results == serial.results
+        speedup = parallel.telemetry.speedup_vs(serial.telemetry)
+        assert speedup > 1.5, (
+            f"workers=4 speedup {speedup:.2f}x "
+            f"(serial {serial.telemetry.wall_seconds:.2f}s, "
+            f"parallel {parallel.telemetry.wall_seconds:.2f}s)"
+        )

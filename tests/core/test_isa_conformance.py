@@ -4,11 +4,21 @@ Modelled after riscv-tests style directed testing: each case pins down one
 architectural behaviour with hand-computed expected values (not computed
 by the implementation under test).  T = 4 keeps the vectors checkable by
 hand; the tile-size-independence of the semantics is covered elsewhere.
+
+The directed vectors are complemented by randomized CSR-state fuzzing
+(``TestRandomizedCsrState``): seeded sequences of ``csrw`` updates and
+``gmx.v``/``gmx.h``/``gmx.vh`` executions, each checked against
+:func:`repro.core.tile.compute_tile_reference` on the architectural state
+in force at that instruction — conformance under state *re-use*, partial
+chunks, and interleaved pattern/text rewrites (the peq-cache hazard).
 """
+
+import random
 
 import pytest
 
 from repro.core.isa import GmxIsa, encode_pos, pack_vector, unpack_vector
+from repro.core.tile import compute_tile_reference
 from repro.core.traceback import NextTile
 
 T = 4
@@ -126,6 +136,98 @@ class TestGmxTb:
         isa.csrw("gmx_pos", encode_pos(3, 3, T))
         isa.gmx_tb(PLUS4, PLUS4)
         assert isa.retired["gmx.tb"] == 1
+
+
+class TestRandomizedCsrState:
+    """Randomized gmx.v/gmx.h CSR-state sequences vs the tile reference."""
+
+    DNA = "ACGT"
+
+    def _random_chunk(self, rng, tile_size):
+        return "".join(
+            rng.choice(self.DNA) for _ in range(rng.randint(1, tile_size))
+        )
+
+    def _random_deltas(self, rng, count):
+        return [rng.choice((-1, 0, 1)) for _ in range(count)]
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_instruction_sequences(self, seed):
+        """Interleave CSR writes with tile instructions; every executed
+        instruction must match the reference kernel on the live state."""
+        rng = random.Random(f"isa-fuzz:{seed}")
+        tile_size = rng.choice((4, 8, 32))
+        isa = GmxIsa(tile_size=tile_size)
+        isa.csrw("gmx_pattern", self._random_chunk(rng, tile_size))
+        isa.csrw("gmx_text", self._random_chunk(rng, tile_size))
+        executed = 0
+        for _ in range(16):
+            action = rng.choice(("pattern", "text", "v", "h", "vh"))
+            if action == "pattern":
+                isa.csrw("gmx_pattern", self._random_chunk(rng, tile_size))
+                continue
+            if action == "text":
+                isa.csrw("gmx_text", self._random_chunk(rng, tile_size))
+                continue
+            pattern = isa.csrr("gmx_pattern")
+            text = isa.csrr("gmx_text")
+            dv_in = self._random_deltas(rng, len(pattern))
+            dh_in = self._random_deltas(rng, len(text))
+            expected = compute_tile_reference(
+                pattern, text, dv_in, dh_in, tile_size=tile_size
+            )
+            rs1 = pack_vector(dv_in)
+            rs2 = pack_vector(dh_in)
+            if action == "v":
+                out = unpack_vector(isa.gmx_v(rs1, rs2), len(pattern))
+                assert out == list(expected.dv_out)
+            elif action == "h":
+                out = unpack_vector(isa.gmx_h(rs1, rs2), len(text))
+                assert out == list(expected.dh_out)
+            else:
+                dv, dh = isa.gmx_vh(rs1, rs2)
+                assert unpack_vector(dv, len(pattern)) == list(expected.dv_out)
+                assert unpack_vector(dh, len(text)) == list(expected.dh_out)
+            executed += 1
+        assert (
+            isa.retired["gmx.v"] + isa.retired["gmx.h"] + isa.retired["gmx.vh"]
+            == executed
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pattern_rewrite_invalidates_equality_masks(self, seed):
+        """Back-to-back tiles with only the pattern CSR changing — the
+        state hazard a stale peq cache would corrupt."""
+        rng = random.Random(f"isa-peq:{seed}")
+        isa = GmxIsa(tile_size=T)
+        text = self._random_chunk(rng, T)
+        isa.csrw("gmx_text", text)
+        for _ in range(8):
+            pattern = self._random_chunk(rng, T)
+            isa.csrw("gmx_pattern", pattern)
+            dv_in = self._random_deltas(rng, len(pattern))
+            dh_in = self._random_deltas(rng, len(text))
+            expected = compute_tile_reference(
+                pattern, text, dv_in, dh_in, tile_size=T
+            )
+            result = isa.gmx_v(pack_vector(dv_in), pack_vector(dh_in))
+            assert unpack_vector(result, len(pattern)) == list(expected.dv_out)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_csr_roundtrip_and_retirement(self, seed):
+        rng = random.Random(f"isa-csr:{seed}")
+        isa = GmxIsa(tile_size=T)
+        pattern = self._random_chunk(rng, T)
+        text = self._random_chunk(rng, T)
+        pos = encode_pos(rng.randrange(T), T - 1, T)
+        isa.csrw("gmx_pattern", pattern)
+        isa.csrw("gmx_text", text)
+        isa.csrw("gmx_pos", pos)
+        assert isa.csrr("gmx_pattern") == pattern
+        assert isa.csrr("gmx_text") == text
+        assert isa.csrr("gmx_pos") == pos
+        assert isa.retired["csrw"] == 3
+        assert isa.retired["csrr"] == 3
 
 
 class TestRegisterWidths:

@@ -1,0 +1,167 @@
+"""Differential fuzzing of the tile kernels against independent references.
+
+Three implementations of the same mathematics are cross-checked on seeded
+random inputs (every case is deterministic and replayable from its seed):
+
+* :func:`repro.core.tile.compute_tile` — the bit-parallel production kernel;
+* :func:`repro.core.tile.compute_tile_reference` — the cell-by-cell GMXΔ
+  evaluation mirroring the hardware array;
+* the scalar edit-distance DP from ``tests/conftest.py`` (library-independent)
+  and the Needleman–Wunsch baseline aligner.
+
+Coverage axes: random partial tiles (R, C ≤ T with arbitrary Δ inputs),
+DP-boundary tiles checked edge-by-edge against the scalar matrix, and
+whole alignments over lengths 1..3T under all three sequencing error
+profiles (Illumina, PacBio HiFi, ONT).  Well over 200 cases run in the
+default suite; an extended sweep rides in the ``slow`` marker.
+"""
+
+import random
+
+import pytest
+
+from repro.align import FullGmxAligner
+from repro.baselines import NeedlemanWunschAligner
+from repro.core.tile import (
+    DEFAULT_TILE_SIZE,
+    boundary_deltas,
+    compute_tile,
+    compute_tile_reference,
+)
+from repro.workloads.profiles import (
+    ILLUMINA,
+    ONT,
+    PACBIO_HIFI,
+    generate_profiled_pair,
+)
+
+from conftest import random_dna, scalar_edit_distance, scalar_edit_matrix
+
+T = DEFAULT_TILE_SIZE
+
+PROFILES = pytest.mark.parametrize(
+    "profile", (ILLUMINA, PACBIO_HIFI, ONT), ids=lambda p: p.name
+)
+
+
+def _random_deltas(count: int, rng: random.Random):
+    return [rng.choice((-1, 0, 1)) for _ in range(count)]
+
+
+class TestTileKernelsAgree:
+    """compute_tile vs compute_tile_reference on arbitrary tile inputs."""
+
+    @pytest.mark.parametrize("seed", range(120))
+    def test_random_partial_tiles(self, seed):
+        rng = random.Random(0xD1F + seed)
+        rows = rng.randint(1, T)
+        cols = rng.randint(1, T)
+        pattern = random_dna(rows, rng)
+        text = random_dna(cols, rng)
+        dv_in = _random_deltas(rows, rng)
+        dh_in = _random_deltas(cols, rng)
+        fast = compute_tile(pattern, text, dv_in, dh_in)
+        reference = compute_tile_reference(pattern, text, dv_in, dh_in)
+        assert fast == reference, (
+            f"kernels disagree: seed={seed} shape=({rows},{cols})"
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_degenerate_shapes(self, seed):
+        """1×C and R×1 slivers — the partial-tile masking corners."""
+        rng = random.Random(0x51B + seed)
+        for rows, cols in ((1, rng.randint(1, T)), (rng.randint(1, T), 1)):
+            pattern = random_dna(rows, rng)
+            text = random_dna(cols, rng)
+            dv_in = _random_deltas(rows, rng)
+            dh_in = _random_deltas(cols, rng)
+            assert compute_tile(
+                pattern, text, dv_in, dh_in
+            ) == compute_tile_reference(pattern, text, dv_in, dh_in)
+
+
+class TestTileEdgesMatchScalarDp:
+    """Boundary tiles reconstructed against the independent scalar matrix."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_boundary_tile_edges(self, seed):
+        rng = random.Random(0xDB + seed)
+        rows = rng.randint(1, T)
+        cols = rng.randint(1, T)
+        pattern = random_dna(rows, rng)
+        text = random_dna(cols, rng)
+        tile = compute_tile(
+            pattern, text, boundary_deltas(rows), boundary_deltas(cols)
+        )
+        matrix = scalar_edit_matrix(pattern, text)
+        # Right edge: D[i+1][C] = C + Σ dv_out[..i]; bottom: D[R][j+1]
+        # = R + Σ dh_out[..j].  (D[0][C] = C and D[R][0] = R on the
+        # boundary of the full DP matrix.)
+        running = cols
+        for i, delta in enumerate(tile.dv_out):
+            running += delta
+            assert running == matrix[i + 1][cols], f"right edge row {i}"
+        running = rows
+        for j, delta in enumerate(tile.dh_out):
+            running += delta
+            assert running == matrix[rows][j + 1], f"bottom edge col {j}"
+
+
+class TestAlignersMatchScalarDp:
+    """Whole alignments: Full(GMX) vs NW baseline vs the scalar reference."""
+
+    @PROFILES
+    @pytest.mark.parametrize("seed", range(30))
+    def test_profiled_pairs_three_way(self, profile, seed):
+        rng = random.Random(f"diff:{profile.name}:{seed}")
+        length = rng.randint(1, 3 * T)
+        pair = generate_profiled_pair(length, profile, rng)
+        expected = scalar_edit_distance(pair.pattern, pair.text)
+        gmx = FullGmxAligner().align(pair.pattern, pair.text)
+        assert gmx.score == expected
+        assert gmx.alignment is not None
+        gmx.alignment.validate()
+        nw = NeedlemanWunschAligner().distance(pair.pattern, pair.text)
+        assert nw == expected
+
+    @PROFILES
+    @pytest.mark.parametrize(
+        "length", (1, T - 1, T, T + 1, 2 * T - 1, 2 * T, 2 * T + 1, 3 * T)
+    )
+    def test_partial_tile_boundary_lengths(self, profile, length):
+        """Lengths straddling tile boundaries — the masking hot spots."""
+        rng = random.Random(f"boundary:{profile.name}:{length}")
+        pair = generate_profiled_pair(length, profile, rng)
+        expected = scalar_edit_distance(pair.pattern, pair.text)
+        assert FullGmxAligner().distance(pair.pattern, pair.text) == expected
+
+
+@pytest.mark.slow
+class TestExtendedSweep:
+    """Longer fuzz sweep for scheduled jobs (`pytest -m slow`)."""
+
+    @PROFILES
+    @pytest.mark.parametrize("seed", range(40))
+    def test_profiled_pairs_to_4t(self, profile, seed):
+        rng = random.Random(f"ext:{profile.name}:{seed}")
+        length = rng.randint(1, 4 * T)
+        pair = generate_profiled_pair(length, profile, rng)
+        expected = scalar_edit_distance(pair.pattern, pair.text)
+        result = FullGmxAligner().align(pair.pattern, pair.text)
+        assert result.score == expected
+        result.alignment.validate()
+
+    @pytest.mark.parametrize("seed", range(80))
+    def test_random_tiles_mixed_alphabet(self, seed):
+        """Tiles over a non-DNA alphabet — peq-map robustness."""
+        rng = random.Random(0xA1F + seed)
+        alphabet = "ACGTN-"
+        rows = rng.randint(1, T)
+        cols = rng.randint(1, T)
+        pattern = "".join(rng.choice(alphabet) for _ in range(rows))
+        text = "".join(rng.choice(alphabet) for _ in range(cols))
+        dv_in = _random_deltas(rows, rng)
+        dh_in = _random_deltas(cols, rng)
+        assert compute_tile(
+            pattern, text, dv_in, dh_in
+        ) == compute_tile_reference(pattern, text, dv_in, dh_in)
