@@ -1,14 +1,17 @@
-# Test and benchmark entry points.
+# Test, lint and benchmark entry points.
 #
 # `test` is the tier-1 gate (everything, including slow fuzz sweeps and
 # the wall-clock parallel tests).  `test-fast` drops the `slow` marker for
 # quick iteration; `test-slow` runs only the long sweeps, sized for a
 # scheduled job where the differential fuzzers can afford more cases.
+# `lint` chains ruff and mypy (skipped with a notice when not installed —
+# the repro container ships without them; CI installs both) and always
+# finishes with the in-tree static analyzer, `repro lint`.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-slow bench verify
+.PHONY: test test-fast test-slow bench verify lint
 
 test:
 	$(PYTEST) -x -q
@@ -24,3 +27,16 @@ bench:
 
 verify:
 	PYTHONPATH=src $(PYTHON) -m repro verify
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install -e .[lint])"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro lint

@@ -48,6 +48,9 @@ class BandedGmxAligner(Aligner):
             (``score ≤ band``); when False a non-certified result is returned
             with ``exact=False``.
         tile_size: T, the GMX tile dimension.
+        trace_sink: when given, every banded pass appends its retired
+            :class:`~repro.core.isa.IsaEvent` stream to this list — the
+            input of the static program verifier (:mod:`repro.analysis`).
     """
 
     name = "Banded(GMX)"
@@ -58,12 +61,14 @@ class BandedGmxAligner(Aligner):
         *,
         auto_widen: bool = True,
         tile_size: int = DEFAULT_TILE_SIZE,
+        trace_sink: Optional[List] = None,
     ):
         if band is not None and band < 1:
             raise ValueError(f"band must be positive, got {band}")
         self.band = band
         self.auto_widen = auto_widen
         self.tile_size = tile_size
+        self.trace_sink = trace_sink
 
     def align(
         self, pattern: str, text: str, *, traceback: bool = True
@@ -108,6 +113,9 @@ class BandedGmxAligner(Aligner):
         tile = self.tile_size
         edge_bytes = _edge_bytes(tile)
         isa = GmxIsa(tile_size=tile)
+        if self.trace_sink is not None:
+            isa.trace = []
+            self.trace_sink.append(isa.trace)
         p_chunks = _chunks(pattern, tile)
         t_chunks = _chunks(text, tile)
         n_tiles = len(p_chunks)

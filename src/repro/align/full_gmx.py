@@ -57,6 +57,9 @@ class FullGmxAligner(Aligner):
         fused: use the dual-destination ``gmx.vh`` variant the paper
             sketches for cores with two register write ports (§5) — one
             tile instruction instead of the gmx.v/gmx.h pair.
+        trace_sink: when given, every ``align`` call appends its retired
+            :class:`~repro.core.isa.IsaEvent` stream to this list — the
+            input of the static program verifier (:mod:`repro.analysis`).
     """
 
     name = "Full(GMX)"
@@ -67,19 +70,29 @@ class FullGmxAligner(Aligner):
         mode: AlignmentMode = AlignmentMode.GLOBAL,
         *,
         fused: bool = False,
+        trace_sink: Optional[List] = None,
     ):
         if tile_size < 2:
             raise ValueError(f"tile size must be at least 2, got {tile_size}")
         self.tile_size = tile_size
         self.mode = mode
         self.fused = fused
+        self.trace_sink = trace_sink
+
+    def _fresh_isa(self) -> GmxIsa:
+        """A new ISA instance, wired for trace recording when requested."""
+        isa = GmxIsa(tile_size=self.tile_size)
+        if self.trace_sink is not None:
+            isa.trace = []
+            self.trace_sink.append(isa.trace)
+        return isa
 
     def align(
         self, pattern: str, text: str, *, traceback: bool = True
     ) -> AlignmentResult:
         if not pattern or not text:
             raise ValueError("pattern and text must be non-empty")
-        isa = GmxIsa(tile_size=self.tile_size)
+        isa = self._fresh_isa()
         stats = KernelStats()
         tile = self.tile_size
         edge_bytes = _edge_bytes(tile)

@@ -172,6 +172,9 @@ class WindowedGmxAligner(WindowedAligner):
         window: W (default 3·T).
         overlap: O (default T).
         tile_size: T, the GMX tile dimension.
+        trace_sink: when given, every window's Full(GMX) run appends its
+            retired instruction stream to this list (one program per
+            window) for the static program verifier.
     """
 
     name = "Windowed(GMX)"
@@ -182,10 +185,11 @@ class WindowedGmxAligner(WindowedAligner):
         overlap: int | None = None,
         *,
         tile_size: int = DEFAULT_TILE_SIZE,
+        trace_sink: List | None = None,
     ):
         self.tile_size = tile_size
         super().__init__(
-            inner=FullGmxAligner(tile_size=tile_size),
+            inner=FullGmxAligner(tile_size=tile_size, trace_sink=trace_sink),
             window=window if window is not None else 3 * tile_size,
             overlap=overlap if overlap is not None else tile_size,
         )

@@ -1,0 +1,51 @@
+"""Static analysis for the GMX reproduction (``repro lint``).
+
+Two passes, one diagnostic vocabulary:
+
+* :mod:`repro.analysis.verifier` — the **GMX program verifier**: abstract
+  CSR/register dataflow analysis over instruction streams, both retired
+  :class:`~repro.core.isa.IsaEvent` traces and raw binary programs decoded
+  through :mod:`repro.core.encoding` (codes ``GMX0xx``).
+* :mod:`repro.analysis.repolint` — the **repo invariant lint**: AST-based
+  enforcement of codebase contracts the type system can't express
+  (codes ``REPRO0xx``).
+
+See ``docs/analysis.md`` for the full diagnostic catalogue and CLI usage.
+"""
+
+from .corpus import MalformedCase, aligner_stream_programs, malformed_corpus
+from .driver import LintReport, run_lint
+from .diagnostics import (
+    CODES,
+    AnalysisError,
+    Diagnostic,
+    Severity,
+    render_text,
+    summarize,
+    worst_severity,
+)
+from .program import Instr, Program
+from .repolint import check_aligner_picklability, lint_repo
+from .verifier import verify_program, verify_trace, verify_words
+
+__all__ = [
+    "CODES",
+    "AnalysisError",
+    "Diagnostic",
+    "Instr",
+    "LintReport",
+    "MalformedCase",
+    "Program",
+    "Severity",
+    "aligner_stream_programs",
+    "check_aligner_picklability",
+    "lint_repo",
+    "malformed_corpus",
+    "render_text",
+    "run_lint",
+    "summarize",
+    "verify_program",
+    "verify_trace",
+    "verify_words",
+    "worst_severity",
+]

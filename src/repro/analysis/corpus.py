@@ -1,0 +1,405 @@
+"""Seeded program corpora for the GMX program verifier.
+
+Two corpora back the verifier's acceptance gate:
+
+* :func:`malformed_corpus` — ≥ 10 deliberately broken programs (shuffled
+  CSR writes, truncated programs, corrupt ``gmx_pos`` images, out-of-domain
+  Δ encodings, foreign edges, single-port ``gmx.vh``, undecodable words),
+  each annotated with the exact ``(code, index)`` diagnostics it must
+  produce.  ``repro lint --corpus`` runs it and must exit non-zero.
+* :func:`aligner_stream_programs` — the retired streams of Full(GMX),
+  Banded(GMX) and Windowed(GMX) over seeded generated pairs, which must
+  verify completely clean.
+
+Every case is deterministic and replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.bitvec import pack_deltas
+from ..core.encoding import encode, encode_csr
+from ..core.isa import encode_pos
+from .program import Instr, Program
+
+#: Tile size of the hand-checkable corpus programs.
+CORPUS_TILE = 4
+
+_DNA = "ACGT"
+
+
+@dataclass(frozen=True)
+class MalformedCase:
+    """One corpus entry: a program plus the diagnostics it must trigger.
+
+    Attributes:
+        name: stable case identifier.
+        program: the malformed program.
+        expect: the exact ``(code, index)`` multiset the verifier must
+            report (order-insensitive; ``index`` may be None).
+        ports: register write ports to verify against (gmx.vh needs 2).
+    """
+
+    name: str
+    program: Program
+    expect: Tuple[Tuple[str, int], ...]
+    ports: int = 2
+
+
+def _chunk(rng: random.Random, length: int = CORPUS_TILE) -> str:
+    return "".join(rng.choice(_DNA) for _ in range(length))
+
+
+def _fill(count: int = CORPUS_TILE) -> int:
+    """The all-+1 boundary fill image."""
+    return pack_deltas([1] * count)
+
+
+def _trace(instrs, label: str) -> Program:
+    return Program(
+        instrs=tuple(instrs),
+        tile_size=CORPUS_TILE,
+        concrete=True,
+        label=label,
+    )
+
+
+def _tile_out(count: int = CORPUS_TILE) -> int:
+    """A plausible tile output image (all-zero Δs)."""
+    return pack_deltas([0] * count)
+
+
+def malformed_corpus(seed: int = 0) -> List[MalformedCase]:
+    """Build the seeded malformed-program corpus (every GMX code covered)."""
+    rng = random.Random(f"gmx-corpus:{seed}")
+    fill = _fill()
+    cases: List[MalformedCase] = []
+
+    def csrw(csr: str, value) -> Instr:
+        return Instr("csrw", csr=csr, value=value)
+
+    def csrr(csr: str, value=0) -> Instr:
+        return Instr("csrr", csr=csr, value=value)
+
+    def gmx_v(rs1: int = fill, rs2: int = fill) -> Instr:
+        return Instr("gmx.v", rs1=rs1, rs2=rs2, out=(_tile_out(),))
+
+    def gmx_tb(rs1: int = fill, rs2: int = fill) -> Instr:
+        return Instr(
+            "gmx.tb", rs1=rs1, rs2=rs2, out=(0, 0, encode_pos(0, 3, CORPUS_TILE))
+        )
+
+    pattern = _chunk(rng)
+    text = _chunk(rng)
+    other = _chunk(rng)
+
+    # GMX001 — tile compute with gmx_text never initialised.
+    cases.append(
+        MalformedCase(
+            name="uninit-text-read",
+            program=_trace([csrw("gmx_pattern", pattern), gmx_v()], "uninit-text"),
+            expect=(("GMX001", 1),),
+        )
+    )
+    # GMX001 — csrr of a CSR nothing wrote.
+    cases.append(
+        MalformedCase(
+            name="csrr-before-write",
+            program=_trace([csrr("gmx_lo")], "csrr-first"),
+            expect=(("GMX001", 0),),
+        )
+    )
+    # GMX001 — gmx.tb without a gmx_pos image.
+    cases.append(
+        MalformedCase(
+            name="tb-uninit-pos",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(),
+                    gmx_tb(),
+                    csrr("gmx_lo"),
+                    csrr("gmx_hi"),
+                    csrr("gmx_pos"),
+                ],
+                "tb-no-pos",
+            ),
+            expect=(("GMX001", 3),),
+        )
+    )
+    # GMX002 — traceback with no tile ever computed.
+    cases.append(
+        MalformedCase(
+            name="tb-before-tile",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    csrw("gmx_pos", encode_pos(3, 3, CORPUS_TILE)),
+                    gmx_tb(),
+                    csrr("gmx_lo"),
+                    csrr("gmx_hi"),
+                    csrr("gmx_pos"),
+                ],
+                "tb-first",
+            ),
+            expect=(("GMX002", 3),),
+        )
+    )
+    # GMX002 — traceback of a tile other than the computed one.
+    cases.append(
+        MalformedCase(
+            name="tb-wrong-tile",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(),
+                    csrw("gmx_pattern", other),
+                    csrw("gmx_pos", encode_pos(3, 3, CORPUS_TILE)),
+                    gmx_tb(),
+                    csrr("gmx_lo"),
+                    csrr("gmx_hi"),
+                    csrr("gmx_pos"),
+                ],
+                "tb-wrong-tile",
+            ),
+            expect=(("GMX002", 5),),
+        )
+    )
+    # GMX003 — two-hot gmx_pos image (plus the trailing dead write).
+    cases.append(
+        MalformedCase(
+            name="corrupt-pos-two-hot",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(),
+                    csrw("gmx_pos", 0b0110),
+                ],
+                "pos-two-hot",
+            ),
+            expect=(("GMX003", 3), ("GMX005", 3)),
+        )
+    )
+    # GMX003 — one-hot but outside the 2T edge slots.
+    cases.append(
+        MalformedCase(
+            name="corrupt-pos-out-of-range",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(),
+                    csrw("gmx_pos", 1 << (2 * CORPUS_TILE)),
+                ],
+                "pos-range",
+            ),
+            expect=(("GMX003", 3), ("GMX005", 3)),
+        )
+    )
+    # GMX004 — the illegal 0b11 Δ field.
+    cases.append(
+        MalformedCase(
+            name="bad-delta-encoding",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(rs1=0b11),
+                ],
+                "bad-delta",
+            ),
+            expect=(("GMX004", 2),),
+        )
+    )
+    # GMX004 (warning) — garbage above the chunk's 2T bits.
+    cases.append(
+        MalformedCase(
+            name="high-garbage-delta",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(rs1=fill | (1 << (2 * CORPUS_TILE + 1))),
+                ],
+                "high-garbage",
+            ),
+            expect=(("GMX004", 2),),
+        )
+    )
+    # GMX005 — shuffled CSR writes: pattern written twice, no consumer.
+    cases.append(
+        MalformedCase(
+            name="dead-write-shuffled",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_pattern", other),
+                    csrw("gmx_text", text),
+                    gmx_v(),
+                ],
+                "dead-write",
+            ),
+            expect=(("GMX005", 0),),
+        )
+    )
+    # GMX005 — truncated program: setup with no compute at all.
+    cases.append(
+        MalformedCase(
+            name="truncated-program",
+            program=_trace(
+                [csrw("gmx_pattern", pattern), csrw("gmx_text", text)],
+                "truncated",
+            ),
+            expect=(("GMX005", 0), ("GMX005", 1)),
+        )
+    )
+    # GMX006 — a legal Δ image that no boundary or prior tile supplied.
+    cases.append(
+        MalformedCase(
+            name="foreign-edge",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    gmx_v(rs1=pack_deltas([-1, 1, 0, 1])),
+                ],
+                "foreign-edge",
+            ),
+            expect=(("GMX006", 2),),
+        )
+    )
+    # GMX007 — gmx.vh on a single-write-port core.
+    cases.append(
+        MalformedCase(
+            name="vh-single-port",
+            program=_trace(
+                [
+                    csrw("gmx_pattern", pattern),
+                    csrw("gmx_text", text),
+                    Instr("gmx.vh", rs1=fill, rs2=fill, out=(_tile_out(), _tile_out())),
+                ],
+                "vh-1port",
+            ),
+            expect=(("GMX007", 2),),
+            ports=1,
+        )
+    )
+    # GMX008 — an undecodable word in a binary program.
+    cases.append(
+        MalformedCase(
+            name="binary-undecodable-word",
+            program=Program.from_words(
+                [encode_csr("csrrw", "gmx_pattern", 0, 1), 0xFFFF_FFFF],
+                tile_size=CORPUS_TILE,
+                label="bin-undecodable",
+            ),
+            expect=(("GMX005", 0), ("GMX008", 1)),
+        )
+    )
+    # GMX001 (binary) — tile compute before the CSR setup words.
+    cases.append(
+        MalformedCase(
+            name="binary-shuffled-setup",
+            program=Program.from_words(
+                [encode("gmx.v", 5, 0, 0)],
+                tile_size=CORPUS_TILE,
+                label="bin-shuffled",
+            ),
+            expect=(("GMX001", 0), ("GMX001", 0)),
+        )
+    )
+    # GMX002 (binary) — gmx.tb with no tile computation before it.
+    cases.append(
+        MalformedCase(
+            name="binary-tb-first",
+            program=Program.from_words(
+                [
+                    encode_csr("csrrw", "gmx_pattern", 0, 1),
+                    encode_csr("csrrw", "gmx_text", 0, 2),
+                    encode_csr("csrrw", "gmx_pos", 0, 3),
+                    encode("gmx.tb", 0, 0, 0),
+                    encode_csr("csrrs", "gmx_lo", 4, 0),
+                    encode_csr("csrrs", "gmx_hi", 5, 0),
+                    encode_csr("csrrs", "gmx_pos", 6, 0),
+                ],
+                tile_size=CORPUS_TILE,
+                label="bin-tb-first",
+            ),
+            expect=(("GMX002", 3),),
+        )
+    )
+    # GMX006 (binary) — operand register no prior instruction defined.
+    cases.append(
+        MalformedCase(
+            name="binary-undefined-register",
+            program=Program.from_words(
+                [
+                    encode_csr("csrrw", "gmx_pattern", 0, 1),
+                    encode_csr("csrrw", "gmx_text", 0, 2),
+                    encode("gmx.v", 6, 5, 0),
+                ],
+                tile_size=CORPUS_TILE,
+                label="bin-undef-reg",
+            ),
+            expect=(("GMX006", 2),),
+        )
+    )
+    return cases
+
+
+def aligner_stream_programs(
+    seed: int = 0,
+    pairs: int = 6,
+    *,
+    tile_size: int = 32,
+) -> List[Tuple[str, Program]]:
+    """Retired streams of the three GMX aligners over seeded pairs.
+
+    Returns ``(label, program)`` entries; every program must verify clean.
+    Covers fused and non-fused Full(GMX), auto-widening Banded(GMX), and
+    the per-window programs of Windowed(GMX).
+    """
+    from ..align.banded_gmx import BandedGmxAligner
+    from ..align.full_gmx import FullGmxAligner
+    from ..align.windowed_gmx import WindowedGmxAligner
+    from ..workloads.generator import generate_pair
+
+    rng = random.Random(f"gmx-streams:{seed}")
+    programs: List[Tuple[str, Program]] = []
+    for index in range(pairs):
+        length = rng.randint(2 * tile_size, 4 * tile_size)
+        error = rng.choice((0.02, 0.08, 0.20))
+        pair = generate_pair(length, error, rng)
+        for label, factory in (
+            ("Full(GMX)", lambda s: FullGmxAligner(tile_size=tile_size, trace_sink=s)),
+            (
+                "Full(GMX,fused)",
+                lambda s: FullGmxAligner(tile_size=tile_size, fused=True, trace_sink=s),
+            ),
+            ("Banded(GMX)", lambda s: BandedGmxAligner(tile_size=tile_size, trace_sink=s)),
+            (
+                "Windowed(GMX)",
+                lambda s: WindowedGmxAligner(tile_size=tile_size, trace_sink=s),
+            ),
+        ):
+            sink: List = []
+            factory(sink).align(pair.pattern, pair.text)
+            for sub_index, events in enumerate(sink):
+                programs.append(
+                    (
+                        f"{label}[pair {index}, program {sub_index}]",
+                        Program.from_trace(
+                            events,
+                            tile_size=tile_size,
+                            label=f"{label}/pair{index}/prog{sub_index}",
+                        ),
+                    )
+                )
+    return programs

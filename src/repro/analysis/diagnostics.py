@@ -1,0 +1,136 @@
+"""Diagnostic vocabulary shared by the static-analysis passes.
+
+Two code families, mirroring the two passes of :mod:`repro.analysis`:
+
+* ``GMX0xx`` — the GMX *program verifier* (:mod:`repro.analysis.verifier`):
+  dataflow violations in an instruction stream;
+* ``REPRO0xx`` — the *repo invariant lint* (:mod:`repro.analysis.repolint`):
+  codebase contracts the type system cannot express.
+
+Every finding is a structured :class:`Diagnostic` with a stable code, a
+severity, a location (instruction index or ``file:line``), and a fix hint,
+so the CLI can render it as text or JSON and CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+class AnalysisError(RuntimeError):
+    """Raised when an analysis pass cannot run (not on findings)."""
+
+
+class Severity(enum.Enum):
+    """How bad a finding is: errors gate, warnings inform."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: Registry of every diagnostic code with its one-line meaning.
+CODES: Dict[str, str] = {
+    "GMX001": "CSR read before any write (uninitialized architectural state)",
+    "GMX002": "gmx.tb traces a tile no prior gmx.v/gmx.h/gmx.vh computed",
+    "GMX003": "malformed gmx_pos image (not one-hot on the 2T edge slots)",
+    "GMX004": "out-of-domain delta encoding in a tile operand",
+    "GMX005": "dead CSR write (overwritten or program ends before a consumer)",
+    "GMX006": "tile-edge dependency violation (edge no prior tile produced)",
+    "GMX007": "gmx.vh on a single-write-port target",
+    "GMX008": "undecodable or non-GMX instruction word",
+    "REPRO001": "bare `except:` handler",
+    "REPRO002": "exception class outside the module's error-root hierarchy",
+    "REPRO003": "floating point in a core kernel hot path",
+    "REPRO004": "Aligner subclass is not picklable (breaks align.parallel)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding from a static-analysis pass.
+
+    Attributes:
+        code: stable code from :data:`CODES`.
+        severity: :class:`Severity` of the finding.
+        message: what is wrong, with the offending values spelled out.
+        hint: how to fix it.
+        where: location — ``<label>[<index>]`` for instruction streams,
+            ``path:line`` for repo files.
+        index: instruction index in the stream (``None`` for repo findings
+            and program-level findings).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    where: str = ""
+    index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise AnalysisError(f"unregistered diagnostic code {self.code!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the `repro lint --format json` shape)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "title": CODES[self.code],
+            "message": self.message,
+            "hint": self.hint,
+            "where": self.where,
+            "index": self.index,
+        }
+
+    def __str__(self) -> str:
+        location = f" at {self.where}" if self.where else ""
+        hint = f" (fix: {self.hint})" if self.hint else ""
+        return f"{self.code} {self.severity.value}{location}: {self.message}{hint}"
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> Dict[str, object]:
+    """Roll a diagnostic list up into the summary block reports embed."""
+    items = list(diagnostics)
+    by_code: Dict[str, int] = {}
+    for diagnostic in items:
+        by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+    return {
+        "total": len(items),
+        "errors": sum(1 for d in items if d.severity is Severity.ERROR),
+        "warnings": sum(1 for d in items if d.severity is Severity.WARNING),
+        "by_code": dict(sorted(by_code.items())),
+    }
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The most severe level present (``None`` for a clean run)."""
+    worst: Optional[Severity] = None
+    for diagnostic in diagnostics:
+        if diagnostic.severity is Severity.ERROR:
+            return Severity.ERROR
+        worst = Severity.WARNING
+    return worst
+
+
+def sort_key(diagnostic: Diagnostic) -> tuple:
+    """Stable ordering: errors first, then by location and code."""
+    return (
+        0 if diagnostic.severity is Severity.ERROR else 1,
+        diagnostic.where,
+        diagnostic.index if diagnostic.index is not None else -1,
+        diagnostic.code,
+    )
+
+
+def render_text(diagnostics: List[Diagnostic]) -> str:
+    """Plain-text report: one line per finding plus a summary line."""
+    lines = [str(d) for d in sorted(diagnostics, key=sort_key)]
+    counts = summarize(diagnostics)
+    lines.append(
+        f"{counts['total']} diagnostic(s): "
+        f"{counts['errors']} error(s), {counts['warnings']} warning(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Lint driver: one entry point combining every analysis pass.
+
+:func:`run_lint` is what ``repro lint``, ``repro verify --strict`` and the
+experiment exporter share.  It runs, in order:
+
+* the **stream check** — the GMX program verifier over the retired
+  instruction streams of Full(GMX) (plain and fused), Banded(GMX) and
+  Windowed(GMX) on seeded pairs (:func:`~repro.analysis.corpus.aligner_stream_programs`);
+* the **repo lint** — AST invariants plus the aligner picklability probe
+  (:mod:`repro.analysis.repolint`);
+* optionally the **malformed corpus** — every seeded broken program, whose
+  diagnostics are *expected*; running it makes ``repro lint --corpus`` exit
+  non-zero by construction, which is the acceptance gate for the corpus.
+
+The result is a :class:`LintReport` with the flat diagnostic list plus
+enough structure for both the text renderer and the JSON exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .corpus import aligner_stream_programs, malformed_corpus
+from .diagnostics import Diagnostic, render_text, summarize
+from .repolint import lint_repo
+from .verifier import verify_program
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, ready to render or serialise.
+
+    Attributes:
+        diagnostics: all diagnostics from every pass, in pass order.
+        programs_checked: instruction streams the verifier examined.
+        programs_clean: how many of those verified with zero diagnostics.
+        corpus_cases: malformed-corpus cases run (0 unless requested).
+        corpus_matched: cases whose diagnostics matched their annotation.
+        sections: pass name → diagnostics of that pass.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    programs_checked: int = 0
+    programs_clean: int = 0
+    corpus_cases: int = 0
+    corpus_matched: int = 0
+    sections: Dict[str, List[Diagnostic]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro lint --format json``)."""
+        return {
+            "clean": self.clean,
+            "summary": summarize(self.diagnostics),
+            "programs_checked": self.programs_checked,
+            "programs_clean": self.programs_clean,
+            "corpus_cases": self.corpus_cases,
+            "corpus_matched": self.corpus_matched,
+            "sections": {
+                name: [d.to_dict() for d in diags]
+                for name, diags in self.sections.items()
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        lines: List[str] = []
+        for name, diags in self.sections.items():
+            status = "clean" if not diags else f"{len(diags)} diagnostics"
+            lines.append(f"[{name}] {status}")
+            if diags:
+                lines.append(render_text(diags))
+        if self.programs_checked:
+            lines.append(
+                f"instruction streams: {self.programs_clean}/"
+                f"{self.programs_checked} verified clean"
+            )
+        if self.corpus_cases:
+            lines.append(
+                f"malformed corpus: {self.corpus_matched}/{self.corpus_cases} "
+                f"cases produced their annotated diagnostics"
+            )
+        counts = summarize(self.diagnostics)
+        lines.append(
+            f"total: {counts['total']} diagnostics "
+            f"({counts['errors']} errors, {counts['warnings']} warnings)"
+        )
+        return "\n".join(lines)
+
+
+def run_lint(
+    *,
+    seed: int = 0,
+    pairs: int = 4,
+    tile_size: int = 32,
+    corpus: bool = False,
+    repo: bool = True,
+    streams: bool = True,
+    ports: int = 2,
+) -> LintReport:
+    """Run the configured analysis passes and collect a :class:`LintReport`.
+
+    Args:
+        seed: seed for the generated stream pairs (and corpus).
+        pairs: seeded pairs per aligner in the stream check.
+        tile_size: GMX tile dimension for the stream check.
+        corpus: also run the malformed corpus (diagnostics expected).
+        repo: run the repo invariant lint.
+        streams: run the aligner stream check.
+        ports: register write ports assumed by the verifier (gmx.vh
+            requires 2; 1 flags every fused stream with GMX007).
+    """
+    report = LintReport()
+
+    if streams:
+        stream_diags: List[Diagnostic] = []
+        for _label, program in aligner_stream_programs(
+            seed=seed, pairs=pairs, tile_size=tile_size
+        ):
+            diags = verify_program(program, ports=ports)
+            report.programs_checked += 1
+            if diags:
+                stream_diags.extend(diags)
+            else:
+                report.programs_clean += 1
+        report.sections["program-verifier"] = stream_diags
+        report.diagnostics.extend(stream_diags)
+
+    if repo:
+        repo_diags = lint_repo()  # includes the REPRO004 pickle probe
+        report.sections["repo-lint"] = repo_diags
+        report.diagnostics.extend(repo_diags)
+
+    if corpus:
+        corpus_diags: List[Diagnostic] = []
+        for case in malformed_corpus(seed=seed):
+            diags = verify_program(case.program, ports=case.ports)
+            got: Tuple[Tuple[str, int], ...] = tuple(
+                sorted((d.code, d.index) for d in diags)
+            )
+            if got == tuple(sorted(case.expect)):
+                report.corpus_matched += 1
+            report.corpus_cases += 1
+            corpus_diags.extend(diags)
+        report.sections["malformed-corpus"] = corpus_diags
+        report.diagnostics.extend(corpus_diags)
+
+    return report

@@ -1,0 +1,166 @@
+"""Instruction-stream IR for the GMX program verifier.
+
+A :class:`Program` is an ordered sequence of :class:`Instr` records over
+which :mod:`repro.analysis.verifier` runs its abstract dataflow analysis.
+Programs come from two sources:
+
+* **Retired traces** — :attr:`repro.core.isa.GmxIsa.trace` event lists
+  recorded by the aligners (``Program.from_trace``).  These carry concrete
+  architectural values, enabling value-level checks (Δ domains, one-hot
+  ``gmx_pos`` images, tile-edge provenance).
+* **Binary programs** — 32-bit instruction words disassembled through
+  :mod:`repro.core.encoding` (``Program.from_words`` / ``from_hex``).
+  Register *numbers* are known but their contents are not, so the verifier
+  falls back to order-level checks (CSR initialization, tb-before-tile,
+  dead writes, register def-use).
+
+Undecodable words are kept in the stream as ``op="unknown"`` records rather
+than raised, so the verifier can report them as GMX008 diagnostics with the
+right instruction index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.encoding import CsrInstruction, EncodingError, GmxInstruction, decode_any
+from ..core.isa import IsaEvent
+from ..core.tile import DEFAULT_TILE_SIZE
+
+#: Mnemonics the verifier treats as tile computations.
+TILE_OPS = ("gmx.v", "gmx.h", "gmx.vh")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction in a verifiable stream.
+
+    For concrete (trace) programs ``rs1``/``rs2`` hold the packed operand
+    *images* and ``out`` the produced values; for binary programs
+    ``rd``/``rs1``/``rs2`` hold register *numbers* and values are unknown.
+
+    Attributes:
+        op: ``csrw``, ``csrr``, one of :data:`TILE_OPS`, ``gmx.tb``, or
+            ``unknown`` for an undecodable word.
+        csr: CSR name for CSR accesses.
+        value: value written/read (concrete programs only).
+        rs1 / rs2: operand images (concrete) or register numbers (binary).
+        out: produced values (concrete programs only).
+        rd: destination register number (binary programs only).
+        word: the raw 32-bit word (binary programs only).
+        note: decoder detail for ``unknown`` records.
+    """
+
+    op: str
+    csr: Optional[str] = None
+    value: object = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    out: Tuple = ()
+    rd: Optional[int] = None
+    word: Optional[int] = None
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered GMX instruction stream plus its analysis context.
+
+    Attributes:
+        instrs: the instruction records, in program order.
+        tile_size: T of the target configuration (bounds gmx_pos slots).
+        concrete: True when operand values are known (trace programs).
+        label: source label used in diagnostic locations.
+    """
+
+    instrs: Tuple[Instr, ...]
+    tile_size: int = DEFAULT_TILE_SIZE
+    concrete: bool = True
+    label: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    @classmethod
+    def from_trace(
+        cls,
+        events: Iterable[IsaEvent],
+        *,
+        tile_size: int = DEFAULT_TILE_SIZE,
+        label: str = "trace",
+    ) -> "Program":
+        """Wrap a retired :class:`~repro.core.isa.IsaEvent` stream."""
+        instrs = tuple(
+            Instr(
+                op=event.op,
+                csr=event.csr,
+                value=event.value,
+                rs1=event.rs1,
+                rs2=event.rs2,
+                out=event.out,
+            )
+            for event in events
+        )
+        return cls(instrs=instrs, tile_size=tile_size, concrete=True, label=label)
+
+    @classmethod
+    def from_words(
+        cls,
+        words: Sequence[int],
+        *,
+        tile_size: int = DEFAULT_TILE_SIZE,
+        label: str = "binary",
+    ) -> "Program":
+        """Disassemble 32-bit words, keeping undecodable ones in-stream."""
+        instrs: List[Instr] = []
+        for word in words:
+            try:
+                decoded = decode_any(word)
+            except EncodingError as exc:
+                instrs.append(Instr(op="unknown", word=word, note=str(exc)))
+                continue
+            if isinstance(decoded, GmxInstruction):
+                instrs.append(
+                    Instr(
+                        op=decoded.mnemonic,
+                        rd=decoded.rd,
+                        rs1=decoded.rs1,
+                        rs2=decoded.rs2,
+                        word=word,
+                    )
+                )
+            else:
+                instrs.append(_csr_instr(decoded, word))
+        return cls(
+            instrs=tuple(instrs), tile_size=tile_size, concrete=False, label=label
+        )
+
+    @classmethod
+    def from_hex(
+        cls,
+        text: str,
+        *,
+        tile_size: int = DEFAULT_TILE_SIZE,
+        label: str = "hex",
+    ) -> "Program":
+        """Parse a hex program listing: one word per line, ``#`` comments."""
+        words: List[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            words.append(int(line, 16))
+        return cls.from_words(words, tile_size=tile_size, label=label)
+
+
+def _csr_instr(decoded: CsrInstruction, word: int) -> Instr:
+    """Map a CSR word onto the verifier's csrw/csrr vocabulary."""
+    op = "csrw" if decoded.is_write else "csrr"
+    return Instr(
+        op=op,
+        csr=decoded.csr,
+        rd=decoded.rd,
+        rs1=decoded.rs1,
+        word=word,
+    )

@@ -9,7 +9,11 @@ Five commands cover the library's workflows:
 * ``design``     — print the GMX hardware design point for a tile size;
 * ``verify``     — run the built-in cross-validation self-check (no pytest
   needed): random pairs through every exact aligner, ISA gate-level
-  equivalence, and model-consistency spot checks.
+  equivalence, and model-consistency spot checks; ``--strict`` adds the
+  static program verifier and the repo invariant lint;
+* ``lint``       — static analysis: the GMX program verifier over aligner
+  instruction streams (or a binary program file) plus the repo-wide
+  invariant lint; ``--format json`` emits machine-readable diagnostics.
 """
 
 from __future__ import annotations
@@ -38,7 +42,9 @@ from .baselines import (
 ALIGNER_FACTORIES: Dict[str, Callable] = {
     "auto": lambda args: AutoAligner(tile_size=args.tile_size),
     "full-gmx": lambda args: FullGmxAligner(
-        tile_size=args.tile_size, mode=AlignmentMode(args.mode)
+        tile_size=args.tile_size,
+        mode=AlignmentMode(args.mode),
+        fused=getattr(args, "fused", False),
     ),
     "banded-gmx": lambda args: BandedGmxAligner(tile_size=args.tile_size),
     "windowed-gmx": lambda args: WindowedGmxAligner(tile_size=args.tile_size),
@@ -98,6 +104,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     align.add_argument("--tile-size", type=int, default=32)
     align.add_argument(
+        "--fused",
+        action="store_true",
+        help="use the dual-destination gmx.vh tile instruction (full-gmx)",
+    )
+    align.add_argument(
         "--no-traceback", action="store_true", help="distance only"
     )
     align.add_argument(
@@ -144,6 +155,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--pairs", type=int, default=50, metavar="N")
     verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the static program verifier and the repo lint",
+    )
+
+    lint = commands.add_parser(
+        "lint", help="static analysis: program verifier + repo invariants"
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    lint.add_argument(
+        "--program",
+        metavar="FILE",
+        help="verify a binary GMX program (one hex word per line)",
+    )
+    lint.add_argument(
+        "--corpus",
+        action="store_true",
+        help="verify the seeded malformed-program corpus (exits non-zero)",
+    )
+    lint.add_argument(
+        "--skip-repo", action="store_true", help="skip the repo invariant lint"
+    )
+    lint.add_argument(
+        "--skip-streams",
+        action="store_true",
+        help="skip verifying the aligners' retired instruction streams",
+    )
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument(
+        "--pairs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="seeded pairs per aligner for the stream check",
+    )
+    lint.add_argument("--tile-size", type=int, default=32)
+    lint.add_argument(
+        "--single-port",
+        action="store_true",
+        help="verify against a single-register-write-port core (gmx.vh illegal)",
+    )
 
     return parser
 
@@ -357,7 +415,82 @@ def _cmd_verify(args) -> int:
         f"OK: {checked} random pairs agreed across {len(aligners)} exact "
         f"aligners; gate-level array matches the tile kernel"
     )
+    if args.strict:
+        from .analysis import run_lint
+
+        report = run_lint(seed=args.seed, pairs=4)
+        if report.diagnostics:
+            print(report.render())
+            print(f"FAIL: strict mode found {len(report.diagnostics)} diagnostics")
+            return 1
+        print(
+            f"OK: strict mode — {report.programs_checked} instruction streams "
+            f"verified clean, repo invariants hold"
+        )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json as json_module
+
+    from .analysis import Program, run_lint, verify_program
+
+    if args.program:
+        from pathlib import Path
+
+        try:
+            listing = Path(args.program).read_text()
+            program = Program.from_hex(
+                listing, tile_size=args.tile_size, label=args.program
+            )
+        except OSError as exc:
+            print(f"error: {args.program}: {exc.strerror}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(
+                f"error: {args.program}: not a hex program listing ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        diagnostics = verify_program(
+            program, ports=1 if args.single_port else 2
+        )
+        if args.format == "json":
+            print(
+                json_module.dumps(
+                    {
+                        "program": args.program,
+                        "instructions": len(program),
+                        "diagnostics": [d.to_dict() for d in diagnostics],
+                        "clean": not diagnostics,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for diagnostic in diagnostics:
+                print(diagnostic)
+            status = "clean" if not diagnostics else "dirty"
+            print(
+                f"{args.program}: {len(program)} instructions, "
+                f"{len(diagnostics)} diagnostics ({status})"
+            )
+        return 1 if diagnostics else 0
+
+    report = run_lint(
+        seed=args.seed,
+        pairs=args.pairs,
+        tile_size=args.tile_size,
+        corpus=args.corpus,
+        repo=not args.skip_repo,
+        streams=not args.skip_streams,
+        ports=1 if args.single_port else 2,
+    )
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.diagnostics else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -369,6 +502,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "design": _cmd_design,
         "verify": _cmd_verify,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

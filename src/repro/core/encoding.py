@@ -23,10 +23,20 @@ The architectural state registers live in the custom read/write CSR space
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence, Union
 
 #: RISC-V custom-0 major opcode.
 CUSTOM0_OPCODE = 0b0001011
+
+#: RISC-V SYSTEM major opcode (csrrw/csrrs live here).
+SYSTEM_OPCODE = 0b1110011
+
+#: funct3 of the two CSR instructions the GMX programs use.
+CSR_FUNCT3: Dict[str, int] = {
+    "csrrw": 0b001,  # atomic read/write — the GMX "csrw" idiom
+    "csrrs": 0b010,  # read/set; with rs1 = x0 a pure CSR read
+}
+_CSR_MNEMONIC = {funct3: name for name, funct3 in CSR_FUNCT3.items()}
 
 #: funct3 selector per GMX mnemonic.
 FUNCT3: Dict[str, int] = {
@@ -122,6 +132,86 @@ def decode(word: int) -> GmxInstruction:
         rs1=(word >> 15) & 0x1F,
         rs2=(word >> 20) & 0x1F,
     )
+
+
+@dataclass(frozen=True)
+class CsrInstruction:
+    """A decoded base-ISA CSR instruction targeting a GMX CSR.
+
+    Attributes:
+        mnemonic: ``csrrw`` (write) or ``csrrs`` (read/set; a pure read
+            when ``rs1`` is x0).
+        csr: GMX CSR name (``gmx_pattern`` ... ``gmx_hi``).
+        rd / rs1: integer register numbers (x0–x31).
+    """
+
+    mnemonic: str
+    csr: str
+    rd: int
+    rs1: int
+
+    @property
+    def is_write(self) -> bool:
+        """True when the instruction updates the CSR."""
+        return self.mnemonic == "csrrw" or self.rs1 != 0
+
+    def __str__(self) -> str:
+        return f"{self.mnemonic} x{self.rd}, {self.csr}, x{self.rs1}"
+
+
+#: Any instruction a GMX program may contain.
+AnyInstruction = Union[GmxInstruction, CsrInstruction]
+
+
+def encode_csr(mnemonic: str, csr: str, rd: int, rs1: int) -> int:
+    """Assemble a ``csrrw``/``csrrs`` word addressing a GMX CSR."""
+    funct3 = CSR_FUNCT3.get(mnemonic)
+    if funct3 is None:
+        raise EncodingError(f"unknown CSR mnemonic {mnemonic!r}")
+    _check_register("rd", rd)
+    _check_register("rs1", rs1)
+    return (
+        (csr_address(csr) << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (rd << 7)
+        | SYSTEM_OPCODE
+    )
+
+
+def decode_any(word: int) -> AnyInstruction:
+    """Disassemble a word from either GMX opcode space.
+
+    Custom-0 words decode to :class:`GmxInstruction`; SYSTEM words with a
+    ``csrrw``/``csrrs`` funct3 and a GMX CSR address decode to
+    :class:`CsrInstruction`.  Anything else raises :class:`EncodingError`.
+    """
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = word & 0x7F
+    if opcode == CUSTOM0_OPCODE:
+        return decode(word)
+    if opcode == SYSTEM_OPCODE:
+        funct3 = (word >> 12) & 0b111
+        mnemonic = _CSR_MNEMONIC.get(funct3)
+        if mnemonic is None:
+            raise EncodingError(
+                f"SYSTEM funct3 {funct3:#05b} is not a GMX CSR access"
+            )
+        return CsrInstruction(
+            mnemonic=mnemonic,
+            csr=csr_name((word >> 20) & 0xFFF),
+            rd=(word >> 7) & 0x1F,
+            rs1=(word >> 15) & 0x1F,
+        )
+    raise EncodingError(
+        f"word {word:#010x} is outside the GMX opcode spaces"
+    )
+
+
+def decode_program(words: Sequence[int]) -> List[AnyInstruction]:
+    """Disassemble a whole GMX binary program, in order."""
+    return [decode_any(word) for word in words]
 
 
 def csr_address(name: str) -> int:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .bitvec import pack_deltas, unpack_deltas
 from .tile import DEFAULT_TILE_SIZE, build_peq, compute_tile
@@ -39,6 +39,33 @@ CSR_NAMES = ("gmx_pattern", "gmx_text", "gmx_pos", "gmx_lo", "gmx_hi")
 
 class IsaError(RuntimeError):
     """Raised on illegal ISA-level usage (bad CSR, malformed position, ...)."""
+
+
+@dataclass(frozen=True)
+class IsaEvent:
+    """One retired instruction in a recorded GMX instruction stream.
+
+    Events carry the concrete architectural values in flight, which is what
+    lets :mod:`repro.analysis.verifier` run value-level dataflow checks
+    (Δ-encoding domains, gmx_pos well-formedness, tile-edge provenance) that
+    a register-number-only binary decoding cannot.
+
+    Attributes:
+        op: mnemonic — ``csrw``, ``csrr``, ``gmx.v``, ``gmx.h``, ``gmx.vh``
+            or ``gmx.tb``.
+        csr: CSR name for ``csrw``/``csrr`` events.
+        value: value written (``csrw``) or read (``csrr``).
+        rs1 / rs2: packed ΔV_in / ΔH_in operand images of a tile instruction.
+        out: produced values — ``(ΔV_out,)``, ``(ΔH_out,)``,
+            ``(ΔV_out, ΔH_out)``, or ``(gmx_lo, gmx_hi, gmx_pos')``.
+    """
+
+    op: str
+    csr: Optional[str] = None
+    value: object = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    out: Tuple = ()
 
 
 def encode_pos(row: int, col: int, tile_size: int = DEFAULT_TILE_SIZE) -> int:
@@ -93,6 +120,10 @@ class GmxIsa:
         gmx_lo: low half of the 2-bit-encoded tile alignment.
         gmx_hi: high half plus the 2-bit next-tile code.
         retired: executed-instruction counter, by mnemonic.
+        trace: when set to a list, every retired instruction is appended to
+            it as an :class:`IsaEvent` — the ordered stream the static
+            program verifier (:mod:`repro.analysis`) consumes.  ``None``
+            (the default) disables recording.
     """
 
     tile_size: int = DEFAULT_TILE_SIZE
@@ -102,8 +133,14 @@ class GmxIsa:
     gmx_lo: int = 0
     gmx_hi: int = 0
     retired: Counter = field(default_factory=Counter)
+    trace: Optional[List[IsaEvent]] = None
     _peq_cache_key: str = field(default="", repr=False)
     _peq_cache: dict = field(default_factory=dict, repr=False)
+
+    def _retire(self, event: IsaEvent) -> None:
+        """Append an event to the retired stream (when tracing is on)."""
+        if self.trace is not None:
+            self.trace.append(event)
 
     # -- CSR access ---------------------------------------------------------
 
@@ -120,13 +157,16 @@ class GmxIsa:
                 )
         setattr(self, csr, value)
         self.retired["csrw"] += 1
+        self._retire(IsaEvent("csrw", csr=csr, value=value))
 
     def csrr(self, csr: str):
         """Read an architectural state register (one retired instruction)."""
         if csr not in CSR_NAMES:
             raise IsaError(f"unknown GMX CSR {csr!r}")
         self.retired["csrr"] += 1
-        return getattr(self, csr)
+        value = getattr(self, csr)
+        self._retire(IsaEvent("csrr", csr=csr, value=value))
+        return value
 
     # -- tile computation instructions ---------------------------------------
 
@@ -156,7 +196,9 @@ class GmxIsa:
             tile_size=self.tile_size, peq=self._peq(pattern),
         )
         self.retired["gmx.v"] += 1
-        return pack_deltas(result.dv_out)
+        dv_out = pack_deltas(result.dv_out)
+        self._retire(IsaEvent("gmx.v", rs1=rs1, rs2=rs2, out=(dv_out,)))
+        return dv_out
 
     def gmx_h(self, rs1: int, rs2: int) -> int:
         """``gmx.h rd, rs1, rs2`` — compute the tile and return ΔH_out."""
@@ -166,7 +208,9 @@ class GmxIsa:
             tile_size=self.tile_size, peq=self._peq(pattern),
         )
         self.retired["gmx.h"] += 1
-        return pack_deltas(result.dh_out)
+        dh_out = pack_deltas(result.dh_out)
+        self._retire(IsaEvent("gmx.h", rs1=rs1, rs2=rs2, out=(dh_out,)))
+        return dh_out
 
     def gmx_vh(self, rs1: int, rs2: int) -> Tuple[int, int]:
         """Fused tile computation returning (ΔV_out, ΔH_out) in one call.
@@ -180,7 +224,10 @@ class GmxIsa:
             tile_size=self.tile_size, peq=self._peq(pattern),
         )
         self.retired["gmx.vh"] += 1
-        return pack_deltas(result.dv_out), pack_deltas(result.dh_out)
+        dv_out = pack_deltas(result.dv_out)
+        dh_out = pack_deltas(result.dh_out)
+        self._retire(IsaEvent("gmx.vh", rs1=rs1, rs2=rs2, out=(dv_out, dh_out)))
+        return dv_out, dh_out
 
     # -- traceback instruction -----------------------------------------------
 
@@ -206,7 +253,60 @@ class GmxIsa:
         next_row, next_col = result.next_pos
         self.gmx_pos = encode_pos(next_row, next_col, self.tile_size)
         self.retired["gmx.tb"] += 1
+        self._retire(
+            IsaEvent(
+                "gmx.tb",
+                rs1=rs1,
+                rs2=rs2,
+                out=(self.gmx_lo, self.gmx_hi, self.gmx_pos),
+            )
+        )
         return result
+
+    # -- decoded-instruction execution ---------------------------------------
+
+    def execute(self, instruction, registers: Dict[int, int]) -> None:
+        """Execute one decoded GMX instruction against a register file.
+
+        ``instruction`` is a :class:`repro.core.encoding.GmxInstruction`;
+        ``registers`` maps register numbers to values (x0 is hard-wired to
+        zero and never written).  All four mnemonics execute, including the
+        dual-destination ``gmx.vh``, whose second result (ΔH_out) lands in
+        the odd register of the rd-aligned pair — the 2-port convention of
+        §5: ``rd`` must be even so rd/rd+1 share a write port pair.
+
+        Raises:
+            IsaError: on an unknown mnemonic or an rd ``gmx.vh`` cannot use.
+        """
+        def read(reg: int) -> int:
+            return registers.get(reg, 0) if reg else 0
+
+        rs1 = read(instruction.rs1)
+        rs2 = read(instruction.rs2)
+
+        def write(reg: int, value: int) -> None:
+            if reg != 0:
+                registers[reg] = value
+
+        if instruction.mnemonic == "gmx.v":
+            write(instruction.rd, self.gmx_v(rs1, rs2))
+        elif instruction.mnemonic == "gmx.h":
+            write(instruction.rd, self.gmx_h(rs1, rs2))
+        elif instruction.mnemonic == "gmx.vh":
+            if instruction.rd % 2 or instruction.rd == 0:
+                raise IsaError(
+                    f"gmx.vh needs an even, non-zero rd for the rd/rd+1 "
+                    f"destination pair, got x{instruction.rd}"
+                )
+            dv_out, dh_out = self.gmx_vh(rs1, rs2)
+            write(instruction.rd, dv_out)
+            write(instruction.rd + 1, dh_out)
+        elif instruction.mnemonic == "gmx.tb":
+            self.gmx_tb(rs1, rs2)
+        else:
+            raise IsaError(
+                f"unsupported GMX mnemonic {instruction.mnemonic!r}"
+            )
 
     # -- accounting -----------------------------------------------------------
 

@@ -64,6 +64,26 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_lint_badge(summary: Dict[str, int]) -> str:
+    """One-line static-analysis badge for experiment reports.
+
+    Args:
+        summary: the ``summary`` block of ``repro lint --format json``
+            (:func:`repro.analysis.summarize` output: total/errors/warnings).
+
+    Returns:
+        ``"lint: clean (0 diagnostics)"`` when nothing fired, otherwise a
+        count breakdown — embedded in exported experiment artifacts so a
+        report is traceable to the program-verifier state that produced it.
+    """
+    total = summary.get("total", 0)
+    if total == 0:
+        return "lint: clean (0 diagnostics)"
+    errors = summary.get("errors", 0)
+    warnings = summary.get("warnings", 0)
+    return f"lint: {total} diagnostics ({errors} errors, {warnings} warnings)"
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0

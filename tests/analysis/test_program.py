@@ -1,0 +1,165 @@
+"""Tests for the stream IR, hex parsing, execute(), and the lint driver."""
+
+import pytest
+
+from repro.analysis import (
+    LintReport,
+    Program,
+    aligner_stream_programs,
+    run_lint,
+)
+from repro.core.bitvec import pack_deltas, unpack_deltas
+from repro.core.isa import GmxIsa, IsaError
+from repro.core.encoding import decode, encode, encode_csr
+
+
+class TestFromWords:
+    def test_gmx_and_csr_words_disassemble(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode_csr("csrrs", "gmx_lo", 7, 0),
+            encode("gmx.v", 5, 1, 2),
+        ]
+        program = Program.from_words(words, tile_size=4)
+        assert not program.concrete
+        assert [instr.op for instr in program.instrs] == ["csrw", "csrr", "gmx.v"]
+        assert program.instrs[0].csr == "gmx_pattern"
+        assert program.instrs[1].csr == "gmx_lo"
+        assert program.instrs[2].rd == 5
+
+    def test_csrrs_with_nonzero_rs1_is_a_write(self):
+        word = encode_csr("csrrs", "gmx_pos", 0, 3)  # set-bits: a write
+        program = Program.from_words([word], tile_size=4)
+        assert program.instrs[0].op == "csrw"
+
+    def test_undecodable_word_kept_in_stream(self):
+        program = Program.from_words([0xFFFF_FFFF], tile_size=4)
+        assert program.instrs[0].op == "unknown"
+        assert program.instrs[0].word == 0xFFFF_FFFF
+        assert program.instrs[0].note
+
+
+class TestFromHex:
+    def test_parses_comments_and_blanks(self):
+        word = encode("gmx.v", 5, 0, 0)
+        listing = f"# setup\n\n{word:08x}   # the tile op\n"
+        program = Program.from_hex(listing, tile_size=4)
+        assert len(program) == 1
+        assert program.instrs[0].op == "gmx.v"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Program.from_hex("not-hex\n")
+
+
+class TestExecute:
+    """The functional model executes all four mnemonics, gmx.vh included."""
+
+    def _setup(self, tile=4):
+        isa = GmxIsa(tile_size=tile)
+        isa.csrw("gmx_pattern", "ACGT")
+        isa.csrw("gmx_text", "ACGA")
+        return isa
+
+    def test_vh_writes_register_pair(self):
+        fill = pack_deltas([1, 1, 1, 1])
+        isa = self._setup()
+        registers = {1: fill, 2: fill}
+        isa.execute(decode(encode("gmx.vh", 4, 1, 2)), registers)
+        reference = self._setup()
+        dv, dh = reference.gmx_vh(fill, fill)
+        assert registers[4] == dv
+        assert registers[5] == dh
+
+    def test_vh_matches_v_h_pair(self):
+        fill = pack_deltas([1, 1, 1, 1])
+        isa = self._setup()
+        registers = {1: fill, 2: fill}
+        isa.execute(decode(encode("gmx.v", 6, 1, 2)), registers)
+        isa.execute(decode(encode("gmx.h", 7, 1, 2)), registers)
+        fused = self._setup()
+        fused_regs = {1: fill, 2: fill}
+        fused.execute(decode(encode("gmx.vh", 4, 1, 2)), fused_regs)
+        assert (registers[6], registers[7]) == (fused_regs[4], fused_regs[5])
+
+    def test_vh_requires_even_nonzero_rd(self):
+        isa = self._setup()
+        for rd in (3, 5):
+            with pytest.raises(IsaError):
+                isa.execute(decode(encode("gmx.vh", rd, 1, 2)), {1: 0, 2: 0})
+
+    def test_x0_reads_as_zero(self):
+        isa = self._setup()
+        registers = {0: 0xDEAD}  # must be ignored: x0 is hard-wired
+        isa.execute(decode(encode("gmx.v", 5, 0, 0)), registers)
+        reference = self._setup()
+        assert registers[5] == reference.gmx_v(0, 0)
+
+    def test_x0_destination_discards(self):
+        isa = self._setup()
+        registers = {}
+        isa.execute(decode(encode("gmx.v", 0, 0, 0)), registers)
+        assert 0 not in registers
+
+
+class TestTraceRecording:
+    def test_trace_captures_retired_order(self):
+        isa = GmxIsa(tile_size=4)
+        isa.trace = []
+        isa.csrw("gmx_pattern", "ACGT")
+        isa.csrw("gmx_text", "ACGA")
+        fill = pack_deltas([1] * 4)
+        isa.gmx_v(fill, fill)
+        assert [event.op for event in isa.trace] == ["csrw", "csrw", "gmx.v"]
+
+    def test_faulting_instruction_not_retired(self):
+        isa = GmxIsa(tile_size=4)
+        isa.trace = []
+        with pytest.raises(IsaError):
+            isa.gmx_v(0, 0)  # CSRs uninitialised: traps, must not retire
+        assert isa.trace == []
+
+    def test_tile_outputs_recorded(self):
+        isa = GmxIsa(tile_size=4)
+        isa.trace = []
+        isa.csrw("gmx_pattern", "ACGT")
+        isa.csrw("gmx_text", "ACGT")
+        fill = pack_deltas([1] * 4)
+        dv = isa.gmx_v(fill, fill)
+        assert isa.trace[-1].out == (dv,)
+        assert all(delta in (-1, 0, 1) for delta in unpack_deltas(dv, 4))
+
+
+class TestLintDriver:
+    def test_clean_run(self):
+        report = run_lint(pairs=1, tile_size=8)
+        assert isinstance(report, LintReport)
+        assert report.clean
+        assert report.programs_checked == report.programs_clean > 0
+        assert "clean" in report.render()
+
+    def test_corpus_run_is_dirty_by_construction(self):
+        report = run_lint(corpus=True, streams=False, repo=False)
+        assert not report.clean
+        assert report.corpus_matched == report.corpus_cases >= 10
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = run_lint(pairs=1, tile_size=8, repo=False)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["clean"] is True
+        assert payload["summary"]["total"] == 0
+
+    def test_stream_programs_labelled(self):
+        labels = [
+            label for label, _ in aligner_stream_programs(pairs=1, tile_size=8)
+        ]
+        assert any("Banded" in label for label in labels)
+        assert any("fused" in label for label in labels)
+        assert any("Windowed" in label for label in labels)
+
+    def test_single_port_flags_fused_streams(self):
+        report = run_lint(pairs=1, tile_size=8, repo=False, ports=1)
+        assert not report.clean
+        assert {d.code for d in report.diagnostics} == {"GMX007"}

@@ -1,0 +1,111 @@
+"""Tests for the repo invariant lint (repro.analysis.repolint)."""
+
+import textwrap
+
+from repro.analysis import check_aligner_picklability, lint_repo
+from repro.analysis.repolint import HOT_PATH_MODULES
+
+
+def _write_tree(tmp_path, files):
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+class TestSyntheticViolations:
+    def test_bare_except(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                try:
+                    risky()
+                except:
+                    pass
+                """
+            },
+        )
+        diagnostics = lint_repo(root, pickle_check=False)
+        assert [d.code for d in diagnostics] == ["REPRO001"]
+        assert "mod.py:4" in diagnostics[0].where
+
+    def test_exception_outside_error_hierarchy(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "errs.py": """
+                class RootError(Exception):
+                    pass
+
+                class FineError(RootError):
+                    pass
+
+                class RogueError:
+                    pass
+                """
+            },
+        )
+        diagnostics = lint_repo(root, pickle_check=False)
+        assert [d.code for d in diagnostics] == ["REPRO002"]
+        assert "RogueError" in diagnostics[0].message
+
+    def test_float_in_hot_path_module(self, tmp_path):
+        hot = HOT_PATH_MODULES[0]
+        root = _write_tree(
+            tmp_path,
+            {
+                hot: """
+                SCALE = 1.5
+
+                def halve(x):
+                    return x / 2
+                """,
+                "eval/fine.py": """
+                RATIO = 0.5  # floats are fine outside the kernels
+                """,
+            },
+        )
+        codes = [d.code for d in lint_repo(root, pickle_check=False)]
+        assert codes == ["REPRO003", "REPRO003"]
+
+    def test_float_call_in_hot_path(self, tmp_path):
+        root = _write_tree(
+            tmp_path, {HOT_PATH_MODULES[1]: "def f(x):\n    return float(x)\n"}
+        )
+        diagnostics = lint_repo(root, pickle_check=False)
+        assert [d.code for d in diagnostics] == ["REPRO003"]
+        assert "float() conversion" in diagnostics[0].message
+
+    def test_clean_tree(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "ok.py": """
+                class GoodError(ValueError):
+                    pass
+
+                def f():
+                    try:
+                        return 1 // 2
+                    except ZeroDivisionError:
+                        return 0
+                """
+            },
+        )
+        assert lint_repo(root, pickle_check=False) == []
+
+
+class TestRealRepo:
+    def test_repo_is_clean(self):
+        assert lint_repo() == []
+
+    def test_hot_path_modules_exist(self):
+        from repro.analysis.repolint import package_root
+
+        for relative in HOT_PATH_MODULES:
+            assert (package_root() / relative).is_file(), relative
+
+    def test_all_aligners_picklable(self):
+        assert check_aligner_picklability() == []

@@ -1,0 +1,163 @@
+"""Tests for the GMX program verifier (repro.analysis.verifier)."""
+
+import pytest
+
+from repro.align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+from repro.analysis import (
+    Program,
+    Severity,
+    malformed_corpus,
+    summarize,
+    verify_program,
+    verify_trace,
+    verify_words,
+    worst_severity,
+)
+from repro.core.encoding import encode, encode_csr
+
+CORPUS = malformed_corpus()
+
+
+def _case(name):
+    matches = [case for case in CORPUS if case.name == name]
+    assert matches, f"no corpus case named {name}"
+    return matches[0]
+
+
+class TestMalformedCorpus:
+    def test_covers_every_gmx_code(self):
+        fired = {code for case in CORPUS for code, _ in case.expect}
+        assert fired == {f"GMX00{k}" for k in range(1, 9)}
+
+    def test_at_least_ten_cases(self):
+        assert len(CORPUS) >= 10
+
+    @pytest.mark.parametrize("case", CORPUS, ids=lambda case: case.name)
+    def test_fires_exactly_the_annotated_diagnostics(self, case):
+        diagnostics = verify_program(case.program, ports=case.ports)
+        got = sorted((d.code, d.index) for d in diagnostics)
+        assert got == sorted(case.expect)
+
+    def test_deterministic_across_builds(self):
+        again = malformed_corpus()
+        assert [case.name for case in CORPUS] == [case.name for case in again]
+        assert [case.program.instrs for case in CORPUS] == [
+            case.program.instrs for case in again
+        ]
+
+    def test_every_diagnostic_has_hint_and_location(self):
+        for case in CORPUS:
+            for diagnostic in verify_program(case.program, ports=case.ports):
+                assert diagnostic.hint
+                assert diagnostic.where
+                assert diagnostic.index is not None
+
+    def test_high_garbage_delta_is_a_warning(self):
+        diagnostics = verify_program(_case("high-garbage-delta").program)
+        assert [d.severity for d in diagnostics] == [Severity.WARNING]
+
+    def test_illegal_delta_field_is_an_error(self):
+        diagnostics = verify_program(_case("bad-delta-encoding").program)
+        assert [d.severity for d in diagnostics] == [Severity.ERROR]
+
+    def test_truncated_program_warns_not_errors(self):
+        diagnostics = verify_program(_case("truncated-program").program)
+        assert worst_severity(diagnostics) is Severity.WARNING
+
+
+class TestCleanStreams:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda sink: FullGmxAligner(tile_size=8, trace_sink=sink),
+            lambda sink: FullGmxAligner(tile_size=8, fused=True, trace_sink=sink),
+            lambda sink: BandedGmxAligner(tile_size=8, trace_sink=sink),
+            lambda sink: WindowedGmxAligner(tile_size=8, trace_sink=sink),
+        ],
+        ids=["full", "full-fused", "banded", "windowed"],
+    )
+    def test_aligner_streams_verify_clean(self, factory):
+        sink = []
+        factory(sink).align("ACGTACGTACGTACGTAC", "ACGAACGTACTTACGTACG")
+        assert sink
+        for events in sink:
+            assert verify_trace(events, tile_size=8) == []
+
+    def test_distance_only_stream_is_clean(self):
+        # No traceback: no gmx.tb, no csrr; the trailing state must not
+        # be misread as dead writes (the bottom-row fold consumes it).
+        sink = []
+        aligner = FullGmxAligner(tile_size=4, trace_sink=sink)
+        aligner.align("ACGTAC", "ACGAAC", traceback=False)
+        assert verify_trace(sink[0], tile_size=4) == []
+
+    def test_banded_abort_pass_is_clean(self):
+        # Force at least one BandExceededError restart; the aborted pass's
+        # stream is still captured and must verify clean.
+        sink = []
+        aligner = BandedGmxAligner(band=1, tile_size=4, trace_sink=sink)
+        aligner.align("AAAAAAAATTTTTTTT", "TTTTTTTTAAAAAAAA")
+        assert len(sink) > 1
+        for events in sink:
+            assert verify_trace(events, tile_size=4) == []
+
+    def test_no_sink_records_nothing(self):
+        aligner = FullGmxAligner(tile_size=4)
+        result = aligner.align("ACGT", "ACGA")
+        assert result.score == 1
+
+
+class TestBinaryPrograms:
+    def test_clean_binary_program(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode_csr("csrrw", "gmx_text", 0, 2),
+            encode("gmx.v", 5, 0, 0),
+            encode("gmx.h", 6, 0, 0),
+        ]
+        assert verify_words(words, tile_size=4) == []
+
+    def test_vh_defines_register_pair(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode_csr("csrrw", "gmx_text", 0, 2),
+            encode("gmx.vh", 4, 0, 0),
+            encode("gmx.v", 8, 4, 5),  # both x4 and x5 now defined
+        ]
+        assert verify_words(words, tile_size=4) == []
+
+    def test_single_port_flags_vh(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode_csr("csrrw", "gmx_text", 0, 2),
+            encode("gmx.vh", 4, 0, 0),
+        ]
+        codes = [d.code for d in verify_words(words, tile_size=4, ports=1)]
+        assert codes == ["GMX007"]
+
+    def test_full_traceback_binary_program(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode_csr("csrrw", "gmx_text", 0, 2),
+            encode("gmx.v", 5, 0, 0),
+            encode("gmx.h", 6, 0, 0),
+            encode_csr("csrrw", "gmx_pos", 0, 3),
+            encode("gmx.tb", 0, 5, 6),
+            encode_csr("csrrs", "gmx_lo", 7, 0),
+            encode_csr("csrrs", "gmx_hi", 8, 0),
+            encode_csr("csrrs", "gmx_pos", 9, 0),
+        ]
+        assert verify_words(words, tile_size=4) == []
+
+    def test_summarize_counts(self):
+        case = _case("binary-undecodable-word")
+        counts = summarize(verify_program(case.program))
+        assert counts["total"] == 2
+        assert counts["by_code"]["GMX008"] == 1
+
+
+class TestProgramOrderIsStable:
+    def test_diagnostics_in_stream_order(self):
+        case = _case("truncated-program")
+        indices = [d.index for d in verify_program(case.program)]
+        assert indices == sorted(indices)

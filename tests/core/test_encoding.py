@@ -7,12 +7,17 @@ from hypothesis import strategies as st
 from repro.core.encoding import (
     CSR_ADDRESSES,
     CUSTOM0_OPCODE,
+    CsrInstruction,
     EncodingError,
     FUNCT3,
+    SYSTEM_OPCODE,
     csr_address,
     csr_name,
     decode,
+    decode_any,
+    decode_program,
     encode,
+    encode_csr,
 )
 
 registers = st.integers(min_value=0, max_value=31)
@@ -104,3 +109,69 @@ class TestCsrMap:
         from repro.core.isa import CSR_NAMES
 
         assert set(CSR_ADDRESSES) == set(CSR_NAMES)
+
+
+csr_mnemonics = st.sampled_from(["csrrw", "csrrs"])
+csr_names_st = st.sampled_from(sorted(CSR_ADDRESSES))
+
+
+class TestCsrWords:
+    @given(csr_mnemonics, csr_names_st, registers, registers)
+    def test_roundtrip(self, mnemonic, csr, rd, rs1):
+        word = encode_csr(mnemonic, csr, rd, rs1)
+        decoded = decode_any(word)
+        assert isinstance(decoded, CsrInstruction)
+        assert (decoded.mnemonic, decoded.csr, decoded.rd, decoded.rs1) == (
+            mnemonic, csr, rd, rs1,
+        )
+
+    def test_uses_system_opcode(self):
+        word = encode_csr("csrrw", "gmx_pattern", 0, 1)
+        assert word & 0x7F == SYSTEM_OPCODE
+
+    def test_csr_address_in_immediate_field(self):
+        word = encode_csr("csrrw", "gmx_lo", 0, 1)
+        assert (word >> 20) == CSR_ADDRESSES["gmx_lo"]
+
+    def test_write_read_classification(self):
+        assert decode_any(encode_csr("csrrw", "gmx_pos", 0, 1)).is_write
+        assert decode_any(encode_csr("csrrs", "gmx_pos", 0, 3)).is_write
+        assert not decode_any(encode_csr("csrrs", "gmx_pos", 5, 0)).is_write
+
+    def test_rejects_non_gmx_csr(self):
+        with pytest.raises(EncodingError):
+            encode_csr("csrrw", "mstatus", 0, 1)
+
+    def test_rejects_unknown_funct3(self):
+        word = encode_csr("csrrw", "gmx_pattern", 0, 1) | (0b111 << 12)
+        with pytest.raises(EncodingError):
+            decode_any(word)
+
+    def test_rejects_foreign_csr_address(self):
+        word = (0x300 << 20) | (1 << 15) | (0b001 << 12) | SYSTEM_OPCODE
+        with pytest.raises(EncodingError):
+            decode_any(word)
+
+    def test_disassembly_text(self):
+        text = str(decode_any(encode_csr("csrrw", "gmx_text", 0, 2)))
+        assert "csrrw" in text
+        assert "gmx_text" in text
+
+
+class TestDecodeAny:
+    def test_dispatches_gmx_words(self):
+        decoded = decode_any(encode("gmx.v", 5, 6, 7))
+        assert decoded.mnemonic == "gmx.v"
+
+    def test_rejects_foreign_opcode(self):
+        with pytest.raises(EncodingError):
+            decode_any(0b0110011)  # base-ISA OP
+
+    def test_decode_program(self):
+        words = [
+            encode_csr("csrrw", "gmx_pattern", 0, 1),
+            encode("gmx.v", 5, 0, 0),
+        ]
+        pattern_word, tile_word = decode_program(words)
+        assert isinstance(pattern_word, CsrInstruction)
+        assert tile_word.mnemonic == "gmx.v"

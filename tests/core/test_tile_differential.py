@@ -14,13 +14,19 @@ DP-boundary tiles checked edge-by-edge against the scalar matrix, and
 whole alignments over lengths 1..3T under all three sequencing error
 profiles (Illumina, PacBio HiFi, ONT).  Well over 200 cases run in the
 default suite; an extended sweep rides in the ``slow`` marker.
+
+Every fuzzed alignment also records its retired instruction stream and
+runs it through the static program verifier (:mod:`repro.analysis`), so
+the dataflow contracts (CSR initialisation, edge provenance, tb-after-
+tile, no dead writes) are checked on thousands of distinct programs.
 """
 
 import random
 
 import pytest
 
-from repro.align import FullGmxAligner
+from repro.align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+from repro.analysis import verify_trace
 from repro.baselines import NeedlemanWunschAligner
 from repro.core.tile import (
     DEFAULT_TILE_SIZE,
@@ -117,10 +123,13 @@ class TestAlignersMatchScalarDp:
         length = rng.randint(1, 3 * T)
         pair = generate_profiled_pair(length, profile, rng)
         expected = scalar_edit_distance(pair.pattern, pair.text)
-        gmx = FullGmxAligner().align(pair.pattern, pair.text)
+        sink = []
+        gmx = FullGmxAligner(trace_sink=sink).align(pair.pattern, pair.text)
         assert gmx.score == expected
         assert gmx.alignment is not None
         gmx.alignment.validate()
+        for events in sink:
+            assert verify_trace(events, tile_size=T) == []
         nw = NeedlemanWunschAligner().distance(pair.pattern, pair.text)
         assert nw == expected
 
@@ -136,6 +145,47 @@ class TestAlignersMatchScalarDp:
         assert FullGmxAligner().distance(pair.pattern, pair.text) == expected
 
 
+class TestStreamsVerifyClean:
+    """Every GMX aligner's retired stream passes the program verifier."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_banded_streams(self, seed):
+        rng = random.Random(f"banded-stream:{seed}")
+        pair = generate_profiled_pair(rng.randint(T, 3 * T), PACBIO_HIFI, rng)
+        sink = []
+        aligner = BandedGmxAligner(tile_size=8, trace_sink=sink)
+        aligner.align(pair.pattern, pair.text)
+        assert sink
+        for events in sink:  # includes aborted auto-widen passes
+            assert verify_trace(events, tile_size=8) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_windowed_streams(self, seed):
+        rng = random.Random(f"windowed-stream:{seed}")
+        pair = generate_profiled_pair(rng.randint(T, 3 * T), ONT, rng)
+        sink = []
+        aligner = WindowedGmxAligner(tile_size=8, trace_sink=sink)
+        aligner.align(pair.pattern, pair.text)
+        assert len(sink) >= 1  # one program per window
+        for events in sink:
+            assert verify_trace(events, tile_size=8) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fused_full_streams(self, seed):
+        rng = random.Random(f"fused-stream:{seed}")
+        pair = generate_profiled_pair(rng.randint(1, 2 * T), ILLUMINA, rng)
+        sink = []
+        aligner = FullGmxAligner(fused=True, trace_sink=sink)
+        aligner.align(pair.pattern, pair.text)
+        for events in sink:
+            assert verify_trace(events, tile_size=T) == []
+            # ...but a single-write-port target must reject the same stream.
+            assert any(
+                d.code == "GMX007"
+                for d in verify_trace(events, tile_size=T, ports=1)
+            )
+
+
 @pytest.mark.slow
 class TestExtendedSweep:
     """Longer fuzz sweep for scheduled jobs (`pytest -m slow`)."""
@@ -147,9 +197,12 @@ class TestExtendedSweep:
         length = rng.randint(1, 4 * T)
         pair = generate_profiled_pair(length, profile, rng)
         expected = scalar_edit_distance(pair.pattern, pair.text)
-        result = FullGmxAligner().align(pair.pattern, pair.text)
+        sink = []
+        result = FullGmxAligner(trace_sink=sink).align(pair.pattern, pair.text)
         assert result.score == expected
         result.alignment.validate()
+        for events in sink:
+            assert verify_trace(events, tile_size=T) == []
 
     @pytest.mark.parametrize("seed", range(80))
     def test_random_tiles_mixed_alphabet(self, seed):

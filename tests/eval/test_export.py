@@ -18,11 +18,14 @@ class TestRunAll:
             "figure3", "figure10", "figure11", "figure12", "figure13",
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
+            "lint",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
+            if name == "lint":
+                continue  # checked structurally below
             if isinstance(rows, dict):
                 assert all(rows.values()), name
             else:
@@ -31,6 +34,13 @@ class TestRunAll:
     def test_headline_summary_present(self, all_results):
         families = {row["family"] for row in all_results["speedup_summary"]}
         assert "Full(GMX) vs Full(BPM)" in families
+
+    def test_lint_badge_embedded(self, all_results):
+        lint = all_results["lint"]
+        assert lint["clean"] is True
+        assert lint["badge"] == "lint: clean (0 diagnostics)"
+        assert lint["diagnostics"] == []
+        assert lint["programs_checked"] == lint["programs_clean"] > 0
 
 
 class TestExportJson:

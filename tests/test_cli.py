@@ -95,3 +95,85 @@ class TestVerify:
         first = capsys.readouterr().out
         assert main(["verify", "--pairs", "5", "--seed", "7"]) == 0
         assert capsys.readouterr().out == first
+
+    def test_strict_mode_runs_static_analysis(self, capsys):
+        assert main(["verify", "--pairs", "3", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "strict mode" in out
+        assert "verified clean" in out
+
+
+class TestLint:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint", "--pairs", "1", "--tile-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "[program-verifier] clean" in out
+        assert "[repo-lint] clean" in out
+
+    def test_corpus_exits_nonzero(self, capsys):
+        code = main(["lint", "--corpus", "--skip-streams", "--skip-repo"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "malformed corpus:" in out
+        assert "GMX00" in out
+
+    def test_corpus_cases_all_match_annotations(self, capsys):
+        main(["lint", "--corpus", "--skip-streams", "--skip-repo",
+              "--format", "json"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["corpus_cases"] >= 10
+        assert payload["corpus_matched"] == payload["corpus_cases"]
+
+    def test_json_format_clean(self, capsys):
+        assert main(
+            ["lint", "--pairs", "1", "--tile-size", "8", "--format", "json"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["summary"]["total"] == 0
+        assert payload["programs_checked"] == payload["programs_clean"] > 0
+
+    def test_program_file_clean(self, tmp_path, capsys):
+        from repro.core.encoding import encode, encode_csr
+
+        listing = "\n".join(
+            f"{word:08x}"
+            for word in [
+                encode_csr("csrrw", "gmx_pattern", 0, 1),
+                encode_csr("csrrw", "gmx_text", 0, 2),
+                encode("gmx.v", 5, 0, 0),
+            ]
+        )
+        path = tmp_path / "prog.hex"
+        path.write_text(listing + "\n")
+        assert main(["lint", "--program", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_program_file_single_port_vh(self, tmp_path, capsys):
+        from repro.core.encoding import encode, encode_csr
+
+        listing = "\n".join(
+            f"{word:08x}"
+            for word in [
+                encode_csr("csrrw", "gmx_pattern", 0, 1),
+                encode_csr("csrrw", "gmx_text", 0, 2),
+                encode("gmx.vh", 4, 0, 0),
+            ]
+        )
+        path = tmp_path / "vh.hex"
+        path.write_text(listing + "\n")
+        assert main(["lint", "--program", str(path), "--single-port"]) == 1
+        assert "GMX007" in capsys.readouterr().out
+
+
+class TestFusedAlign:
+    def test_fused_matches_unfused(self, capsys):
+        assert main(["align", "GCATGCAT", "GATTGCAT", "--fused"]) == 0
+        fused = capsys.readouterr().out
+        assert main(["align", "GCATGCAT", "GATTGCAT"]) == 0
+        assert capsys.readouterr().out == fused
