@@ -4,6 +4,9 @@
 # the wall-clock parallel tests).  `test-fast` drops the `slow` marker for
 # quick iteration; `test-slow` runs only the long sweeps, sized for a
 # scheduled job where the differential fuzzers can afford more cases.
+# `test-chaos` runs the fault-injection campaigns plus a CLI-level chaos
+# run; the campaign falls back to the inline executor on hosts without
+# usable multiprocessing, so the target degrades gracefully everywhere.
 # `lint` chains ruff and mypy (skipped with a notice when not installed —
 # the repro container ships without them; CI installs both) and always
 # finishes with the in-tree static analyzer, `repro lint`.
@@ -11,7 +14,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-slow bench verify lint
+.PHONY: test test-fast test-slow test-chaos bench verify lint
 
 test:
 	$(PYTEST) -x -q
@@ -21,6 +24,10 @@ test-fast:
 
 test-slow:
 	$(PYTEST) -q -m slow
+
+test-chaos:
+	$(PYTEST) -q -m chaos
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 7 --faults 25
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -1,6 +1,13 @@
 """GMX co-designed alignment algorithms: Full, Banded, and Windowed (§4.1)."""
 
-from .base import Aligner, AlignerError, AlignmentMode, AlignmentResult, KernelStats
+from .base import (
+    Aligner,
+    AlignerError,
+    AlignmentMode,
+    AlignmentResult,
+    KernelStats,
+    ResilienceCounters,
+)
 from .auto import AutoAligner
 from .banded_gmx import BandExceededError, BandedGmxAligner
 from .batch import BatchResult, align_batch
@@ -25,6 +32,7 @@ __all__ = [
     "BatchTelemetry",
     "FullGmxAligner",
     "KernelStats",
+    "ResilienceCounters",
     "ShardTelemetry",
     "WindowedAligner",
     "WindowedGmxAligner",

@@ -30,12 +30,10 @@ from ..core.cigar import (
 from ..core.isa import GmxIsa, encode_pos
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..core.traceback import NextTile
-from .base import Aligner, AlignerError, AlignmentResult, KernelStats
+from .base import Aligner, AlignmentResult, BandExceededError, KernelStats
 from .full_gmx import _chunks, _edge_bytes
 
-
-class BandExceededError(AlignerError):
-    """The traceback path attempted to leave the computed band."""
+__all__ = ["BandExceededError", "BandedGmxAligner"]
 
 
 class BandedGmxAligner(Aligner):

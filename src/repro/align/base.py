@@ -211,3 +211,76 @@ class Aligner(abc.ABC):
 
 class AlignerError(RuntimeError):
     """Raised when an aligner cannot produce a result (e.g. band exceeded)."""
+
+
+class BandExceededError(AlignerError):
+    """A banded kernel's traceback left the computed band; retry wider.
+
+    Shared by every banded aligner (``Banded(GMX)`` and ``Banded(Edlib)``)
+    so retry policy — the resilience engine's, or a caller's — can match
+    band overflow with a single ``except`` clause regardless of which
+    kernel raised it.
+    """
+
+
+@dataclass
+class ResilienceCounters:
+    """Fault/recovery accounting of one batch run.
+
+    Populated by :mod:`repro.resilience` (and, for the picklability
+    fallback, by :mod:`repro.align.parallel`).  Every counter is a simple
+    sum, so merging campaign shards or reading a checkpoint journal can
+    accumulate records without ordering concerns.
+
+    Attributes:
+        faults_injected: faults armed by a :class:`~repro.resilience.FaultPlan`.
+        faults_detected: injected or organic faults the engine observed
+            (crash, timeout, cross-check mismatch, verifier diagnostic,
+            checksum mismatch, malformed data).
+        retries: shard attempts re-executed after a detected fault.
+        timeouts: shard attempts cancelled at their deadline.
+        crashes: shard attempts that died (worker exception or exit).
+        cross_check_mismatches: pairs where the baseline cross-check or the
+            program verifier disagreed with the primary aligner.
+        data_faults: pairs whose in-flight records failed the checksum or
+            were structurally malformed.
+        slow_shards: shards that finished but breached the slow threshold.
+        bisections: shards split in half to isolate a poison pair.
+        fallbacks: pairs answered by the degraded baseline aligner.
+        quarantined_pairs: pairs excluded from the result after the whole
+            degradation chain failed.
+        checkpoints_written: journal flushes performed.
+        shards_resumed: shards restored from a checkpoint journal.
+    """
+
+    faults_injected: int = 0
+    faults_detected: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    cross_check_mismatches: int = 0
+    data_faults: int = 0
+    slow_shards: int = 0
+    bisections: int = 0
+    fallbacks: int = 0
+    quarantined_pairs: int = 0
+    checkpoints_written: int = 0
+    shards_resumed: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON artifacts and journal headers."""
+        return {
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "cross_check_mismatches": self.cross_check_mismatches,
+            "data_faults": self.data_faults,
+            "slow_shards": self.slow_shards,
+            "bisections": self.bisections,
+            "fallbacks": self.fallbacks,
+            "quarantined_pairs": self.quarantined_pairs,
+            "checkpoints_written": self.checkpoints_written,
+            "shards_resumed": self.shards_resumed,
+        }

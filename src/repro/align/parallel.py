@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from .base import Aligner, AlignmentResult, KernelStats
+from .base import Aligner, AlignmentResult, KernelStats, ResilienceCounters
 from .batch import BatchResult, PairLike, _as_pair
 
 #: Pairs per shard when the caller does not choose (big enough to amortise
@@ -76,8 +76,13 @@ class BatchTelemetry:
         shard_size: maximum pairs per shard.
         wall_seconds: end-to-end batch wall time in the parent.
         executor: how shards ran (``serial``, ``inline``, ``fork``,
-            ``spawn``, ``forkserver``).
+            ``spawn``, ``forkserver``, or ``resilient-*`` variants).
         shards: per-shard measurements, in input order.
+        fallback_reason: why a multi-worker run degraded to the in-process
+            executor (e.g. the concrete pickling failure of the aligner);
+            ``None`` when no fallback happened.
+        resilience: fault/recovery accounting when the batch ran through
+            :mod:`repro.resilience`; ``None`` for plain runs.
     """
 
     workers: int
@@ -85,6 +90,8 @@ class BatchTelemetry:
     wall_seconds: float = 0.0
     executor: str = "serial"
     shards: List[ShardTelemetry] = field(default_factory=list)
+    fallback_reason: Optional[str] = None
+    resilience: Optional[ResilienceCounters] = None
 
     @property
     def shard_count(self) -> int:
@@ -98,9 +105,16 @@ class BatchTelemetry:
 
     @property
     def pairs_per_second(self) -> float:
-        """Measured end-to-end pairs/second (0.0 for an empty batch)."""
-        if not self.pairs or self.wall_seconds <= 0:
+        """Measured end-to-end pairs/second, total on every input.
+
+        0.0 for an empty batch; ``inf`` for a non-empty batch whose wall
+        time measured as zero (clock granularity on an instant batch) —
+        never a ``ZeroDivisionError``.
+        """
+        if not self.pairs:
             return 0.0
+        if self.wall_seconds <= 0:
+            return float("inf")
         return self.pairs / self.wall_seconds
 
     @property
@@ -121,7 +135,12 @@ class BatchTelemetry:
         return min(1.0, self.busy_seconds / (self.workers * self.wall_seconds))
 
     def speedup_vs(self, other: "BatchTelemetry") -> float:
-        """Wall-clock speedup of this run relative to ``other``."""
+        """Wall-clock speedup of this run relative to ``other``.
+
+        Total on zero-time telemetry: two instant runs compare as 1.0, an
+        instant run beats any timed run by ``inf``, and a timed run against
+        an instant one reports 0.0 — no division by zero on any input.
+        """
         if self.wall_seconds <= 0:
             return float("inf") if other.wall_seconds > 0 else 1.0
         return other.wall_seconds / self.wall_seconds
@@ -168,12 +187,21 @@ def _align_shard(
     return results, stats, time.perf_counter() - start, f"pid:{os.getpid()}"
 
 
-def _is_picklable(aligner: Aligner) -> bool:
+def _pickling_failure(aligner: Aligner) -> Optional[str]:
+    """Why ``aligner`` cannot ship to worker processes (None when it can).
+
+    Only the concrete failures ``pickle.dumps`` raises on unpicklable
+    objects are treated as "fall back inline": ``PicklingError`` (the
+    documented failure), ``TypeError`` (lambdas, locks, open files), and
+    ``AttributeError`` (local classes / lost module references).  Anything
+    else — a crash inside ``__reduce__``, say — is a real bug and
+    propagates to the caller instead of being silently swallowed.
+    """
     try:
         pickle.dumps(aligner)
-        return True
-    except Exception:
-        return False
+        return None
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        return f"{type(aligner).__name__} is not picklable: {exc}"
 
 
 def _resolve_start_method(preferred: Optional[str]) -> Optional[str]:
@@ -232,7 +260,8 @@ def align_batch_sharded(
     telemetry = BatchTelemetry(workers=workers, shard_size=shard_size)
     start = time.perf_counter()
 
-    use_pool = workers > 1 and _is_picklable(aligner)
+    pickling_failure = _pickling_failure(aligner) if workers > 1 else None
+    use_pool = workers > 1 and pickling_failure is None
     method = _resolve_start_method(start_method) if use_pool else None
     if use_pool and method is not None:
         telemetry.executor = method
@@ -242,6 +271,7 @@ def align_batch_sharded(
         )
     else:
         telemetry.executor = "inline" if workers > 1 else "serial"
+        telemetry.fallback_reason = pickling_failure
         for index, shard in enumerate(shards):
             results, stats, seconds, _ = _align_shard(
                 (aligner, shard, traceback, validate)

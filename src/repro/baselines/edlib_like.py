@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..align.base import Aligner, AlignerError, AlignmentResult, KernelStats
+from ..align.base import (
+    Aligner,
+    AlignmentResult,
+    BandExceededError,
+    KernelStats,
+)
 from ..core.cigar import (
     Alignment,
     OP_DELETION,
@@ -32,10 +37,6 @@ from ..core.cigar import (
 )
 from ..core.tile import advance_column, build_peq
 from .bpm import BPM_INSTRUCTIONS_PER_STEP
-
-
-class _BandExceeded(AlignerError):
-    """Internal: traceback left the banded region; retry with larger k."""
 
 
 class EdlibAligner(Aligner):
@@ -73,7 +74,7 @@ class EdlibAligner(Aligner):
                 score, alignment = self._banded_pass(
                     pattern, text, k, traceback, stats
                 )
-            except _BandExceeded:
+            except BandExceededError:
                 k = min(2 * k, limit)
                 continue
             if score <= k or k >= limit:
@@ -158,7 +159,7 @@ class EdlibAligner(Aligner):
             if traceback:
                 history.append((lo, hi, column))
         if prev_hi != n_blocks - 1:  # pragma: no cover - k ≥ |n−m| prevents this
-            raise _BandExceeded("band never reached the bottom row")
+            raise BandExceededError("band never reached the bottom row")
         score = bottom_score
         stats.hot_bytes = max(stats.hot_bytes or 0, 2 * word_bytes * max_live)
         stats.dp_bytes_peak = max(
@@ -189,7 +190,7 @@ class EdlibAligner(Aligner):
             lo, hi, column = history[j]
             b = i // w
             if b not in column:
-                raise _BandExceeded(
+                raise BandExceededError(
                     f"traceback left the band at cell ({i}, {j})"
                 )
             pv, mv, ph, mh = column[b]

@@ -13,7 +13,15 @@ Five commands cover the library's workflows:
   static program verifier and the repo invariant lint;
 * ``lint``       — static analysis: the GMX program verifier over aligner
   instruction streams (or a binary program file) plus the repo-wide
-  invariant lint; ``--format json`` emits machine-readable diagnostics.
+  invariant lint; ``--format json`` emits machine-readable diagnostics;
+* ``chaos``      — run a seeded fault-injection campaign through the
+  resilient batch engine (:mod:`repro.resilience`): the batch must come
+  out byte-identical to a fault-free serial run with every injected
+  fault accounted for; exits non-zero otherwise.
+
+``align`` grows resilience knobs (``--max-retries``, ``--shard-timeout``,
+``--checkpoint``, ``--cross-check``) that route batches through the
+supervised executor instead of the plain sharded pool.
 """
 
 from __future__ import annotations
@@ -128,6 +136,32 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PAIRS",
         help="pairs per shard for parallel batches",
     )
+    align.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed shards up to N times (resilient executor)",
+    )
+    align.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline; late shards are killed and retried",
+    )
+    align.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="journal completed shards to FILE and resume from it",
+    )
+    align.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="independently verify every result (BPM score, alignment "
+        "replay, program verifier)",
+    )
 
     generate = commands.add_parser("generate", help="generate a dataset")
     generate.add_argument("--length", type=int, required=True)
@@ -203,6 +237,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify against a single-register-write-port core (gmx.vh illegal)",
     )
 
+    chaos = commands.add_parser(
+        "chaos", help="seeded fault-injection campaign (must survive)"
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--faults", type=int, default=25, metavar="N",
+        help="faults to inject across hardware/worker/data layers",
+    )
+    chaos.add_argument(
+        "--pairs", type=int, default=None, metavar="N",
+        help="batch size (default: max(16, faults))",
+    )
+    chaos.add_argument("--length", type=int, default=64)
+    chaos.add_argument("--error", type=float, default=0.08)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--shard-size", type=int, default=4)
+    chaos.add_argument(
+        "--shard-timeout", type=float, default=1.0, metavar="SECONDS"
+    )
+    chaos.add_argument("--max-retries", type=int, default=3)
+    chaos.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="also exercise the checkpoint journal",
+    )
+    chaos.add_argument(
+        "--json", metavar="FILE", help="write the campaign report as JSON"
+    )
+
     return parser
 
 
@@ -245,13 +307,34 @@ def _cmd_align(args) -> int:
             text_lengths.append(len(text))
             yield pattern, text
 
-    batch = align_batch(
-        aligner,
-        tracked(),
-        traceback=not args.no_traceback,
-        workers=workers,
-        shard_size=args.shard_size,
+    resilient = (
+        args.max_retries is not None
+        or args.shard_timeout is not None
+        or args.checkpoint is not None
+        or args.cross_check
     )
+    if resilient:
+        from .resilience import align_batch_resilient
+
+        batch = align_batch_resilient(
+            aligner,
+            tracked(),
+            traceback=not args.no_traceback,
+            workers=workers,
+            shard_size=args.shard_size,
+            max_retries=args.max_retries,
+            shard_timeout=args.shard_timeout,
+            checkpoint=args.checkpoint,
+            cross_check=args.cross_check,
+        )
+    else:
+        batch = align_batch(
+            aligner,
+            tracked(),
+            traceback=not args.no_traceback,
+            workers=workers,
+            shard_size=args.shard_size,
+        )
     if args.pairs and batch.pairs == 0:
         print(f"error: {args.pairs}: no sequence pairs found", file=sys.stderr)
         return 2
@@ -274,7 +357,7 @@ def _cmd_align(args) -> int:
                 f"  dp_cells={stats.dp_cells} tiles={stats.tiles} "
                 f"dp_state_bytes={stats.dp_bytes_peak}"
             )
-    if args.pairs and (args.stats or workers > 1):
+    if args.pairs and (args.stats or workers > 1 or resilient):
         telemetry = batch.telemetry
         print(
             f"batch: pairs={telemetry.pairs} workers={telemetry.workers} "
@@ -283,6 +366,25 @@ def _cmd_align(args) -> int:
             f"pairs/s={telemetry.pairs_per_second:.1f} "
             f"utilization={telemetry.worker_utilization:.0%}"
         )
+        if telemetry.resilience is not None:
+            counters = telemetry.resilience
+            print(
+                f"resilience: retries={counters.retries} "
+                f"timeouts={counters.timeouts} crashes={counters.crashes} "
+                f"bisections={counters.bisections} "
+                f"fallbacks={counters.fallbacks} "
+                f"quarantined={counters.quarantined_pairs} "
+                f"checkpoints={counters.checkpoints_written} "
+                f"resumed={counters.shards_resumed}"
+            )
+            quarantined = getattr(batch, "quarantined", ())
+            for entry in quarantined:
+                print(
+                    f"quarantined pair {entry.index}: {entry.reason}",
+                    file=sys.stderr,
+                )
+            if quarantined:
+                return 1
     return 0
 
 
@@ -493,6 +595,33 @@ def _cmd_lint(args) -> int:
     return 1 if report.diagnostics else 0
 
 
+def _cmd_chaos(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from .resilience import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        faults=args.faults,
+        pairs=args.pairs,
+        length=args.length,
+        error_rate=args.error,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
+        checkpoint=args.checkpoint,
+    )
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2)
+        )
+        print(f"wrote campaign report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -503,6 +632,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "design": _cmd_design,
         "verify": _cmd_verify,
         "lint": _cmd_lint,
+        "chaos": _cmd_chaos,
     }
     try:
         return handlers[args.command](args)

@@ -25,9 +25,10 @@ cycle-level models in :mod:`repro.sim` consume.
 
 from __future__ import annotations
 
+import contextlib
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .bitvec import pack_deltas, unpack_deltas
 from .tile import DEFAULT_TILE_SIZE, build_peq, compute_tile
@@ -39,6 +40,32 @@ CSR_NAMES = ("gmx_pattern", "gmx_text", "gmx_pos", "gmx_lo", "gmx_hi")
 
 class IsaError(RuntimeError):
     """Raised on illegal ISA-level usage (bad CSR, malformed position, ...)."""
+
+
+#: Ambient fault hook: applied to every :class:`GmxIsa` created while a
+#: :func:`fault_injection` context is active (unless the instance carries
+#: its own hook).  This is how the resilience framework corrupts the ISA
+#: state of aligners that construct their ISA instances internally — the
+#: software under test runs unmodified on a "faulty core".
+_AMBIENT_FAULT_HOOK: Optional[object] = None
+
+
+@contextlib.contextmanager
+def fault_injection(hook: object) -> Iterator[None]:
+    """Run a block with ``hook`` injected into every GMX ISA instance.
+
+    The hook observes ``on_tile_output(op, value, tile_size)`` and
+    ``on_csr_write(csr, value)`` and returns the (possibly corrupted)
+    value.  Nesting restores the previous hook on exit; the hook is
+    process-local (each chaos worker arms its own).
+    """
+    global _AMBIENT_FAULT_HOOK
+    previous = _AMBIENT_FAULT_HOOK
+    _AMBIENT_FAULT_HOOK = hook
+    try:
+        yield
+    finally:
+        _AMBIENT_FAULT_HOOK = previous
 
 
 @dataclass(frozen=True)
@@ -124,6 +151,16 @@ class GmxIsa:
             it as an :class:`IsaEvent` — the ordered stream the static
             program verifier (:mod:`repro.analysis`) consumes.  ``None``
             (the default) disables recording.
+        fault_hook: optional fault-injection hook (see
+            :mod:`repro.resilience.injectors`).  When set, every tile
+            instruction's output register image passes through
+            ``fault_hook.on_tile_output(op, value, tile_size)`` and every
+            CSR write through ``fault_hook.on_csr_write(csr, value)`` —
+            the model's analogue of transient upsets on the GMX-AC output
+            latches and the CSR write bus.  Corrupted values flow into the
+            retired trace exactly as the software would observe them, so
+            the program verifier sees what a real core would.  ``None``
+            (the default) executes fault-free.
     """
 
     tile_size: int = DEFAULT_TILE_SIZE
@@ -134,8 +171,15 @@ class GmxIsa:
     gmx_hi: int = 0
     retired: Counter = field(default_factory=Counter)
     trace: Optional[List[IsaEvent]] = None
+    fault_hook: Optional[object] = field(default=None, repr=False)
     _peq_cache_key: str = field(default="", repr=False)
     _peq_cache: dict = field(default_factory=dict, repr=False)
+
+    def _active_fault_hook(self) -> Optional[object]:
+        """This core's fault hook: the instance's own, else the ambient one."""
+        if self.fault_hook is not None:
+            return self.fault_hook
+        return _AMBIENT_FAULT_HOOK
 
     def _retire(self, event: IsaEvent) -> None:
         """Append an event to the retired stream (when tracing is on)."""
@@ -155,6 +199,9 @@ class GmxIsa:
                 raise IsaError(
                     f"{csr} chunk of {len(value)} exceeds tile size {self.tile_size}"
                 )
+        hook = self._active_fault_hook()
+        if hook is not None:
+            value = hook.on_csr_write(csr, value)
         setattr(self, csr, value)
         self.retired["csrw"] += 1
         self._retire(IsaEvent("csrw", csr=csr, value=value))
@@ -197,6 +244,9 @@ class GmxIsa:
         )
         self.retired["gmx.v"] += 1
         dv_out = pack_deltas(result.dv_out)
+        hook = self._active_fault_hook()
+        if hook is not None:
+            dv_out = hook.on_tile_output("gmx.v", dv_out, self.tile_size)
         self._retire(IsaEvent("gmx.v", rs1=rs1, rs2=rs2, out=(dv_out,)))
         return dv_out
 
@@ -209,6 +259,9 @@ class GmxIsa:
         )
         self.retired["gmx.h"] += 1
         dh_out = pack_deltas(result.dh_out)
+        hook = self._active_fault_hook()
+        if hook is not None:
+            dh_out = hook.on_tile_output("gmx.h", dh_out, self.tile_size)
         self._retire(IsaEvent("gmx.h", rs1=rs1, rs2=rs2, out=(dh_out,)))
         return dh_out
 
@@ -226,6 +279,10 @@ class GmxIsa:
         self.retired["gmx.vh"] += 1
         dv_out = pack_deltas(result.dv_out)
         dh_out = pack_deltas(result.dh_out)
+        hook = self._active_fault_hook()
+        if hook is not None:
+            dv_out = hook.on_tile_output("gmx.vh", dv_out, self.tile_size)
+            dh_out = hook.on_tile_output("gmx.vh", dh_out, self.tile_size)
         self._retire(IsaEvent("gmx.vh", rs1=rs1, rs2=rs2, out=(dv_out, dh_out)))
         return dv_out, dh_out
 

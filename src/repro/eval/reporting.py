@@ -84,6 +84,32 @@ def render_lint_badge(summary: Dict[str, int]) -> str:
     return f"lint: {total} diagnostics ({errors} errors, {warnings} warnings)"
 
 
+def render_resilience_badge(report: Dict[str, object]) -> str:
+    """One-line fault-tolerance badge for experiment reports.
+
+    Args:
+        report: a chaos :meth:`~repro.resilience.CampaignReport.to_dict`.
+
+    Returns:
+        ``"resilience: OK (N faults injected, output identical)"`` for a
+        passing campaign, otherwise a failure breakdown — embedded in
+        exported artifacts so a report records that the numbers came from
+        an engine that demonstrably survives injected faults.
+    """
+    counters = report.get("counters", {})
+    injected = counters.get("faults_injected", 0)
+    if report.get("ok"):
+        return (
+            f"resilience: OK ({injected} faults injected, output identical)"
+        )
+    unaccounted = len(report.get("unaccounted", ()))
+    identical = "identical" if report.get("identical") else "DIVERGED"
+    return (
+        f"resilience: FAILED ({injected} faults injected, output "
+        f"{identical}, {unaccounted} unaccounted)"
+    )
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0

@@ -15,14 +15,83 @@ frequency (2 cycles at T = 32 / 1 GHz in the paper's implementation).
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from .gates import GateBudget, comparator_budget, gmx_delta_budget
 
 #: Per-cell propagation delay in GF 22nm, calibrated so that the T = 32
 #: array meets the paper's 2-cycle latency at 1 GHz: (2T−1)·C_d ≤ 2 ns.
 CCAC_DELAY_NS = 0.031
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A stuck-at fault on one output bit of one CC_AC cell.
+
+    The fault model of the resilience campaign's hardware layer: each
+    cell's two GMXΔ modules emit a 2-bit-encoded Δ value (bit 0 = "+1",
+    bit 1 = "−1"); a stuck-at fault forces one of those four output nets
+    to a constant, whatever the cell computes.  Applied by
+    :class:`repro.hw.rtl_sim.GmxAcArraySim` when simulating a faulty array.
+
+    Attributes:
+        row / col: cell coordinates in the T×T array.
+        net: which module's output is faulty (``"dv"`` or ``"dh"``).
+        bit: which encoded bit is stuck (0 = the "+1" plane, 1 = "−1").
+        value: the stuck level (0 or 1).
+    """
+
+    row: int
+    col: int
+    net: str
+    bit: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.net not in ("dv", "dh"):
+            raise ValueError(f"net must be 'dv' or 'dh', got {self.net!r}")
+        if self.bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {self.bit}")
+        if self.value not in (0, 1):
+            raise ValueError(f"value must be 0 or 1, got {self.value}")
+
+    def apply(self, bits: Tuple[int, int]) -> Tuple[int, int]:
+        """Force this fault's bit of an encoded (bit0, bit1) Δ value."""
+        b0, b1 = bits
+        if self.bit == 0:
+            return self.value, b1
+        return b0, self.value
+
+
+def sample_stuck_faults(
+    tile_size: int, count: int, seed: int
+) -> List[StuckAtFault]:
+    """Deterministically sample ``count`` distinct stuck-at fault sites.
+
+    The fault universe is every (cell, net, bit, level) combination —
+    ``T² · 2 · 2 · 2`` sites; sampling is reproducible for a given seed, so
+    chaos campaigns replay exactly.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    rng = random.Random(seed)
+    sites = rng.sample(range(tile_size * tile_size * 8), count)
+    faults = []
+    for site in sites:
+        cell, rest = divmod(site, 8)
+        row, col = divmod(cell, tile_size)
+        faults.append(
+            StuckAtFault(
+                row=row,
+                col=col,
+                net="dv" if rest & 4 else "dh",
+                bit=(rest >> 1) & 1,
+                value=rest & 1,
+            )
+        )
+    return faults
 
 
 @dataclass(frozen=True)

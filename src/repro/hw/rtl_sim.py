@@ -24,7 +24,7 @@ from typing import List, Sequence, Tuple
 
 from ..core.delta import decode_delta, encode_delta, gmx_delta_bits
 from ..core.tile import TileResult
-from .gmx_ac import GmxAcModel
+from .gmx_ac import GmxAcModel, StuckAtFault
 
 
 class SchedulingError(RuntimeError):
@@ -50,13 +50,31 @@ class GmxAcArraySim:
     Args:
         tile_size: T, the array dimension.
         stages: pipeline stages (1 = fully combinational).
+        faults: stuck-at faults to apply to cell outputs
+            (:class:`~repro.hw.gmx_ac.StuckAtFault`) — the fault-injection
+            hook of the resilience campaign's hardware layer.  An empty
+            sequence simulates a healthy array; a faulty array's outputs
+            diverge from the reference tile kernel, which is exactly what
+            the gate-level equivalence check must detect.
     """
 
-    def __init__(self, tile_size: int = 32, stages: int = 1):
+    def __init__(
+        self,
+        tile_size: int = 32,
+        stages: int = 1,
+        faults: Sequence[StuckAtFault] = (),
+    ):
         if tile_size < 2:
             raise ValueError(f"tile size must be at least 2, got {tile_size}")
         if stages < 1:
             raise ValueError(f"stages must be positive, got {stages}")
+        for fault in faults:
+            if not (0 <= fault.row < tile_size and 0 <= fault.col < tile_size):
+                raise ValueError(
+                    f"fault cell ({fault.row},{fault.col}) outside the "
+                    f"{tile_size}×{tile_size} array"
+                )
+        self.faults = tuple(faults)
         self.tile_size = tile_size
         diagonals = 2 * tile_size - 1
         self.stages = min(stages, diagonals)
@@ -122,6 +140,12 @@ class GmxAcArraySim:
                 h0, h1 = dh_bits[j]
                 new_v = gmx_delta_bits(v0, v1, h0, h1, eq)
                 new_h = gmx_delta_bits(h0, h1, v0, v1, eq)
+                for fault in self.faults:
+                    if fault.row == i and fault.col == j:
+                        if fault.net == "dv":
+                            new_v = fault.apply(new_v)
+                        else:
+                            new_h = fault.apply(new_h)
                 dv_bits[i] = new_v
                 dh_bits[j] = new_h
                 ready[i][j] = stage

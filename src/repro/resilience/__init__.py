@@ -1,0 +1,82 @@
+"""Fault injection and fault-tolerant batch execution.
+
+The robustness layer of the harness, in two halves:
+
+* **Injection** (:mod:`.faults`, :mod:`.injectors`) — deterministic,
+  seeded fault plans striking three layers: the GMX hardware model
+  (bit flips, stuck-at output bits, corrupted CSR writes), the worker
+  processes (crash, hang, slow, unpicklable replies), and the data path
+  (truncated or garbled in-flight records).
+* **Tolerance** (:mod:`.engine`, :mod:`.checkpoint`) — a supervised
+  batch executor with per-shard deadlines, seeded-backoff retries,
+  shard bisection, cross-checked results, a graceful-degradation chain
+  ending in quarantine, and checkpoint/resume journalling.
+
+:mod:`.campaign` closes the loop: N injected faults, and the batch must
+come out byte-identical to a fault-free serial run with every fault
+accounted for.  See ``docs/resilience.md`` for the full story.
+"""
+
+from .campaign import ACCOUNTED_OUTCOMES, CampaignReport, run_campaign
+from .checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    deserialize_result,
+    serialize_result,
+)
+from .engine import (
+    DEFAULT_CHAOS_TIMEOUT,
+    CrossCheckError,
+    FaultRecord,
+    QuarantinedPair,
+    ResilientBatchResult,
+    RetryPolicy,
+    align_batch_resilient,
+)
+from .faults import (
+    LAYER_KINDS,
+    LAYERS,
+    FaultError,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedCrashError,
+)
+from .injectors import (
+    FaultHookChain,
+    HardwareFaultInjector,
+    apply_worker_fault,
+    corrupt_pair,
+    corrupt_shard,
+    pair_checksum,
+)
+
+__all__ = [
+    "ACCOUNTED_OUTCOMES",
+    "CampaignReport",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CrossCheckError",
+    "DEFAULT_CHAOS_TIMEOUT",
+    "FaultError",
+    "FaultHookChain",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRecord",
+    "FaultSpec",
+    "HardwareFaultInjector",
+    "InjectedCrashError",
+    "LAYERS",
+    "LAYER_KINDS",
+    "QuarantinedPair",
+    "ResilientBatchResult",
+    "RetryPolicy",
+    "align_batch_resilient",
+    "apply_worker_fault",
+    "corrupt_pair",
+    "corrupt_shard",
+    "deserialize_result",
+    "pair_checksum",
+    "run_campaign",
+    "serialize_result",
+]

@@ -1,0 +1,194 @@
+"""Chaos campaigns: inject N seeded faults, demand a perfect batch.
+
+A campaign is the resilience framework's end-to-end proof obligation:
+
+1. generate a workload and a :class:`~.faults.FaultPlan` from one seed;
+2. run the batch fault-free and serially — the ground truth;
+3. run it again through :func:`~.engine.align_batch_resilient` with the
+   plan armed, cross-checking on, and real worker processes dying;
+4. assert the chaos run's results and merged stats are **byte-identical**
+   to the ground truth, and that every planned fault is accounted for in
+   the ledger (detected / retried / degraded / quarantined — never
+   silent, never masked).
+
+``repro chaos`` (the CLI) and the CI chaos job are thin wrappers around
+:func:`run_campaign`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..align.base import Aligner, ResilienceCounters
+from ..align.batch import align_batch
+from ..workloads.generator import generate_pair_set
+from .engine import FaultRecord, ResilientBatchResult, align_batch_resilient
+from .faults import FaultPlan
+
+#: Ledger outcomes that count as *accounted for* — the fault either
+#: forced a visible recovery action or was survived by degradation.
+ACCOUNTED_OUTCOMES = ("detected", "retried", "degraded", "quarantined")
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one chaos campaign.
+
+    Attributes:
+        seed / faults / pairs / length / workers / shard_size: campaign
+            configuration, echoed for the record.
+        identical: chaos results byte-identical to the fault-free serial
+            run (results, stats, and ordering).
+        unaccounted: ledger entries whose outcome is not in
+            :data:`ACCOUNTED_OUTCOMES` (silent corruption, masked
+            faults, never-armed faults) — empty on a passing campaign.
+        ledger: every planned fault with its outcome.
+        counters: the run's :class:`ResilienceCounters`.
+        wall_seconds: chaos-run wall time.
+    """
+
+    seed: int
+    faults: int
+    pairs: int
+    length: int
+    workers: int
+    shard_size: int
+    identical: bool
+    unaccounted: List[FaultRecord] = field(default_factory=list)
+    ledger: List[FaultRecord] = field(default_factory=list)
+    counters: ResilienceCounters = field(default_factory=ResilienceCounters)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Campaign verdict: identical output and full accounting."""
+        return self.identical and not self.unaccounted
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": self.faults,
+            "pairs": self.pairs,
+            "length": self.length,
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "ok": self.ok,
+            "identical": self.identical,
+            "unaccounted": [record.to_dict() for record in self.unaccounted],
+            "counters": self.counters.to_dict(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def render(self) -> str:
+        """Human-readable campaign summary (the CLI's output)."""
+        lines = [
+            f"chaos campaign: seed={self.seed} faults={self.faults} "
+            f"pairs={self.pairs} workers={self.workers} "
+            f"shard_size={self.shard_size}",
+            f"  identical to fault-free serial run: "
+            f"{'yes' if self.identical else 'NO'}",
+            f"  faults injected={self.counters.faults_injected} "
+            f"detected={self.counters.faults_detected} "
+            f"retries={self.counters.retries} "
+            f"timeouts={self.counters.timeouts} "
+            f"crashes={self.counters.crashes}",
+            f"  cross-check mismatches="
+            f"{self.counters.cross_check_mismatches} "
+            f"data faults={self.counters.data_faults} "
+            f"slow shards={self.counters.slow_shards}",
+            f"  bisections={self.counters.bisections} "
+            f"fallbacks={self.counters.fallbacks} "
+            f"quarantined={self.counters.quarantined_pairs}",
+        ]
+        if self.unaccounted:
+            lines.append(f"  UNACCOUNTED faults: {len(self.unaccounted)}")
+            for record in self.unaccounted:
+                lines.append(
+                    f"    {record.spec.describe()} -> {record.outcome} "
+                    f"({record.detail})"
+                )
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    *,
+    seed: int = 7,
+    faults: int = 25,
+    pairs: Optional[int] = None,
+    length: int = 64,
+    error_rate: float = 0.08,
+    workers: int = 2,
+    shard_size: int = 4,
+    shard_timeout: float = 1.0,
+    max_retries: int = 3,
+    aligner: Optional[Aligner] = None,
+    checkpoint: Optional[str] = None,
+) -> CampaignReport:
+    """Run one seeded chaos campaign and report the verdict.
+
+    Args:
+        seed: master seed for the workload and the fault plan.
+        faults: planned faults (spread across all three layers).
+        pairs: batch size (default: enough pairs that every fault has
+            room — ``max(16, faults)``).
+        length / error_rate: workload shape (§7.1-style synthetic pairs).
+        workers / shard_size / shard_timeout / max_retries: engine knobs.
+        aligner: system under test (default: the full GMX aligner).
+        checkpoint: optional journal path (exercises checkpointing too).
+    """
+    if pairs is None:
+        pairs = max(16, faults)
+    if aligner is None:
+        from ..align.full_gmx import FullGmxAligner
+
+        aligner = FullGmxAligner()
+    workload = generate_pair_set(
+        name=f"chaos-{seed}",
+        length=length,
+        error_rate=error_rate,
+        count=pairs,
+        seed=seed,
+    )
+    plan = FaultPlan.generate(seed, faults, pairs)
+
+    reference = align_batch(aligner, workload, traceback=True)
+    chaos: ResilientBatchResult = align_batch_resilient(
+        aligner,
+        workload,
+        workers=workers,
+        shard_size=shard_size,
+        traceback=True,
+        cross_check=True,
+        max_retries=max_retries,
+        shard_timeout=shard_timeout,
+        fault_plan=plan,
+        checkpoint=checkpoint,
+    )
+
+    identical = (
+        chaos.results == reference.results
+        and chaos.stats == reference.stats
+        and not chaos.quarantined
+    )
+    unaccounted = [
+        record
+        for record in chaos.ledger
+        if record.outcome not in ACCOUNTED_OUTCOMES
+    ]
+    assert chaos.telemetry is not None
+    assert chaos.telemetry.resilience is not None
+    return CampaignReport(
+        seed=seed,
+        faults=faults,
+        pairs=pairs,
+        length=length,
+        workers=workers,
+        shard_size=shard_size,
+        identical=identical,
+        unaccounted=unaccounted,
+        ledger=chaos.ledger,
+        counters=chaos.telemetry.resilience,
+        wall_seconds=chaos.telemetry.wall_seconds,
+    )

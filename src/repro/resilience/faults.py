@@ -1,0 +1,249 @@
+"""Declarative, seeded fault plans — the chaos campaign's script.
+
+A :class:`FaultPlan` is a replayable description of every fault a campaign
+will inject: which **layer** it strikes (the hardware model, a worker
+process, or the data path), which **kind** of fault it is, which **pair**
+of the batch it targets, and a private 32-bit seed that parameterises the
+corruption itself (which bit flips, which character garbles, how long a
+hang sleeps).  Plans are generated from a single campaign seed, serialise
+to JSON, and compare equal across processes — two runs from the same plan
+inject byte-identical faults in byte-identical places.
+
+Faults target *pair indices*, not shards: the same plan is meaningful for
+any shard size or worker count, and the resilient engine arms each fault
+on whichever shard happens to contain its pair.
+
+By default faults are **transient**: the engine fires each one exactly
+once (on the first attempt that covers its pair) and retries then see
+healthy hardware, so a recovered run converges to the fault-free result.
+``persistent=True`` marks a fault that re-fires on every attempt — the
+shape that exhausts retries and exercises the bisection → fallback →
+quarantine chain (used by targeted tests, not identity campaigns).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Sequence, Tuple
+
+#: Fault layers and the kinds defined at each layer.
+LAYER_KINDS: Dict[str, Tuple[str, ...]] = {
+    # Corruptions of the GMX hardware model, applied through the ISA-level
+    # fault hook (:func:`repro.core.isa.fault_injection`).
+    "hardware": ("bitflip", "stuck", "csr"),
+    # Failures of the executing worker itself.
+    "worker": ("crash", "hang", "slow", "unpicklable"),
+    # Corruptions of the in-flight shard payload (the data path).
+    "data": ("truncate", "garble"),
+}
+
+#: All layers, in deterministic order.
+LAYERS: Tuple[str, ...] = tuple(LAYER_KINDS)
+
+
+class FaultError(RuntimeError):
+    """Root of every error raised *by an injected fault* at runtime.
+
+    The resilient engine treats these exactly like organic failures — the
+    point of the campaign is that recovery cannot tell them apart.
+    """
+
+
+class InjectedCrashError(FaultError):
+    """An injected worker crash (layer ``worker``, kind ``crash``)."""
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad layer/kind, bad JSON, bad target)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        fault_id: unique id within the plan (stable across serialisation).
+        layer: ``hardware``, ``worker``, or ``data``.
+        kind: fault kind within the layer (see :data:`LAYER_KINDS`).
+        pair_index: absolute index of the targeted pair in the batch.
+        seed: private seed parameterising the corruption deterministically.
+        persistent: re-fire on every attempt (default: transient, fires
+            once — see the module docstring).
+    """
+
+    fault_id: int
+    layer: str
+    kind: str
+    pair_index: int
+    seed: int
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYER_KINDS:
+            raise FaultPlanError(
+                f"unknown fault layer {self.layer!r} (have {LAYERS})"
+            )
+        if self.kind not in LAYER_KINDS[self.layer]:
+            raise FaultPlanError(
+                f"unknown {self.layer} fault kind {self.kind!r} "
+                f"(have {LAYER_KINDS[self.layer]})"
+            )
+        if self.pair_index < 0:
+            raise FaultPlanError(
+                f"pair_index must be non-negative, got {self.pair_index}"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable form (used by ledgers and the CLI)."""
+        flavour = "persistent" if self.persistent else "transient"
+        return (
+            f"fault #{self.fault_id}: {self.layer}/{self.kind} on pair "
+            f"{self.pair_index} ({flavour}, seed {self.seed})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_id": self.fault_id,
+            "layer": self.layer,
+            "kind": self.kind,
+            "pair_index": self.pair_index,
+            "seed": self.seed,
+            "persistent": self.persistent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        try:
+            return cls(
+                fault_id=int(data["fault_id"]),
+                layer=data["layer"],
+                kind=data["kind"],
+                pair_index=int(data["pair_index"]),
+                seed=int(data["seed"]),
+                persistent=bool(data.get("persistent", False)),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault spec missing field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, replayable fault-injection campaign description.
+
+    Attributes:
+        seed: campaign seed the plan was generated from.
+        pair_count: size of the batch the plan targets.
+        faults: every planned fault, ordered by ``fault_id``.
+    """
+
+    seed: int
+    pair_count: int
+    faults: Tuple[FaultSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for spec in self.faults:
+            if spec.fault_id in seen:
+                raise FaultPlanError(
+                    f"duplicate fault_id {spec.fault_id} in plan"
+                )
+            seen.add(spec.fault_id)
+            if spec.pair_index >= self.pair_count:
+                raise FaultPlanError(
+                    f"fault #{spec.fault_id} targets pair {spec.pair_index} "
+                    f"outside the {self.pair_count}-pair batch"
+                )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        faults: int,
+        pair_count: int,
+        *,
+        layers: Sequence[str] = LAYERS,
+    ) -> "FaultPlan":
+        """Deterministically generate a plan of ``faults`` faults.
+
+        Layer, kind, target pair and per-fault seed are all drawn from a
+        single ``random.Random(seed)`` stream, so the same arguments
+        always produce the same plan on every platform.
+        """
+        if faults < 0:
+            raise FaultPlanError(f"fault count must be >= 0, got {faults}")
+        if pair_count < 1:
+            raise FaultPlanError(
+                f"pair_count must be positive, got {pair_count}"
+            )
+        for layer in layers:
+            if layer not in LAYER_KINDS:
+                raise FaultPlanError(f"unknown fault layer {layer!r}")
+        rng = random.Random(seed)
+        specs = []
+        for fault_id in range(faults):
+            layer = rng.choice(list(layers))
+            kind = rng.choice(list(LAYER_KINDS[layer]))
+            specs.append(
+                FaultSpec(
+                    fault_id=fault_id,
+                    layer=layer,
+                    kind=kind,
+                    pair_index=rng.randrange(pair_count),
+                    seed=rng.getrandbits(32),
+                )
+            )
+        return cls(seed=seed, pair_count=pair_count, faults=tuple(specs))
+
+    def persistent(self) -> "FaultPlan":
+        """A copy of this plan with every fault marked persistent."""
+        return replace(
+            self,
+            faults=tuple(replace(s, persistent=True) for s in self.faults),
+        )
+
+    def for_pairs(self, lo: int, hi: int) -> Tuple[FaultSpec, ...]:
+        """Faults targeting pairs in the half-open range [lo, hi)."""
+        return tuple(
+            spec for spec in self.faults if lo <= spec.pair_index < hi
+        )
+
+    def by_layer(self) -> Dict[str, int]:
+        """Fault counts per layer (all layers present, even at zero)."""
+        counts = {layer: 0 for layer in LAYERS}
+        for spec in self.faults:
+            counts[spec.layer] += 1
+        return counts
+
+    @property
+    def fingerprint(self) -> str:
+        """Short stable identity of the plan (seed/count based)."""
+        return f"plan:seed={self.seed}:pairs={self.pair_count}:faults={len(self.faults)}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "pair_count": self.pair_count,
+                "faults": [spec.to_dict() for spec in self.faults],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        try:
+            return cls(
+                seed=int(data["seed"]),
+                pair_count=int(data["pair_count"]),
+                faults=tuple(
+                    FaultSpec.from_dict(entry) for entry in data["faults"]
+                ),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault plan missing field {exc}") from exc

@@ -1,27 +1,67 @@
-"""Minimal sequence-pair I/O.
+"""Sequence I/O: WFA ``.seq`` pair files plus FASTA/FASTQ reads.
 
 The paper open-sources its generated datasets as ``.seq`` files in the WFA
 tools' format: two lines per pair, the pattern prefixed with ``>`` and the
 text with ``<``.  This module reads and writes that format so externally
-generated datasets can be dropped into the harness.
+generated datasets can be dropped into the harness, and additionally reads
+single-sequence FASTA/FASTQ files (the formats real read sets arrive in),
+pairing two files record by record.
 
-Two read paths are provided: :func:`load_pairs` materialises a whole file
-into a :class:`PairSet`, while :func:`iter_pairs` streams pairs one at a
-time — the batch engine (``align_batch(..., workers=N)``) consumes such
-streams shard by shard, so arbitrarily large ``.seq`` files never need to
-fit in memory.
+Two read paths are provided for pairs: :func:`load_pairs` materialises a
+whole file into a :class:`PairSet`, while :func:`iter_pairs` streams pairs
+one at a time — the batch engine (``align_batch(..., workers=N)``)
+consumes such streams shard by shard, so arbitrarily large files never
+need to fit in memory.
+
+Robustness contract: every malformed input raises :class:`SeqFormatError`
+carrying the file name, the 1-based record index, and the offending line
+number — enough to locate one bad record in a million-read file.  The
+resilience engine (:mod:`repro.resilience`) relies on these errors being
+precise and typed to quarantine poison records instead of aborting runs.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, List, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from .generator import PairSet, SequencePair
 
+#: File suffixes recognised by :func:`detect_format`.
+FASTA_SUFFIXES = (".fasta", ".fa", ".fna")
+FASTQ_SUFFIXES = (".fastq", ".fq")
+
 
 class SeqFormatError(ValueError):
-    """Raised on malformed ``.seq`` input."""
+    """Raised on malformed sequence input.
+
+    Attributes:
+        path: the offending file (``None`` for non-file sources).
+        record: 1-based index of the malformed record, when known.
+        line: 1-based line number of the offending line, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Union[str, Path, None] = None,
+        record: Optional[int] = None,
+        line: Optional[int] = None,
+    ):
+        self.path = str(path) if path is not None else None
+        self.record = record
+        self.line = line
+        prefix = []
+        if self.path is not None:
+            prefix.append(self.path)
+        if line is not None:
+            prefix.append(f"line {line}")
+        if record is not None:
+            prefix.append(f"record {record}")
+        super().__init__(
+            f"{': '.join(prefix)}: {message}" if prefix else message
+        )
 
 
 def save_pairs(pairs: PairSet, path: Union[str, Path]) -> None:
@@ -39,13 +79,16 @@ def iter_pairs(
     """Stream a ``.seq`` file pair by pair without materialising it.
 
     Yields each :class:`SequencePair` as soon as its two lines are read;
-    format errors raise :class:`SeqFormatError` at the offending line.
+    format errors raise :class:`SeqFormatError` identifying the file, the
+    record index, and the line.
 
     Args:
         error_rate: nominal divergence to record (unknown for external data).
     """
     path = Path(path)
     pattern = None
+    pattern_line = 0
+    record = 1
     with path.open() as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -54,24 +97,32 @@ def iter_pairs(
             if line.startswith(">"):
                 if pattern is not None:
                     raise SeqFormatError(
-                        f"{path}:{line_number}: pattern without matching text"
+                        "pattern without matching '<' text line",
+                        path=path, record=record, line=pattern_line,
                     )
                 pattern = line[1:]
+                pattern_line = line_number
             elif line.startswith("<"):
                 if pattern is None:
                     raise SeqFormatError(
-                        f"{path}:{line_number}: text without preceding pattern"
+                        "text without preceding '>' pattern line",
+                        path=path, record=record, line=line_number,
                     )
                 yield SequencePair(
                     pattern=pattern, text=line[1:], error_rate=error_rate
                 )
                 pattern = None
+                record += 1
             else:
                 raise SeqFormatError(
-                    f"{path}:{line_number}: line must start with '>' or '<'"
+                    "line must start with '>' or '<'",
+                    path=path, record=record, line=line_number,
                 )
     if pattern is not None:
-        raise SeqFormatError(f"{path}: trailing pattern without text")
+        raise SeqFormatError(
+            "trailing pattern without text (truncated file?)",
+            path=path, record=record, line=pattern_line,
+        )
 
 
 def load_pairs(
@@ -89,8 +140,165 @@ def load_pairs(
     path = Path(path)
     pairs: List[SequencePair] = list(iter_pairs(path, error_rate=error_rate))
     if not pairs:
-        raise SeqFormatError(f"{path}: no sequence pairs found")
+        raise SeqFormatError("no sequence pairs found", path=path)
     length = pairs[0].length
     return PairSet(
         name=name or path.stem, length=length, error_rate=error_rate, pairs=pairs
     )
+
+
+# -- FASTA / FASTQ ----------------------------------------------------------
+
+
+def iter_fasta(path: Union[str, Path]) -> Iterator[Tuple[str, str]]:
+    """Stream a FASTA file as (name, sequence) records.
+
+    Multi-line sequences are concatenated.  A header with no sequence
+    lines — including a header at end of file, the classic truncated-tail
+    shape — raises :class:`SeqFormatError` at that record.
+    """
+    path = Path(path)
+    name = None
+    header_line = 0
+    chunks: List[str] = []
+    record = 0
+    with path.open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    if not chunks:
+                        raise SeqFormatError(
+                            f"header {name!r} has no sequence lines",
+                            path=path, record=record, line=header_line,
+                        )
+                    yield name, "".join(chunks)
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                header_line = line_number
+                chunks = []
+                record += 1
+            else:
+                if name is None:
+                    raise SeqFormatError(
+                        "sequence data before the first '>' header",
+                        path=path, record=1, line=line_number,
+                    )
+                chunks.append(line)
+    if name is not None:
+        if not chunks:
+            raise SeqFormatError(
+                f"header {name!r} has no sequence lines (truncated tail?)",
+                path=path, record=record, line=header_line,
+            )
+        yield name, "".join(chunks)
+
+
+def iter_fastq(path: Union[str, Path]) -> Iterator[Tuple[str, str, str]]:
+    """Stream a FASTQ file as (name, sequence, quality) records.
+
+    Enforces the 4-line record structure: ``@name`` / sequence / ``+`` /
+    quality, with the quality string exactly as long as the sequence.
+    A record cut short at end of file (1–3 leftover lines) raises
+    :class:`SeqFormatError` naming the record and where it started.
+    """
+    path = Path(path)
+    record = 0
+    with path.open() as handle:
+        lines = iter(enumerate(handle, start=1))
+        for line_number, raw in lines:
+            header = raw.rstrip("\n")
+            if not header.strip():
+                continue
+            record += 1
+            if not header.startswith("@"):
+                raise SeqFormatError(
+                    f"expected '@' header, got {header[:20]!r}",
+                    path=path, record=record, line=line_number,
+                )
+            name = header[1:].split()[0] if len(header) > 1 else ""
+            body = []
+            for expected in ("sequence", "'+' separator", "quality"):
+                entry = next(lines, None)
+                if entry is None:
+                    raise SeqFormatError(
+                        f"record truncated: missing {expected} line",
+                        path=path, record=record, line=line_number,
+                    )
+                body.append((entry[0], entry[1].rstrip("\n")))
+            (_, sequence), (plus_line, plus), (qual_line, quality) = body
+            if not plus.startswith("+"):
+                raise SeqFormatError(
+                    f"expected '+' separator, got {plus[:20]!r}",
+                    path=path, record=record, line=plus_line,
+                )
+            if len(quality) != len(sequence):
+                raise SeqFormatError(
+                    f"quality length {len(quality)} != sequence length "
+                    f"{len(sequence)}",
+                    path=path, record=record, line=qual_line,
+                )
+            yield name, sequence, quality
+
+
+def detect_format(path: Union[str, Path]) -> str:
+    """Classify a sequence file by suffix: ``seq``, ``fasta``, or ``fastq``."""
+    suffix = Path(path).suffix.lower()
+    if suffix in FASTA_SUFFIXES:
+        return "fasta"
+    if suffix in FASTQ_SUFFIXES:
+        return "fastq"
+    return "seq"
+
+
+def read_sequences(path: Union[str, Path]) -> Iterator[str]:
+    """Stream the sequences of a FASTA or FASTQ file (format by suffix).
+
+    ``.seq`` pair files are rejected — they hold pairs, not reads; use
+    :func:`iter_pairs` for those.
+    """
+    fmt = detect_format(path)
+    if fmt == "fasta":
+        for _, sequence in iter_fasta(path):
+            yield sequence
+    elif fmt == "fastq":
+        for _, sequence, _ in iter_fastq(path):
+            yield sequence
+    else:
+        raise SeqFormatError(
+            "expected a FASTA/FASTQ suffix "
+            f"({', '.join(FASTA_SUFFIXES + FASTQ_SUFFIXES)})",
+            path=path,
+        )
+
+
+def pair_files(
+    pattern_path: Union[str, Path],
+    text_path: Union[str, Path],
+    *,
+    error_rate: float = 0.0,
+) -> Iterator[SequencePair]:
+    """Pair two FASTA/FASTQ files record by record (streamed).
+
+    Record ``k`` of ``pattern_path`` aligns against record ``k`` of
+    ``text_path``; a length mismatch between the files raises
+    :class:`SeqFormatError` naming the shorter file and the record at
+    which it ran out.
+    """
+    patterns = read_sequences(pattern_path)
+    texts = read_sequences(text_path)
+    record = 0
+    while True:
+        pattern = next(patterns, None)
+        text = next(texts, None)
+        if pattern is None and text is None:
+            return
+        record += 1
+        if pattern is None or text is None:
+            short = pattern_path if pattern is None else text_path
+            raise SeqFormatError(
+                "files hold different record counts",
+                path=short, record=record,
+            )
+        yield SequencePair(pattern=pattern, text=text, error_rate=error_rate)

@@ -125,6 +125,17 @@ class TestEquivalence:
         assert batch.telemetry.executor == "inline"
         assert batch.results == serial.results
         assert batch.stats == serial.stats
+        # The degradation is explained, not silent: the telemetry names
+        # the concrete pickling failure.
+        reason = batch.telemetry.fallback_reason
+        assert reason is not None
+        assert "pickl" in reason.lower()
+
+    def test_picklable_parallel_run_has_no_fallback_reason(self):
+        batch = align_batch(
+            FullGmxAligner(), _dataset(count=4), workers=2, shard_size=2
+        )
+        assert batch.telemetry.fallback_reason is None
 
 
 class TestSharding:
@@ -198,6 +209,22 @@ class TestTelemetry:
         slow = BatchTelemetry(workers=1, shard_size=8, wall_seconds=3.0)
         assert fast.speedup_vs(slow) == pytest.approx(3.0)
         assert slow.speedup_vs(fast) == pytest.approx(1 / 3)
+
+    def test_speedup_vs_is_total_on_zero_wall_time(self):
+        instant = BatchTelemetry(workers=1, shard_size=8, wall_seconds=0.0)
+        timed = BatchTelemetry(workers=1, shard_size=8, wall_seconds=2.0)
+        assert instant.speedup_vs(timed) == float("inf")
+        assert instant.speedup_vs(instant) == 1.0
+        assert timed.speedup_vs(instant) == 0.0
+
+    def test_pairs_per_second_is_total_on_zero_wall_time(self):
+        from repro.align.parallel import ShardTelemetry
+
+        telemetry = BatchTelemetry(workers=1, shard_size=8, wall_seconds=0.0)
+        telemetry.shards.append(
+            ShardTelemetry(index=0, pairs=3, wall_seconds=0.0, worker="inline")
+        )
+        assert telemetry.pairs_per_second == float("inf")
 
 
 @pytest.mark.slow

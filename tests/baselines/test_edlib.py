@@ -73,3 +73,40 @@ class TestBandedCost:
     def test_word_size_validation(self):
         with pytest.raises(ValueError):
             EdlibAligner(word_size=1)
+
+
+class TestBandExceededHierarchy:
+    """Band overflow is one exported exception type across all banded kernels."""
+
+    def test_shared_class_is_importable_everywhere(self):
+        from repro.align import BandExceededError as from_align
+        from repro.align.banded_gmx import BandExceededError as from_banded
+        from repro.align.base import AlignerError, BandExceededError as from_base
+
+        assert from_align is from_banded is from_base
+        assert issubclass(from_base, AlignerError)
+        assert issubclass(AlignerError, RuntimeError)
+
+    def test_one_except_clause_catches_any_banded_kernel(self):
+        # Retry policy -- a caller's, or the resilience engine's -- matches
+        # band overflow with one `except AlignerError`, whichever kernel
+        # raised it.
+        from repro.align.base import AlignerError, BandExceededError
+
+        def retried(exc: Exception) -> bool:
+            try:
+                raise exc
+            except AlignerError:
+                return True
+
+        assert retried(BandExceededError("band 4 exceeded"))
+
+    def test_edlib_band_doubling_recovers_from_overflow(self, rng):
+        # Edlib's k-doubling consumes the shared exception internally: a
+        # hopeless initial band still converges to the exact distance.
+        pattern = random_dna(120, rng)
+        text = mutate_dna(pattern, 50, rng)
+        assert (
+            EdlibAligner(initial_k=2).align(pattern, text).score
+            == scalar_edit_distance(pattern, text)
+        )

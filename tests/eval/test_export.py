@@ -18,13 +18,13 @@ class TestRunAll:
             "figure3", "figure10", "figure11", "figure12", "figure13",
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
-            "lint",
+            "lint", "resilience",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
-            if name == "lint":
+            if name in ("lint", "resilience"):
                 continue  # checked structurally below
             if isinstance(rows, dict):
                 assert all(rows.values()), name
@@ -41,6 +41,14 @@ class TestRunAll:
         assert lint["badge"] == "lint: clean (0 diagnostics)"
         assert lint["diagnostics"] == []
         assert lint["programs_checked"] == lint["programs_clean"] > 0
+
+    def test_resilience_badge_embedded(self, all_results):
+        resilience = all_results["resilience"]
+        assert resilience["ok"] is True
+        assert resilience["identical"] is True
+        assert resilience["unaccounted"] == []
+        assert resilience["badge"].startswith("resilience: OK")
+        assert resilience["counters"]["faults_injected"] > 0
 
 
 class TestExportJson:

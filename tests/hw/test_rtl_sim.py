@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.tile import boundary_deltas, compute_tile_reference
-from repro.hw.gmx_ac import GmxAcModel
+from repro.hw.gmx_ac import GmxAcModel, StuckAtFault, sample_stuck_faults
 from repro.hw.rtl_sim import GmxAcArraySim
 
 dna = st.text(alphabet="ACGT", min_size=1, max_size=12)
@@ -108,3 +108,78 @@ class TestValidation:
             GmxAcArraySim(tile_size=1)
         with pytest.raises(ValueError):
             GmxAcArraySim(tile_size=8, stages=0)
+
+
+class TestStuckAtFaults:
+    """The gate-level fault hook of the resilience campaign's hardware layer."""
+
+    def _healthy(self, pattern, text):
+        return GmxAcArraySim(tile_size=12, stages=1).simulate(
+            pattern, text, boundary_deltas(len(pattern)), boundary_deltas(len(text))
+        )
+
+    def test_sampling_is_deterministic_and_distinct(self):
+        a = sample_stuck_faults(tile_size=8, count=10, seed=5)
+        b = sample_stuck_faults(tile_size=8, count=10, seed=5)
+        assert a == b
+        assert len(set(a)) == 10
+        assert sample_stuck_faults(8, 10, seed=6) != a
+
+    def test_fault_sites_inside_the_array(self):
+        for fault in sample_stuck_faults(tile_size=8, count=50, seed=1):
+            assert 0 <= fault.row < 8
+            assert 0 <= fault.col < 8
+            assert fault.net in ("dv", "dh")
+            assert fault.bit in (0, 1)
+            assert fault.value in (0, 1)
+
+    def test_invalid_fault_rejected(self):
+        with pytest.raises(ValueError):
+            StuckAtFault(row=0, col=0, net="dq", bit=0, value=0)
+        with pytest.raises(ValueError):
+            StuckAtFault(row=0, col=0, net="dv", bit=2, value=0)
+        with pytest.raises(ValueError):
+            StuckAtFault(row=0, col=0, net="dv", bit=0, value=3)
+
+    def test_fault_outside_array_rejected(self):
+        fault = StuckAtFault(row=12, col=0, net="dv", bit=0, value=1)
+        with pytest.raises(ValueError):
+            GmxAcArraySim(tile_size=12, faults=[fault])
+
+    def test_faulty_array_diverges_from_reference(self):
+        # A stuck-at-1 on the "-1" plane of a last-column cell whose healthy
+        # output is 0 turns that dv_out into -1 -- the divergence the
+        # gate-level equivalence check (and the resilience cross-check)
+        # detects.  (The last column's dv outputs ARE dv_out; faults in
+        # interior columns can be overwritten by healthy cells downstream.)
+        pattern, text = "ACGTACGTACGT", "TTGCACGTAAGC"
+        healthy = self._healthy(pattern, text)
+        assert healthy.result.dv_out[6] == 0
+        fault = StuckAtFault(row=6, col=11, net="dv", bit=1, value=1)
+        faulty = GmxAcArraySim(tile_size=12, stages=1, faults=[fault]).simulate(
+            pattern, text, boundary_deltas(12), boundary_deltas(12)
+        )
+        assert faulty.result != healthy.result
+        assert faulty.result.dv_out[6] == -1
+
+    def test_fault_can_surface_as_illegal_encoding(self):
+        # Sticking the "+1" plane of a cell that healthily outputs -1
+        # yields the unreachable (1, 1) pattern: the array reports the
+        # corruption loudly instead of decoding garbage.
+        from repro.core.delta import DeltaEncodingError
+
+        pattern = text = "ACGTACGTACGT"
+        fault = StuckAtFault(row=5, col=11, net="dv", bit=0, value=1)
+        sim = GmxAcArraySim(tile_size=12, stages=1, faults=[fault])
+        with pytest.raises(DeltaEncodingError):
+            sim.simulate(pattern, text, boundary_deltas(12), boundary_deltas(12))
+
+    def test_healthy_fault_list_is_identity(self):
+        pattern, text = "ACGTACGTACGT", "TTGCACGTAAGC"
+        healthy = self._healthy(pattern, text)
+        # A stuck level the cell already produces is masked: simulate with
+        # an empty fault list against an explicit empty tuple.
+        unfaulted = GmxAcArraySim(tile_size=12, stages=1, faults=()).simulate(
+            pattern, text, boundary_deltas(12), boundary_deltas(12)
+        )
+        assert unfaulted.result == healthy.result

@@ -1,0 +1,81 @@
+"""Chaos campaigns: injected faults must never change the batch output.
+
+The quick campaign runs in every tier; the full campaigns carry the
+``chaos`` marker (``make test-chaos`` / the CI chaos job) but execute in
+the default suite too — they ARE the acceptance criterion of the
+resilience engine.
+"""
+
+import pytest
+
+from repro.resilience import ACCOUNTED_OUTCOMES, run_campaign
+from repro.resilience.campaign import CampaignReport
+
+
+class TestQuickCampaign:
+    def test_inline_campaign_survives(self):
+        report = run_campaign(
+            seed=7, faults=6, pairs=8, length=48,
+            workers=1, shard_size=3, shard_timeout=2.0,
+        )
+        assert report.identical
+        assert report.unaccounted == []
+        assert report.ok
+        assert report.counters.faults_injected == 6
+
+    def test_report_round_trips_to_dict(self):
+        report = run_campaign(
+            seed=7, faults=3, pairs=6, length=32,
+            workers=1, shard_size=3, shard_timeout=2.0,
+        )
+        data = report.to_dict()
+        assert data["seed"] == 7
+        assert data["identical"] is True
+        assert isinstance(report.render(), str)
+        assert "verdict" in report.render()
+
+    def test_campaign_replays_exactly(self):
+        a = run_campaign(
+            seed=13, faults=4, pairs=6, length=32,
+            workers=1, shard_size=3, shard_timeout=2.0,
+        )
+        b = run_campaign(
+            seed=13, faults=4, pairs=6, length=32,
+            workers=1, shard_size=3, shard_timeout=2.0,
+        )
+        assert a.ledger == b.ledger
+        assert a.counters == b.counters
+        assert a.ok and b.ok
+
+
+@pytest.mark.chaos
+class TestFullCampaigns:
+    def test_default_campaign_is_clean(self):
+        # The exact configuration CI and `make test-chaos` run.
+        report = run_campaign(seed=7, faults=25)
+        assert isinstance(report, CampaignReport)
+        assert report.identical, report.render()
+        assert report.unaccounted == [], report.render()
+        assert report.ok
+
+    @pytest.mark.slow
+    def test_hundred_fault_campaign_is_byte_identical(self):
+        # The acceptance criterion: >=100 seeded faults across all three
+        # layers, output byte-identical to the fault-free serial run, and
+        # every fault accounted as detected/retried/degraded/quarantined.
+        report = run_campaign(
+            seed=11, faults=100, pairs=100, workers=4, shard_size=4,
+            shard_timeout=1.0, max_retries=3,
+        )
+        assert report.identical, report.render()
+        assert report.counters.faults_injected == 100
+        for record in report.ledger:
+            assert record.outcome in ACCOUNTED_OUTCOMES, record
+        assert report.ok
+
+    def test_checkpointed_campaign_survives(self, tmp_path):
+        report = run_campaign(
+            seed=7, faults=10, pairs=16, workers=2, shard_size=4,
+            shard_timeout=1.0, checkpoint=str(tmp_path / "chaos.journal"),
+        )
+        assert report.ok, report.render()

@@ -1,0 +1,91 @@
+"""Tests for the checkpoint journal (repro.resilience.checkpoint)."""
+
+import pytest
+
+from repro.align import FullGmxAligner
+from repro.resilience import (
+    CheckpointError,
+    CheckpointJournal,
+    deserialize_result,
+    serialize_result,
+)
+
+
+@pytest.fixture
+def results():
+    aligner = FullGmxAligner(tile_size=8)
+    return [
+        aligner.align("ACGTACGTAC", "ACGAACGTAC"),
+        aligner.align("GGGGCCCC", "GGGTCCCC"),
+    ]
+
+
+class TestResultSerialisation:
+    def test_round_trip_is_lossless(self, results):
+        for result in results:
+            clone = deserialize_result(serialize_result(result))
+            assert clone == result
+            clone.alignment.validate()
+
+    def test_round_trip_without_traceback(self):
+        result = FullGmxAligner(tile_size=8).align(
+            "ACGTACGT", "ACGAACGT", traceback=False
+        )
+        clone = deserialize_result(serialize_result(result))
+        assert clone == result
+        assert clone.alignment is None
+
+    def test_serialised_form_is_json_safe(self, results):
+        import json
+
+        json.dumps(serialize_result(results[0]))
+
+
+class TestJournal:
+    META = {"aligner": "FullGmxAligner", "traceback": True, "plan": None}
+
+    def test_create_record_reload(self, tmp_path, results):
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(0, 2, checksum=123, results=results)
+        assert journal.writes == 1
+
+        reopened = CheckpointJournal(path, self.META)
+        looked_up = reopened.lookup(0, 2, checksum=123)
+        assert looked_up is not None
+        restored, quarantined = looked_up
+        assert restored == results
+        assert quarantined == []
+
+    def test_unknown_range_returns_none(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "run.journal", self.META)
+        assert journal.lookup(0, 4, checksum=0) is None
+
+    def test_checksum_mismatch_raises(self, tmp_path, results):
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(0, 2, checksum=123, results=results)
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, self.META).lookup(0, 2, checksum=999)
+
+    def test_foreign_run_meta_rejected(self, tmp_path):
+        path = tmp_path / "run.journal"
+        CheckpointJournal(path, self.META)
+        other = dict(self.META, aligner="BpmAligner")
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, other)
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.journal"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, self.META)
+
+    def test_torn_trailing_write_rejected_loudly(self, tmp_path, results):
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(0, 2, checksum=123, results=results)
+        with path.open("a") as handle:
+            handle.write('{"lo": 2, "hi": 4, "chec')  # torn write
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, self.META)

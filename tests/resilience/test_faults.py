@@ -1,0 +1,121 @@
+"""Tests for fault plans and specs (repro.resilience.faults)."""
+
+import pytest
+
+from repro.resilience import (
+    LAYER_KINDS,
+    LAYERS,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+)
+from repro.resilience.faults import FaultPlanError
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec(
+            fault_id=0, layer="worker", kind="crash", pair_index=3, seed=1
+        )
+        assert not spec.persistent
+        assert "worker" in spec.describe()
+        assert "crash" in spec.describe()
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(fault_id=0, layer="cosmic", kind="ray", pair_index=0, seed=0)
+
+    def test_kind_must_match_layer(self):
+        # "crash" is a worker kind, not a hardware kind.
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                fault_id=0, layer="hardware", kind="crash", pair_index=0, seed=0
+            )
+
+    def test_negative_pair_index_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(
+                fault_id=0, layer="data", kind="garble", pair_index=-1, seed=0
+            )
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            fault_id=7, layer="data", kind="truncate", pair_index=2, seed=99,
+            persistent=True,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_generation_is_deterministic(self):
+        a = FaultPlan.generate(seed=42, faults=20, pair_count=50)
+        b = FaultPlan.generate(seed=42, faults=20, pair_count=50)
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(seed=1, faults=20, pair_count=50)
+        b = FaultPlan.generate(seed=2, faults=20, pair_count=50)
+        assert a.faults != b.faults
+        assert a.fingerprint != b.fingerprint
+
+    def test_every_generated_fault_in_range(self):
+        plan = FaultPlan.generate(seed=3, faults=40, pair_count=10)
+        for spec in plan.faults:
+            assert 0 <= spec.pair_index < 10
+            assert spec.layer in LAYERS
+            assert spec.kind in LAYER_KINDS[spec.layer]
+
+    def test_layer_restriction(self):
+        plan = FaultPlan.generate(
+            seed=3, faults=15, pair_count=10, layers=("data",)
+        )
+        assert all(spec.layer == "data" for spec in plan.faults)
+        counts = plan.by_layer()
+        assert counts["data"] == 15
+        assert counts["hardware"] == 0
+        assert counts["worker"] == 0
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.generate(seed=11, faults=12, pair_count=30)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_persistent_copy(self):
+        plan = FaultPlan.generate(seed=11, faults=12, pair_count=30)
+        sticky = plan.persistent()
+        assert all(spec.persistent for spec in sticky.faults)
+        # The original is untouched (specs are frozen; the copy is new).
+        assert not any(spec.persistent for spec in plan.faults)
+
+    def test_for_pairs_selects_by_absolute_index(self):
+        plan = FaultPlan.generate(seed=5, faults=30, pair_count=20)
+        window = plan.for_pairs(5, 10)
+        assert all(5 <= spec.pair_index < 10 for spec in window)
+        outside = [
+            spec for spec in plan.faults if not 5 <= spec.pair_index < 10
+        ]
+        assert len(window) + len(outside) == len(plan.faults)
+
+    def test_duplicate_fault_ids_rejected(self):
+        spec = FaultSpec(
+            fault_id=0, layer="worker", kind="crash", pair_index=0, seed=0
+        )
+        with pytest.raises(FaultPlanError):
+            FaultPlan(seed=0, pair_count=4, faults=(spec, spec))
+
+    def test_out_of_range_target_rejected(self):
+        spec = FaultSpec(
+            fault_id=0, layer="worker", kind="crash", pair_index=9, seed=0
+        )
+        with pytest.raises(FaultPlanError):
+            FaultPlan(seed=0, pair_count=4, faults=(spec,))
+
+
+class TestErrorHierarchy:
+    def test_injected_crash_is_a_fault_error(self):
+        assert issubclass(InjectedCrashError, FaultError)
+        assert issubclass(FaultError, RuntimeError)
+
+    def test_plan_error_is_a_value_error(self):
+        assert issubclass(FaultPlanError, ValueError)

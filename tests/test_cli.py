@@ -177,3 +177,67 @@ class TestFusedAlign:
         fused = capsys.readouterr().out
         assert main(["align", "GCATGCAT", "GATTGCAT"]) == 0
         assert capsys.readouterr().out == fused
+
+
+class TestResilientAlign:
+    def _write_pairs(self, tmp_path):
+        path = str(tmp_path / "pairs.seq")
+        assert (
+            main(["generate", "--length", "40", "--count", "4", "--out", path])
+            == 0
+        )
+        return path
+
+    def test_resilience_flags_route_through_resilient_engine(
+        self, tmp_path, capsys
+    ):
+        path = self._write_pairs(tmp_path)
+        capsys.readouterr()
+        assert main(["align", "--pairs", path, "--max-retries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("score=") == 4
+        assert "resilience:" in out
+
+    def test_checkpoint_flag_writes_journal(self, tmp_path, capsys):
+        path = self._write_pairs(tmp_path)
+        journal = tmp_path / "run.journal"
+        capsys.readouterr()
+        assert main(["align", "--pairs", path, "--checkpoint", str(journal)]) == 0
+        assert journal.exists()
+        assert "repro-batch-journal" in journal.read_text()
+
+    def test_plain_align_stays_on_plain_engine(self, tmp_path, capsys):
+        path = self._write_pairs(tmp_path)
+        capsys.readouterr()
+        assert main(["align", "--pairs", path, "--stats"]) == 0
+        assert "resilience:" not in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_small_campaign_passes(self, capsys):
+        assert (
+            main(
+                ["chaos", "--seed", "7", "--faults", "4", "--pairs", "6",
+                 "--length", "32", "--workers", "1", "--shard-size", "3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert "identical to fault-free serial run: yes" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                ["chaos", "--seed", "7", "--faults", "3", "--pairs", "6",
+                 "--length", "32", "--workers", "1", "--shard-size", "3",
+                 "--json", str(report_path)]
+            )
+            == 0
+        )
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert data["counters"]["faults_injected"] == 3

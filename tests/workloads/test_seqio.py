@@ -1,9 +1,18 @@
-"""Tests for .seq pair I/O (repro.workloads.seqio)."""
+"""Tests for sequence I/O (repro.workloads.seqio): .seq, FASTA, FASTQ."""
 
 import pytest
 
 from repro.workloads.generator import generate_pair_set
-from repro.workloads.seqio import SeqFormatError, load_pairs, save_pairs
+from repro.workloads.seqio import (
+    SeqFormatError,
+    detect_format,
+    iter_fasta,
+    iter_fastq,
+    load_pairs,
+    pair_files,
+    read_sequences,
+    save_pairs,
+)
 
 
 class TestRoundtrip:
@@ -55,3 +64,109 @@ class TestMalformedInput:
         path.write_text("\n>AC\n\n<AG\n\n")
         loaded = load_pairs(path)
         assert len(loaded) == 1
+
+    def test_error_carries_file_record_and_line(self, tmp_path):
+        # The robustness contract: one bad record in a big file is
+        # locatable from the exception alone.
+        path = tmp_path / "bad.seq"
+        path.write_text(">AAAA\n<TTTT\n>CCCC\nGGGG\n")
+        with pytest.raises(SeqFormatError) as info:
+            load_pairs(path)
+        exc = info.value
+        assert exc.path == str(path)
+        assert exc.record == 2
+        assert exc.line == 4
+        assert str(path) in str(exc)
+        assert "line 4" in str(exc)
+
+
+class TestFasta:
+    def test_multi_line_records(self, tmp_path):
+        path = tmp_path / "reads.fasta"
+        path.write_text(">r1 first read\nACGT\nACGT\n>r2\nTTTT\n")
+        records = list(iter_fasta(path))
+        assert records == [("r1", "ACGTACGT"), ("r2", "TTTT")]
+
+    def test_truncated_tail_header_rejected(self, tmp_path):
+        path = tmp_path / "reads.fasta"
+        path.write_text(">r1\nACGT\n>r2\n")
+        with pytest.raises(SeqFormatError) as info:
+            list(iter_fasta(path))
+        assert info.value.record == 2
+        assert info.value.line == 3
+
+    def test_sequence_before_header_rejected(self, tmp_path):
+        path = tmp_path / "reads.fasta"
+        path.write_text("ACGT\n>r1\nACGT\n")
+        with pytest.raises(SeqFormatError) as info:
+            list(iter_fasta(path))
+        assert info.value.line == 1
+
+
+class TestFastq:
+    def test_four_line_records(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        path.write_text("@r1\nACGT\n+\nIIII\n@r2 meta\nTT\n+r2\n!!\n")
+        records = list(iter_fastq(path))
+        assert records == [("r1", "ACGT", "IIII"), ("r2", "TT", "!!")]
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        path.write_text("@r1\nACGT\n+\nIIII\n@r2\nTTTT\n")
+        with pytest.raises(SeqFormatError) as info:
+            list(iter_fastq(path))
+        assert info.value.record == 2
+        assert "truncated" in str(info.value)
+
+    def test_quality_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        path.write_text("@r1\nACGT\n+\nIII\n")
+        with pytest.raises(SeqFormatError) as info:
+            list(iter_fastq(path))
+        assert info.value.record == 1
+        assert info.value.line == 4
+
+    def test_missing_plus_separator_rejected(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        path.write_text("@r1\nACGT\nIIII\nACGT\n")
+        with pytest.raises(SeqFormatError):
+            list(iter_fastq(path))
+
+
+class TestFormatDetection:
+    @pytest.mark.parametrize(
+        "name, fmt",
+        [("a.fasta", "fasta"), ("a.fa", "fasta"), ("a.fna", "fasta"),
+         ("a.fastq", "fastq"), ("a.fq", "fastq"), ("a.seq", "seq"),
+         ("a.FA", "fasta")],
+    )
+    def test_by_suffix(self, name, fmt):
+        assert detect_format(name) == fmt
+
+    def test_read_sequences_rejects_pair_files(self, tmp_path):
+        path = tmp_path / "pairs.seq"
+        path.write_text(">AC\n<AG\n")
+        with pytest.raises(SeqFormatError):
+            list(read_sequences(path))
+
+
+class TestPairFiles:
+    def test_pairs_records_in_order(self, tmp_path):
+        patterns = tmp_path / "patterns.fasta"
+        patterns.write_text(">p1\nACGT\n>p2\nTTTT\n")
+        texts = tmp_path / "texts.fastq"
+        texts.write_text("@t1\nACGA\n+\nIIII\n@t2\nTTTA\n+\nIIII\n")
+        pairs = list(pair_files(patterns, texts))
+        assert [(p.pattern, p.text) for p in pairs] == [
+            ("ACGT", "ACGA"), ("TTTT", "TTTA"),
+        ]
+
+    def test_record_count_mismatch_names_short_file(self, tmp_path):
+        patterns = tmp_path / "patterns.fasta"
+        patterns.write_text(">p1\nACGT\n")
+        texts = tmp_path / "texts.fasta"
+        texts.write_text(">t1\nACGA\n>t2\nTTTT\n")
+        with pytest.raises(SeqFormatError) as info:
+            list(pair_files(patterns, texts))
+        assert info.value.path == str(patterns)
+        assert info.value.record == 2
