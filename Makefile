@@ -7,20 +7,33 @@
 # `test-chaos` runs the fault-injection campaigns plus a CLI-level chaos
 # run; the campaign falls back to the inline executor on hosts without
 # usable multiprocessing, so the target degrades gracefully everywhere.
+# `test-cov` runs the fast suite under pytest-cov and enforces COV_MIN
+# (skipped with a notice when pytest-cov is not installed — the repro
+# container ships without it; CI installs it in the coverage job).
 # `lint` chains ruff and mypy (skipped with a notice when not installed —
 # the repro container ships without them; CI installs both) and always
 # finishes with the in-tree static analyzer, `repro lint`.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos bench verify lint
+.PHONY: test test-fast test-slow test-chaos test-cov bench verify lint
 
 test:
 	$(PYTEST) -x -q
 
 test-fast:
 	$(PYTEST) -x -q -m "not slow"
+
+test-cov:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTEST) -q -m "not slow" \
+			--cov=repro --cov-report=term-missing \
+			--cov-fail-under=$(COV_MIN); \
+	else \
+		echo "pytest-cov not installed; skipping coverage gate (pip install pytest-cov)"; \
+	fi
 
 test-slow:
 	$(PYTEST) -q -m slow

@@ -30,6 +30,7 @@ from ..core.cigar import (
 from ..core.isa import GmxIsa, encode_pos
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..core.traceback import NextTile
+from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, BandExceededError, KernelStats
 from .full_gmx import _chunks, _edge_bytes
 
@@ -68,6 +69,7 @@ class BandedGmxAligner(Aligner):
         self.tile_size = tile_size
         self.trace_sink = trace_sink
 
+    @obs.instrument_align("banded_gmx")
     def align(
         self, pattern: str, text: str, *, traceback: bool = True
     ) -> AlignmentResult:
@@ -82,16 +84,22 @@ class BandedGmxAligner(Aligner):
         max_band = max(len(pattern), len(text))
         while True:
             try:
-                result = self._align_banded(pattern, text, band, traceback, stats)
+                with obs.span("phase.band_pass", kernel="banded_gmx", band=band):
+                    result = self._align_banded(
+                        pattern, text, band, traceback, stats
+                    )
             except BandExceededError:
+                obs.inc("align.banded_gmx.band_exceeded")
                 if not self.auto_widen or band >= max_band:
                     raise
+                obs.inc("align.banded_gmx.band_widened")
                 band = min(2 * band, max_band)
                 continue
             certified = result.score <= band or band >= max_band
             if certified or not self.auto_widen:
                 result.exact = certified
                 return result
+            obs.inc("align.banded_gmx.band_widened")
             band = min(2 * band, max_band)
 
     # -- one banded pass -------------------------------------------------------

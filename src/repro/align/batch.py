@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
+from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, KernelStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel → batch)
@@ -163,13 +164,16 @@ def align_batch(
 
     batch = BatchResult()
     start = time.perf_counter()
-    for item in pairs:
-        pattern, text = _as_pair(item)
-        result = aligner.align(pattern, text, traceback=traceback)
-        if validate and result.alignment is not None:
-            result.alignment.validate()
-        batch.results.append(result)
-        batch.stats.merge(result.stats)
+    with obs.span("batch.align", workers=1):
+        for item in pairs:
+            pattern, text = _as_pair(item)
+            result = aligner.align(pattern, text, traceback=traceback)
+            if validate and result.alignment is not None:
+                result.alignment.validate()
+            batch.results.append(result)
+            batch.stats.merge(result.stats)
+    obs.inc("batch.runs")
+    obs.inc("batch.pairs", batch.pairs)
     wall = time.perf_counter() - start
     telemetry = BatchTelemetry(workers=1, shard_size=max(1, batch.pairs))
     if batch.pairs:

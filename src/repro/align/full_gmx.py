@@ -33,6 +33,7 @@ from ..core.cigar import Alignment, OP_DELETION, OP_INSERTION, OP_MATCH, OP_MISM
 from ..core.isa import GmxIsa, encode_pos
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..core.traceback import NextTile
+from ..obs import runtime as obs
 from .base import Aligner, AlignmentMode, AlignmentResult, KernelStats
 
 
@@ -87,6 +88,7 @@ class FullGmxAligner(Aligner):
             self.trace_sink.append(isa.trace)
         return isa
 
+    @obs.instrument_align("full_gmx")
     def align(
         self, pattern: str, text: str, *, traceback: bool = True
     ) -> AlignmentResult:
@@ -115,34 +117,35 @@ class FullGmxAligner(Aligner):
         # ---- Algorithm 1: tile-wise DP-matrix computation (column-major) ----
         bottom_deltas: List[int] = []  # ΔH along the bottom matrix row
         dv_column = list(boundary_v)  # right edges of the previous tile column
-        for j, text_chunk in enumerate(t_chunks):
-            isa.csrw("gmx_text", text_chunk)
-            stats.add_instr("int_alu", 2)
-            stats.add_instr("branch", 1)
-            dh_down = boundary_h[j]  # bottom edge flowing down the column
-            for i, pattern_chunk in enumerate(p_chunks):
-                isa.csrw("gmx_pattern", pattern_chunk)
-                dv_in = dv_column[i]
-                dh_in = dh_down
-                if self.fused:
-                    dv_out, dh_out = isa.gmx_vh(dv_in, dh_in)
-                else:
-                    dv_out = isa.gmx_v(dv_in, dh_in)
-                    dh_out = isa.gmx_h(dv_in, dh_in)
-                dv_column[i] = dv_out
-                dh_down = dh_out
-                if matrix is not None:
-                    matrix[i][j] = (dv_out, dh_out)
-                    stats.dp_bytes_written += 2 * edge_bytes
-                    stats.add_instr("store", 2)
-                stats.dp_bytes_read += 2 * edge_bytes
-                stats.add_instr("load", 2)
-                stats.add_instr("int_alu", 4)
+        with obs.span("phase.compute", kernel="full_gmx", tiles=n_tiles * m_tiles):
+            for j, text_chunk in enumerate(t_chunks):
+                isa.csrw("gmx_text", text_chunk)
+                stats.add_instr("int_alu", 2)
                 stats.add_instr("branch", 1)
-                stats.dp_cells += len(pattern_chunk) * len(text_chunk)
-                stats.tiles += 1
-            bottom_deltas.extend(unpack_deltas(dh_down, len(text_chunk)))
-            stats.add_instr("int_alu", 3)
+                dh_down = boundary_h[j]  # bottom edge flowing down the column
+                for i, pattern_chunk in enumerate(p_chunks):
+                    isa.csrw("gmx_pattern", pattern_chunk)
+                    dv_in = dv_column[i]
+                    dh_in = dh_down
+                    if self.fused:
+                        dv_out, dh_out = isa.gmx_vh(dv_in, dh_in)
+                    else:
+                        dv_out = isa.gmx_v(dv_in, dh_in)
+                        dh_out = isa.gmx_h(dv_in, dh_in)
+                    dv_column[i] = dv_out
+                    dh_down = dh_out
+                    if matrix is not None:
+                        matrix[i][j] = (dv_out, dh_out)
+                        stats.dp_bytes_written += 2 * edge_bytes
+                        stats.add_instr("store", 2)
+                    stats.dp_bytes_read += 2 * edge_bytes
+                    stats.add_instr("load", 2)
+                    stats.add_instr("int_alu", 4)
+                    stats.add_instr("branch", 1)
+                    stats.dp_cells += len(pattern_chunk) * len(text_chunk)
+                    stats.tiles += 1
+                bottom_deltas.extend(unpack_deltas(dh_down, len(text_chunk)))
+                stats.add_instr("int_alu", 3)
 
         score, end_column = self._score(len(pattern), bottom_deltas)
 
@@ -155,10 +158,11 @@ class FullGmxAligner(Aligner):
         alignment = None
         start_column = 0
         if traceback:
-            ops, start_column = self._traceback(
-                isa, stats, pattern, text, p_chunks, t_chunks, matrix,
-                boundary_v, boundary_h, end_column,
-            )
+            with obs.span("phase.traceback", kernel="full_gmx"):
+                ops, start_column = self._traceback(
+                    isa, stats, pattern, text, p_chunks, t_chunks, matrix,
+                    boundary_v, boundary_h, end_column,
+                )
             alignment = Alignment(
                 pattern=pattern,
                 text=text[start_column:end_column],

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, KernelStats, ResilienceCounters
 from .batch import BatchResult, PairLike, _as_pair
 
@@ -168,23 +169,53 @@ def iter_shards(
         yield shard
 
 
+#: A worker's observability freight: drained span dicts + metrics payload.
+ObsBuffers = Tuple[List[dict], Optional[dict]]
+
+
+def _run_shard_pairs(
+    aligner: Aligner,
+    shard: List[Tuple[str, str]],
+    traceback: bool,
+    validate: bool,
+) -> Tuple[List[AlignmentResult], KernelStats]:
+    results: List[AlignmentResult] = []
+    with obs.span("shard.align", pairs=len(shard)):
+        for pattern, text in shard:
+            result = aligner.align(pattern, text, traceback=traceback)
+            if validate and result.alignment is not None:
+                result.alignment.validate()
+            results.append(result)
+    obs.inc("batch.shards")
+    return results, KernelStats.merged(result.stats for result in results)
+
+
 def _align_shard(
-    payload: Tuple[Aligner, List[Tuple[str, str]], bool, bool],
-) -> Tuple[List[AlignmentResult], KernelStats, float, str]:
+    payload: Tuple[Aligner, List[Tuple[str, str]], bool, bool, bool],
+) -> Tuple[List[AlignmentResult], KernelStats, float, str, ObsBuffers]:
     """Worker body: align one shard and pre-merge its stats.
 
     Module-level so it pickles under every multiprocessing start method.
+    The last payload element asks the worker to capture observability for
+    an enabled parent: spans and metrics recorded during the shard come
+    back as picklable buffers (see :meth:`repro.obs.SpanRecorder.drain`)
+    and the parent absorbs them into its own trace.  When the shard runs
+    in the parent process (inline/serial executors), recording already
+    targets the parent's recorder and the buffers stay empty.
     """
-    aligner, shard, traceback, validate = payload
+    aligner, shard, traceback, validate, want_obs = payload
     start = time.perf_counter()
-    results: List[AlignmentResult] = []
-    for pattern, text in shard:
-        result = aligner.align(pattern, text, traceback=traceback)
-        if validate and result.alignment is not None:
-            result.alignment.validate()
-        results.append(result)
-    stats = KernelStats.merged(result.stats for result in results)
-    return results, stats, time.perf_counter() - start, f"pid:{os.getpid()}"
+    buffers: ObsBuffers = ([], None)
+    if want_obs and not obs.owns_recorder():
+        with obs.capture() as (recorder, registry):
+            results, stats = _run_shard_pairs(
+                aligner, shard, traceback, validate
+            )
+        buffers = (recorder.drain(), registry.snapshot().to_dict())
+    else:
+        results, stats = _run_shard_pairs(aligner, shard, traceback, validate)
+    elapsed = time.perf_counter() - start
+    return results, stats, elapsed, f"pid:{os.getpid()}", buffers
 
 
 def _pickling_failure(aligner: Aligner) -> Optional[str]:
@@ -263,21 +294,24 @@ def align_batch_sharded(
     pickling_failure = _pickling_failure(aligner) if workers > 1 else None
     use_pool = workers > 1 and pickling_failure is None
     method = _resolve_start_method(start_method) if use_pool else None
-    if use_pool and method is not None:
-        telemetry.executor = method
-        _run_pool(
-            aligner, shards, workers, method, traceback, validate,
-            batch, telemetry,
-        )
-    else:
-        telemetry.executor = "inline" if workers > 1 else "serial"
-        telemetry.fallback_reason = pickling_failure
-        for index, shard in enumerate(shards):
-            results, stats, seconds, _ = _align_shard(
-                (aligner, shard, traceback, validate)
+    with obs.span("batch.align", workers=workers):
+        if use_pool and method is not None:
+            telemetry.executor = method
+            _run_pool(
+                aligner, shards, workers, method, traceback, validate,
+                batch, telemetry,
             )
-            _merge_shard(batch, telemetry, index, results, stats, seconds,
-                         worker="inline")
+        else:
+            telemetry.executor = "inline" if workers > 1 else "serial"
+            telemetry.fallback_reason = pickling_failure
+            for index, shard in enumerate(shards):
+                results, stats, seconds, _, _ = _align_shard(
+                    (aligner, shard, traceback, validate, False)
+                )
+                _merge_shard(batch, telemetry, index, results, stats,
+                             seconds, worker="inline")
+    obs.inc("batch.runs")
+    obs.inc("batch.pairs", batch.pairs)
 
     telemetry.wall_seconds = time.perf_counter() - start
     batch.telemetry = telemetry
@@ -299,18 +333,33 @@ def _run_pool(
 
     context = multiprocessing.get_context(method)
     payloads = (
-        (aligner, shard, traceback, validate) for shard in shards
+        (aligner, shard, traceback, validate, obs.enabled())
+        for shard in shards
     )
     with context.Pool(processes=workers) as pool:
         # imap preserves submission order and consumes the payload
         # generator lazily, so streaming inputs stay streaming.
-        for index, (results, stats, seconds, worker) in enumerate(
+        for index, (results, stats, seconds, worker, buffers) in enumerate(
             pool.imap(_align_shard, payloads)
         ):
+            _absorb_obs_buffers(buffers)
             _merge_shard(
                 batch, telemetry, index, results, stats, seconds,
                 worker=worker,
             )
+
+
+def _absorb_obs_buffers(buffers: ObsBuffers) -> None:
+    """Merge a worker's drained spans/metrics into the parent's recorders."""
+    span_buffer, metrics_payload = buffers
+    if not obs.enabled():
+        return
+    if span_buffer:
+        obs.recorder().absorb(span_buffer)
+    if metrics_payload:
+        from ..obs.metrics import snapshot_from_dict
+
+        obs.metrics().absorb(snapshot_from_dict(metrics_payload))
 
 
 def _merge_shard(

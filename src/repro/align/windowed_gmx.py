@@ -30,6 +30,7 @@ from ..core.cigar import (
     edit_cost,
 )
 from ..core.tile import DEFAULT_TILE_SIZE
+from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, KernelStats
 from .full_gmx import FullGmxAligner, _edge_bytes
 
@@ -58,6 +59,7 @@ class WindowedAligner(Aligner):
         self.window = window
         self.overlap = overlap
 
+    @obs.instrument_align("windowed")
     def align(
         self, pattern: str, text: str, *, traceback: bool = True
     ) -> AlignmentResult:
@@ -75,9 +77,13 @@ class WindowedAligner(Aligner):
             cols = min(window, remaining_t)
             sub_pattern = pattern[remaining_p - rows : remaining_p]
             sub_text = text[remaining_t - cols : remaining_t]
-            window_result = self.inner.align(sub_pattern, sub_text, traceback=True)
+            with obs.span("phase.window", kernel=self.name, rows=rows, cols=cols):
+                window_result = self.inner.align(
+                    sub_pattern, sub_text, traceback=True
+                )
             stats.merge(window_result.stats)
             windows += 1
+            obs.inc("align.windowed.windows")
             is_final = rows == remaining_p and cols == remaining_t
             ops_before = len(reversed_ops)
             committed_p, committed_t = self._commit(

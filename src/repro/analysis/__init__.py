@@ -25,7 +25,11 @@ from .diagnostics import (
     worst_severity,
 )
 from .program import Instr, Program
-from .repolint import check_aligner_picklability, lint_repo
+from .repolint import (
+    check_aligner_picklability,
+    lint_repo,
+    lint_test_determinism,
+)
 from .verifier import verify_program, verify_trace, verify_words
 
 __all__ = [
@@ -40,6 +44,7 @@ __all__ = [
     "aligner_stream_programs",
     "check_aligner_picklability",
     "lint_repo",
+    "lint_test_determinism",
     "malformed_corpus",
     "render_text",
     "run_lint",

@@ -44,6 +44,7 @@ CODES: Dict[str, str] = {
     "REPRO002": "exception class outside the module's error-root hierarchy",
     "REPRO003": "floating point in a core kernel hot path",
     "REPRO004": "Aligner subclass is not picklable (breaks align.parallel)",
+    "REPRO005": "unseeded or global RNG in a test/benchmark suite",
 }
 
 

@@ -17,9 +17,15 @@ Four contracts the type system cannot express, each with a stable
 * **REPRO004** — every default-constructible :class:`repro.align.base.Aligner`
   subclass must pickle round-trip, because :mod:`repro.align.parallel`
   ships aligners to worker processes.
+* **REPRO005** — tests and benchmarks must use seeded RNGs: no unseeded
+  ``random.Random()`` and no calls through the module-level global RNG
+  (``random.randint`` etc.).  Every suite in this repo is a determinism
+  claim; an unseeded RNG turns failures into unreproducible flakes.
 
-The first three checks are purely syntactic (source AST, nothing imported);
-REPRO004 imports the aligner modules and pickles real instances.
+The syntactic checks (REPRO001/2/3/5) parse source ASTs and import
+nothing; REPRO004 imports the aligner modules and pickles real instances.
+REPRO005 runs only against a source checkout (it scans ``tests/`` and
+``benchmarks/`` beside ``src/``), so installed-package lints skip it.
 """
 
 from __future__ import annotations
@@ -43,10 +49,26 @@ HOT_PATH_MODULES = (
 #: Suffixes identifying an exception class by name.
 _ERROR_SUFFIXES = ("Error", "Exception")
 
+#: ``random.<name>`` calls that draw from (or reseed) the interpreter-wide
+#: global RNG — hidden shared state between tests.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "randbytes", "getrandbits",
+        "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+        "gauss", "normalvariate", "expovariate", "betavariate",
+        "gammavariate", "paretovariate", "vonmisesvariate", "weibullvariate",
+    }
+)
+
 
 def package_root() -> Path:
     """Filesystem root of the installed ``repro`` package."""
     return Path(__file__).resolve().parent.parent
+
+
+def repo_root() -> Path:
+    """Repository root when running from a source checkout (``src`` layout)."""
+    return package_root().parent.parent
 
 
 def lint_repo(
@@ -71,7 +93,83 @@ def lint_repo(
             diagnostics.extend(_check_no_floats(tree, relative))
     if pickle_check:
         diagnostics.extend(check_aligner_picklability())
+    if root == package_root():
+        diagnostics.extend(lint_test_determinism())
     return diagnostics
+
+
+def lint_test_determinism(root: Optional[Path] = None) -> List[Diagnostic]:
+    """REPRO005: every RNG in ``tests/`` and ``benchmarks/`` is seeded.
+
+    Scans the suite directories beside ``src/`` for unseeded
+    ``random.Random()`` constructions and calls through the module-level
+    global RNG.  Returns no findings when the directories do not exist
+    (installed package, synthetic lint trees).
+    """
+    root = Path(root) if root is not None else repo_root()
+    findings: List[Diagnostic] = []
+    for directory in ("tests", "benchmarks"):
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            relative = path.relative_to(root).as_posix()
+            tree = ast.parse(path.read_text(), filename=str(path))
+            findings.extend(_check_seeded_rng(tree, relative))
+    return findings
+
+
+def _check_seeded_rng(tree: ast.AST, relative: str) -> List[Diagnostic]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        offense = None
+        hint = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            if func.attr == "Random" and not node.args and not node.keywords:
+                offense = "unseeded random.Random() in a test suite"
+                hint = (
+                    "pass an explicit seed (random.Random(0xSEED)) so "
+                    "failures replay bit-identically"
+                )
+            elif func.attr in _GLOBAL_RNG_FUNCS:
+                offense = (
+                    f"random.{func.attr}() draws from the interpreter-wide "
+                    f"global RNG"
+                )
+                hint = (
+                    "construct a local random.Random(seed) instead of "
+                    "sharing hidden global state between tests"
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            offense = "unseeded Random() in a test suite"
+            hint = (
+                "pass an explicit seed (Random(0xSEED)) so failures "
+                "replay bit-identically"
+            )
+        if offense is None:
+            continue
+        findings.append(
+            Diagnostic(
+                code="REPRO005",
+                severity=Severity.ERROR,
+                message=offense,
+                hint=hint,
+                where=f"{relative}:{node.lineno}",
+            )
+        )
+    return findings
 
 
 def _where(relative: str, node: ast.AST) -> str:

@@ -17,7 +17,11 @@ Five commands cover the library's workflows:
 * ``chaos``      — run a seeded fault-injection campaign through the
   resilient batch engine (:mod:`repro.resilience`): the batch must come
   out byte-identical to a fault-free serial run with every injected
-  fault accounted for; exits non-zero otherwise.
+  fault accounted for; exits non-zero otherwise;
+* ``profile``    — run any other command under the observability layer
+  (:mod:`repro.obs`) and print its per-kernel hot-path table; exports
+  Chrome-trace JSON (``--trace``), profile JSON (``--json``), span JSON
+  lines (``--jsonl``), and diffs two profile JSONs (``--diff``).
 
 ``align`` grows resilience knobs (``--max-retries``, ``--shard-timeout``,
 ``--checkpoint``, ``--cross-check``) that route batches through the
@@ -263,6 +267,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", metavar="FILE", help="write the campaign report as JSON"
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="run another command under tracing and print the hot-path table",
+    )
+    profile.add_argument(
+        "--trace", metavar="FILE",
+        help="write the merged Chrome-trace JSON (chrome://tracing, Perfetto)",
+    )
+    profile.add_argument(
+        "--json", metavar="FILE",
+        help="write the profile as JSON (input of --diff)",
+    )
+    profile.add_argument(
+        "--jsonl", metavar="FILE",
+        help="write raw spans as JSON lines",
+    )
+    profile.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="compare two --json profiles instead of running a command",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows in the printed table",
+    )
+    profile.add_argument(
+        "wrapped", nargs=argparse.REMAINDER,
+        help="the repro command to profile, after --",
     )
 
     return parser
@@ -622,9 +655,93 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from pathlib import Path
+    from time import perf_counter_ns
+
+    from .obs import runtime as obs
+    from .obs.profiler import (
+        ProfileError,
+        build_profile,
+        load_profile,
+        render_profile,
+        render_profile_diff,
+    )
+
+    if args.diff:
+        before_path, after_path = args.diff
+        try:
+            before = load_profile(before_path)
+            after = load_profile(after_path)
+        except ProfileError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_profile_diff(before, after, top=args.top))
+        return 0
+
+    inner = list(args.wrapped)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        print(
+            "error: nothing to profile — use `repro profile -- align ...` "
+            "or `repro profile --diff BEFORE AFTER`",
+            file=sys.stderr,
+        )
+        return 2
+    if inner[0] == "profile":
+        print("error: cannot profile the profiler itself", file=sys.stderr)
+        return 2
+    if obs.enabled():
+        print(
+            "error: observability is already active in this process",
+            file=sys.stderr,
+        )
+        return 2
+
+    label = " ".join(inner)
+    recorder, registry = obs.enable()
+    start_ns = perf_counter_ns()
+    try:
+        with recorder.span(f"cli.{inner[0]}", argv=label):
+            code = main(inner)
+    finally:
+        wall_ns = perf_counter_ns() - start_ns
+        obs.disable()
+
+    profile = build_profile(
+        recorder,
+        wall_ns=wall_ns,
+        label=label,
+        metrics=registry.snapshot(),
+    )
+    try:
+        if args.trace:
+            Path(args.trace).write_text(recorder.to_json() + "\n")
+            print(f"wrote Chrome trace to {args.trace}", file=sys.stderr)
+        if args.jsonl:
+            Path(args.jsonl).write_text(recorder.to_jsonl() + "\n")
+            print(f"wrote span lines to {args.jsonl}", file=sys.stderr)
+        if args.json:
+            Path(args.json).write_text(profile.to_json() + "\n")
+            print(f"wrote profile to {args.json}", file=sys.stderr)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_profile(profile, top=args.top))
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+    from .workloads.seqio import SeqFormatError
+
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits on --help (0) and usage errors (2); fold its code
+        # into the normal return path so embedding callers never unwind.
+        return int(exc.code or 0)
     handlers = {
         "align": _cmd_align,
         "generate": _cmd_generate,
@@ -633,12 +750,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _cmd_verify,
         "lint": _cmd_lint,
         "chaos": _cmd_chaos,
+        "profile": _cmd_profile,
     }
     try:
         return handlers[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0
+    except SeqFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        name = getattr(exc, "filename", None)
+        detail = exc.strerror or str(exc)
+        print(
+            f"error: {name}: {detail}" if name else f"error: {detail}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import runtime as obs
 from .bitvec import pack_deltas, unpack_deltas
 from .tile import DEFAULT_TILE_SIZE, build_peq, compute_tile
 from .traceback import TileTraceback, pack_tile_ops, traceback_tile
@@ -345,25 +346,27 @@ class GmxIsa:
             if reg != 0:
                 registers[reg] = value
 
-        if instruction.mnemonic == "gmx.v":
-            write(instruction.rd, self.gmx_v(rs1, rs2))
-        elif instruction.mnemonic == "gmx.h":
-            write(instruction.rd, self.gmx_h(rs1, rs2))
-        elif instruction.mnemonic == "gmx.vh":
-            if instruction.rd % 2 or instruction.rd == 0:
+        with obs.span("isa.execute", op=instruction.mnemonic):
+            if instruction.mnemonic == "gmx.v":
+                write(instruction.rd, self.gmx_v(rs1, rs2))
+            elif instruction.mnemonic == "gmx.h":
+                write(instruction.rd, self.gmx_h(rs1, rs2))
+            elif instruction.mnemonic == "gmx.vh":
+                if instruction.rd % 2 or instruction.rd == 0:
+                    raise IsaError(
+                        f"gmx.vh needs an even, non-zero rd for the rd/rd+1 "
+                        f"destination pair, got x{instruction.rd}"
+                    )
+                dv_out, dh_out = self.gmx_vh(rs1, rs2)
+                write(instruction.rd, dv_out)
+                write(instruction.rd + 1, dh_out)
+            elif instruction.mnemonic == "gmx.tb":
+                self.gmx_tb(rs1, rs2)
+            else:
                 raise IsaError(
-                    f"gmx.vh needs an even, non-zero rd for the rd/rd+1 "
-                    f"destination pair, got x{instruction.rd}"
+                    f"unsupported GMX mnemonic {instruction.mnemonic!r}"
                 )
-            dv_out, dh_out = self.gmx_vh(rs1, rs2)
-            write(instruction.rd, dv_out)
-            write(instruction.rd + 1, dh_out)
-        elif instruction.mnemonic == "gmx.tb":
-            self.gmx_tb(rs1, rs2)
-        else:
-            raise IsaError(
-                f"unsupported GMX mnemonic {instruction.mnemonic!r}"
-            )
+        obs.inc("isa.executed")
 
     # -- accounting -----------------------------------------------------------
 

@@ -89,6 +89,58 @@ def _resilience_status(*, quick: bool) -> Dict[str, object]:
     }
 
 
+def _observability_status(*, quick: bool) -> Dict[str, object]:
+    """Per-kernel metrics stamp embedded in every exported artifact.
+
+    Runs a small seeded batch through each GMX aligner under the
+    observability layer (:mod:`repro.obs`) and condenses the live
+    per-kernel counters/histograms into the artifact: pair/tile/traceback
+    totals and wall-time histogram counts, captured from the same
+    instrumented hot paths ``repro profile`` reports on.
+    """
+    from ..align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+    from ..obs import runtime as obs
+    from ..workloads.generator import generate_pair_set
+    from .reporting import render_observability_badge
+
+    pairs = 4 if quick else 16
+    length = 96 if quick else 256
+    pair_set = generate_pair_set("obs-stamp", length, 0.08, pairs, seed=11)
+    aligners = [FullGmxAligner(), BandedGmxAligner(), WindowedGmxAligner()]
+    with obs.capture() as (recorder, registry):
+        for aligner in aligners:
+            for pair in pair_set.pairs:
+                aligner.align(pair.pattern, pair.text)
+        snapshot = registry.snapshot()
+        span_count = len(recorder)
+    metrics = snapshot.to_dict()
+    kernels: Dict[str, Dict[str, object]] = {}
+    for name, value in metrics.get("counters", {}).items():
+        if not name.startswith("align."):
+            continue
+        parts = name.split(".")
+        if len(parts) != 3:
+            continue
+        _, kernel, field = parts
+        kernels.setdefault(kernel, {})[field] = value
+    for name, hist in metrics.get("histograms", {}).items():
+        if name.startswith("kernel.") and name.endswith(".align_ns"):
+            kernel = name.split(".")[1]
+            kernels.setdefault(kernel, {})["align_ns"] = {
+                "count": hist["count"],
+                "mean_ns": (
+                    hist["sum_ns"] // hist["count"] if hist["count"] else 0
+                ),
+            }
+    status: Dict[str, object] = {
+        "kernels": {name: kernels[name] for name in sorted(kernels)},
+        "spans": span_count,
+        "counters": metrics.get("counters", {}),
+    }
+    status["badge"] = render_observability_badge(status)
+    return status
+
+
 def run_all(*, quick: bool = True) -> Dict[str, object]:
     """Execute every experiment; returns name → rows (or panel dict).
 
@@ -104,6 +156,7 @@ def run_all(*, quick: bool = True) -> Dict[str, object]:
     )
     results["lint"] = _lint_status(quick=quick)
     results["resilience"] = _resilience_status(quick=quick)
+    results["observability"] = _observability_status(quick=quick)
     return results
 
 

@@ -110,6 +110,31 @@ def render_resilience_badge(report: Dict[str, object]) -> str:
     )
 
 
+def render_observability_badge(status: Dict[str, object]) -> str:
+    """One-line observability badge for experiment reports.
+
+    Args:
+        status: the ``observability`` block of an exported artifact
+            (:func:`repro.eval.export._observability_status` output).
+
+    Returns:
+        ``"observability: N kernels instrumented (M pairs, K spans)"`` —
+        embedded in exported artifacts so a report records that per-kernel
+        metrics were captured live from the instrumented hot paths.
+    """
+    kernels = status.get("kernels", {})
+    pairs = sum(
+        entry.get("pairs", 0)
+        for entry in kernels.values()
+        if isinstance(entry, dict)
+    )
+    spans = status.get("spans", 0)
+    return (
+        f"observability: {len(kernels)} kernels instrumented "
+        f"({pairs} pairs, {spans} spans)"
+    )
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0

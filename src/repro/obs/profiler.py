@@ -1,0 +1,291 @@
+"""Deterministic sampling-free profiler over the span stream.
+
+Where a sampling profiler interrupts the process and guesses, this one
+aggregates the *complete* span record: every instrumented region
+contributes its exact count, total time, and self time (total minus
+direct children), so two runs of the same seeded workload produce the
+same rows in the same order up to wall-time jitter — which is exactly
+what ``repro profile --diff`` then isolates.
+
+The :class:`Profile` artifact carries:
+
+* per-name rows (count, total, self, min/max) sorted by self time — the
+  hot-path table the CLI prints;
+* *coverage*: the fraction of measured wall time under top-level spans
+  (the acceptance bar asks ≥95%, i.e. the instrumentation actually
+  brackets the work);
+* the metrics snapshot taken at the same instant.
+
+Profiles serialise to JSON and diff structurally, so a regression hunt is
+``repro profile --json before.json -- ...`` at the old commit, the same
+at the new one, then ``repro profile --diff before.json after.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .metrics import MetricsSnapshot, snapshot_from_dict
+from .tracing import Span, SpanRecorder
+
+
+class ProfileError(ValueError):
+    """Raised on malformed profile files or inputs."""
+
+
+@dataclass
+class ProfileRow:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    min_ns: int = 0
+    max_ns: int = 0
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "self_ns": self.self_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+        }
+
+
+@dataclass
+class Profile:
+    """One profiling run, ready to render, serialise, or diff.
+
+    Attributes:
+        label: what was profiled (the wrapped CLI command line).
+        wall_ns: measured end-to-end wall time of the profiled region.
+        covered_ns: wall time under top-level spans.
+        rows: per-span-name aggregates.
+        metrics: the metrics snapshot taken when the run finished.
+    """
+
+    label: str = ""
+    wall_ns: int = 0
+    covered_ns: int = 0
+    rows: List[ProfileRow] = field(default_factory=list)
+    metrics: Optional[MetricsSnapshot] = None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the measured wall time spanned by instrumentation."""
+        if self.wall_ns <= 0:
+            return 0.0
+        return min(1.0, self.covered_ns / self.wall_ns)
+
+    def row(self, name: str) -> Optional[ProfileRow]:
+        for entry in self.rows:
+            if entry.name == name:
+                return entry
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "wall_ns": self.wall_ns,
+            "covered_ns": self.covered_ns,
+            "coverage": self.coverage,
+            "rows": [
+                row.to_dict()
+                for row in sorted(self.rows, key=lambda r: r.name)
+            ],
+            "metrics": self.metrics.to_dict() if self.metrics else None,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def build_profile(
+    spans: Union[SpanRecorder, Sequence[Span]],
+    *,
+    wall_ns: int,
+    label: str = "",
+    metrics: Optional[MetricsSnapshot] = None,
+) -> Profile:
+    """Aggregate a span stream into a :class:`Profile`.
+
+    Self time subtracts each span's *direct* children; coverage sums
+    top-level spans only, so nesting never double-counts.
+    """
+    if isinstance(spans, SpanRecorder):
+        spans = spans.spans
+    child_ns: Dict[int, int] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_ns[span.parent_id] = (
+                child_ns.get(span.parent_id, 0) + span.duration_ns
+            )
+    rows: Dict[str, ProfileRow] = {}
+    covered = 0
+    for span in spans:
+        row = rows.get(span.name)
+        if row is None:
+            row = rows[span.name] = ProfileRow(
+                name=span.name, min_ns=span.duration_ns, max_ns=span.duration_ns
+            )
+        else:
+            row.min_ns = min(row.min_ns, span.duration_ns)
+            row.max_ns = max(row.max_ns, span.duration_ns)
+        row.count += 1
+        row.total_ns += span.duration_ns
+        row.self_ns += max(0, span.duration_ns - child_ns.get(span.span_id, 0))
+        if span.parent_id is None:
+            covered += span.duration_ns
+    return Profile(
+        label=label,
+        wall_ns=wall_ns,
+        covered_ns=min(covered, wall_ns) if wall_ns > 0 else covered,
+        rows=sorted(rows.values(), key=lambda r: (-r.self_ns, r.name)),
+        metrics=metrics,
+    )
+
+
+def load_profile(path: Union[str, Path]) -> Profile:
+    """Read a profile JSON written by ``repro profile --json``."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ProfileError(f"{path}: {exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ProfileError(f"{path}: not a profile JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ProfileError(f"{path}: not a profile JSON (no 'rows' key)")
+    try:
+        rows = [
+            ProfileRow(
+                name=entry["name"],
+                count=entry["count"],
+                total_ns=entry["total_ns"],
+                self_ns=entry["self_ns"],
+                min_ns=entry.get("min_ns", 0),
+                max_ns=entry.get("max_ns", 0),
+            )
+            for entry in payload["rows"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise ProfileError(f"{path}: malformed profile row ({exc})") from exc
+    metrics = payload.get("metrics")
+    return Profile(
+        label=payload.get("label", ""),
+        wall_ns=payload.get("wall_ns", 0),
+        covered_ns=payload.get("covered_ns", 0),
+        rows=rows,
+        metrics=snapshot_from_dict(metrics) if metrics else None,
+    )
+
+
+def _ms(value_ns: float) -> str:
+    return f"{value_ns / 1e6:.3f}"
+
+
+def render_profile(profile: Profile, *, top: int = 20) -> str:
+    """The per-kernel hot-path table the CLI prints."""
+    lines = [
+        f"profile: {profile.label or '(unlabelled)'}",
+        f"  wall: {_ms(profile.wall_ns)} ms, span coverage: "
+        f"{profile.coverage:.1%}",
+    ]
+    header = (
+        f"  {'span':<28} {'count':>7} {'total ms':>10} {'self ms':>10} "
+        f"{'mean ms':>10} {'%self':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    wall = profile.wall_ns or 1
+    for row in profile.rows[:top]:
+        lines.append(
+            f"  {row.name:<28} {row.count:>7} {_ms(row.total_ns):>10} "
+            f"{_ms(row.self_ns):>10} {_ms(row.mean_ns):>10} "
+            f"{row.self_ns / wall:>6.1%}"
+        )
+    hidden = len(profile.rows) - top
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more spans (see --json)")
+    return "\n".join(lines)
+
+
+@dataclass
+class ProfileDelta:
+    """One row of a profile comparison."""
+
+    name: str
+    before_ns: int
+    after_ns: int
+    before_count: int
+    after_count: int
+
+    @property
+    def delta_ns(self) -> int:
+        return self.after_ns - self.before_ns
+
+    @property
+    def ratio(self) -> float:
+        """after/before total time (inf for new rows)."""
+        if self.before_ns <= 0:
+            return float("inf") if self.after_ns > 0 else 1.0
+        return self.after_ns / self.before_ns
+
+
+def diff_profiles(before: Profile, after: Profile) -> List[ProfileDelta]:
+    """Row-by-row comparison, sorted by absolute time delta (regressions
+    and wins first); rows present on either side are included."""
+    names = {row.name for row in before.rows} | {row.name for row in after.rows}
+    deltas = []
+    for name in names:
+        b = before.row(name)
+        a = after.row(name)
+        deltas.append(
+            ProfileDelta(
+                name=name,
+                before_ns=b.total_ns if b else 0,
+                after_ns=a.total_ns if a else 0,
+                before_count=b.count if b else 0,
+                after_count=a.count if a else 0,
+            )
+        )
+    deltas.sort(key=lambda d: (-abs(d.delta_ns), d.name))
+    return deltas
+
+
+def render_profile_diff(
+    before: Profile, after: Profile, *, top: int = 20
+) -> str:
+    """Text rendering of a profile comparison (regression hunting)."""
+    deltas = diff_profiles(before, after)
+    lines = [
+        f"profile diff: {before.label or 'before'} -> "
+        f"{after.label or 'after'}",
+        f"  wall: {_ms(before.wall_ns)} ms -> {_ms(after.wall_ns)} ms",
+    ]
+    header = (
+        f"  {'span':<28} {'before ms':>10} {'after ms':>10} "
+        f"{'delta ms':>10} {'ratio':>7} {'count':>11}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for delta in deltas[:top]:
+        ratio = (
+            f"{delta.ratio:.2f}x" if delta.ratio != float("inf") else "new"
+        )
+        lines.append(
+            f"  {delta.name:<28} {_ms(delta.before_ns):>10} "
+            f"{_ms(delta.after_ns):>10} {_ms(delta.delta_ns):>10} "
+            f"{ratio:>7} {delta.before_count:>5}->{delta.after_count:<5}"
+        )
+    return "\n".join(lines)

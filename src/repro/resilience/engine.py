@@ -54,6 +54,8 @@ from ..align.parallel import (
     iter_shards,
 )
 from ..core.cigar import AlignmentError
+from ..obs import runtime as obs
+from ..obs.metrics import snapshot_from_dict
 from .checkpoint import CheckpointJournal
 from .faults import FaultError, FaultPlan, FaultSpec
 from .injectors import (
@@ -172,6 +174,7 @@ class _ShardTask:
     armed: Tuple[FaultSpec, ...]
     hang_seconds: float
     slow_seconds: float
+    obs: bool = False
 
 
 @dataclass
@@ -184,6 +187,10 @@ class _ShardReply:
     poison: bool
     fired: Tuple[int, ...]
     unfired: Tuple[int, ...]
+    #: Observability freight captured in the worker (drained span dicts +
+    #: metrics snapshot payload); absorbed by the supervisor on success.
+    spans: Tuple[dict, ...] = ()
+    metrics: Optional[dict] = None
 
 
 @dataclass
@@ -280,8 +287,21 @@ def _execute_item(aligner: Aligner, task: _ShardTask) -> _ShardReply:
     """Align one shard attempt, injecting any armed faults.
 
     Runs in the worker (process mode) or in the parent (inline mode);
-    raises on injected crashes and on any failed verification.
+    raises on injected crashes and on any failed verification.  When the
+    parent has observability on (``task.obs``) and this attempt runs in a
+    worker process, the attempt's spans and metrics are captured locally
+    and shipped back inside the reply for the supervisor to absorb.
     """
+    if task.obs and not obs.owns_recorder():
+        with obs.capture() as (recorder, registry):
+            reply = _execute_item_body(aligner, task)
+        reply.spans = tuple(recorder.drain())
+        reply.metrics = registry.snapshot().to_dict()
+        return reply
+    return _execute_item_body(aligner, task)
+
+
+def _execute_item_body(aligner: Aligner, task: _ShardTask) -> _ShardReply:
     from ..core.isa import fault_injection
 
     start = time.perf_counter()
@@ -316,37 +336,46 @@ def _execute_item(aligner: Aligner, task: _ShardTask) -> _ShardReply:
         if spec.layer == "hardware":
             hardware.setdefault(spec.pair_index - task.lo, []).append(spec)
     results: List[AlignmentResult] = []
-    for offset, (pattern, text) in enumerate(pairs):
-        injectors = [
-            HardwareFaultInjector(spec) for spec in hardware.get(offset, ())
-        ]
-        traces: Optional[List] = None
-        previous_sink = None
-        if task.cross_check and hasattr(aligner, "trace_sink"):
-            traces = []
-            previous_sink = aligner.trace_sink
-            aligner.trace_sink = traces
-        try:
-            if injectors:
-                with fault_injection(FaultHookChain(injectors)):
+    with obs.span(
+        "shard.attempt", lo=task.lo, hi=task.hi, armed=len(task.armed)
+    ):
+        for offset, (pattern, text) in enumerate(pairs):
+            injectors = [
+                HardwareFaultInjector(spec)
+                for spec in hardware.get(offset, ())
+            ]
+            traces: Optional[List] = None
+            previous_sink = None
+            if task.cross_check and hasattr(aligner, "trace_sink"):
+                traces = []
+                previous_sink = aligner.trace_sink
+                aligner.trace_sink = traces
+            try:
+                if injectors:
+                    with fault_injection(FaultHookChain(injectors)):
+                        result = aligner.align(
+                            pattern, text, traceback=task.traceback
+                        )
+                else:
                     result = aligner.align(
                         pattern, text, traceback=task.traceback
                     )
-            else:
-                result = aligner.align(pattern, text, traceback=task.traceback)
-        finally:
-            if traces is not None:
-                aligner.trace_sink = previous_sink
-        for injector in injectors:
-            target = fired if injector.fired else unfired
-            target.append(injector.spec.fault_id)
-        if (task.validate or task.cross_check) and result.alignment is not None:
-            result.alignment.validate()
-        if task.cross_check:
-            _verify_result(
-                aligner, pattern, text, result, task.lo + offset, traces
-            )
-        results.append(result)
+            finally:
+                if traces is not None:
+                    aligner.trace_sink = previous_sink
+            for injector in injectors:
+                target = fired if injector.fired else unfired
+                target.append(injector.spec.fault_id)
+            if (
+                (task.validate or task.cross_check)
+                and result.alignment is not None
+            ):
+                result.alignment.validate()
+            if task.cross_check:
+                _verify_result(
+                    aligner, pattern, text, result, task.lo + offset, traces
+                )
+            results.append(result)
     return _ShardReply(
         results=results,
         checksum=_shard_checksum(pairs),
@@ -548,6 +577,7 @@ class _Supervisor:
             return False
         results, quarantined = stored
         self.counters.shards_resumed += 1
+        obs.inc("resilience.shards_resumed")
         if self.plan is not None:
             for spec in self.plan.for_pairs(item.lo, item.hi):
                 record = self.ledger[spec.fault_id]
@@ -582,6 +612,11 @@ class _Supervisor:
     def _on_success(
         self, item: _WorkItem, reply: _ShardReply, worker: str
     ) -> None:
+        if obs.enabled():
+            if reply.spans:
+                obs.recorder().absorb(list(reply.spans))
+            if reply.metrics:
+                obs.metrics().absorb(snapshot_from_dict(reply.metrics))
         slow_hit = (
             self.slow_threshold is not None
             and reply.elapsed > self.slow_threshold
@@ -611,11 +646,13 @@ class _Supervisor:
         setattr(
             self.counters, counter, getattr(self.counters, counter) + 1
         )
+        obs.inc(f"resilience.{counter}")
         if item.armed:
             self.counters.faults_detected += len(item.armed)
         item.attempt += 1
         if item.attempt <= self.retry.max_retries:
             self.counters.retries += 1
+            obs.inc("resilience.retries")
             for spec in item.armed:
                 record = self.ledger[spec.fault_id]
                 record.outcome = "retried"
@@ -664,6 +701,7 @@ class _Supervisor:
                 result.alignment.validate()
         except Exception as exc:
             self.counters.quarantined_pairs += 1
+            obs.inc("resilience.quarantined_pairs")
             reason = (
                 f"primary: {failure.kind}: {failure.detail}; fallback "
                 f"{type(self.fallback).__name__}: "
@@ -689,6 +727,7 @@ class _Supervisor:
             )
             return
         self.counters.fallbacks += 1
+        obs.inc("resilience.fallbacks")
         for spec in targeting:
             record = self.ledger[spec.fault_id]
             record.outcome = "degraded"
@@ -883,10 +922,12 @@ def align_batch_resilient(
     telemetry.executor = "resilient-inline" if inline else f"resilient-{method}"
     telemetry.fallback_reason = pickling_failure
     start = time.perf_counter()
-    if inline:
-        _drive_inline(supervisor, aligner)
-    else:
-        _drive_pool(supervisor, aligner, workers, method)
+    with obs.span("batch.align_resilient", workers=workers):
+        if inline:
+            _drive_inline(supervisor, aligner)
+        else:
+            _drive_pool(supervisor, aligner, workers, method)
+    obs.inc("batch.resilient_runs")
     batch = supervisor.assemble(telemetry)
     telemetry.wall_seconds = time.perf_counter() - start
     return batch
@@ -904,6 +945,7 @@ def _make_task(supervisor: _Supervisor, item: _WorkItem) -> _ShardTask:
         armed=item.armed,
         hang_seconds=supervisor.hang_seconds,
         slow_seconds=supervisor.slow_seconds,
+        obs=obs.enabled(),
     )
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+from ..obs import runtime as obs
+
 
 @dataclass(frozen=True)
 class MeshNoc:
@@ -68,10 +70,12 @@ class MeshNoc:
         uniformly over all nodes, so this is the expected distance of an
         LLC access.
         """
-        total = 0
-        for source in range(self.nodes):
-            for destination in range(self.nodes):
-                total += self.hops(source, destination)
+        with obs.span("sim.noc.average_hops", nodes=self.nodes):
+            total = 0
+            for source in range(self.nodes):
+                for destination in range(self.nodes):
+                    total += self.hops(source, destination)
+        obs.inc("sim.noc.sweeps")
         return total / (self.nodes * self.nodes)
 
     def average_llc_latency(self) -> float:

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..obs import runtime as obs
+
 #: Default result latencies per micro-op kind (cycles).
 DEFAULT_LATENCIES: Dict[str, int] = {
     "int_alu": 1,
@@ -100,6 +102,12 @@ class InOrderPipeline:
         of millions of micro-ops run in O(1) memory — sources must
         therefore reference ops no further than 4096 positions back.
         """
+        with obs.span("sim.pipeline.in_order"):
+            result = self._run(stream)
+        obs.inc("sim.pipeline.runs")
+        return result
+
+    def _run(self, stream: Iterable[MicroOp]) -> PipelineResult:
         window = 4096
         ready: Dict[int, int] = {}
         result = PipelineResult()
@@ -190,6 +198,12 @@ class OutOfOrderPipeline:
 
     def run(self, stream: Iterable[MicroOp]) -> PipelineResult:
         """Execute a micro-op stream out of order; returns cycle accounting."""
+        with obs.span("sim.pipeline.out_of_order", width=self.width):
+            result = self._run(stream)
+        obs.inc("sim.pipeline.runs")
+        return result
+
+    def _run(self, stream: Iterable[MicroOp]) -> PipelineResult:
         result = PipelineResult()
         finish: Dict[int, int] = {}  # op id -> completion cycle
         retire_times: List[int] = []  # sliding window of retire cycles

@@ -2,7 +2,11 @@
 
 import textwrap
 
-from repro.analysis import check_aligner_picklability, lint_repo
+from repro.analysis import (
+    check_aligner_picklability,
+    lint_repo,
+    lint_test_determinism,
+)
 from repro.analysis.repolint import HOT_PATH_MODULES
 
 
@@ -95,6 +99,64 @@ class TestSyntheticViolations:
             },
         )
         assert lint_repo(root, pickle_check=False) == []
+
+
+class TestSeededRngLint:
+    def test_unseeded_random_flagged(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "tests/test_flaky.py": """
+                import random
+
+                def test_something():
+                    rng = random.Random()
+                    assert rng.randint(0, 1) >= 0
+                """
+            },
+        )
+        diagnostics = lint_test_determinism(root)
+        assert [d.code for d in diagnostics] == ["REPRO005"]
+        assert "unseeded random.Random()" in diagnostics[0].message
+        assert "tests/test_flaky.py:5" in diagnostics[0].where
+
+    def test_global_rng_call_flagged(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "benchmarks/test_bench.py": """
+                import random
+
+                def test_bench():
+                    random.seed(1)
+                    return random.choice("ACGT")
+                """
+            },
+        )
+        codes = [d.code for d in lint_test_determinism(root)]
+        assert codes == ["REPRO005", "REPRO005"]  # seed() and choice()
+
+    def test_seeded_usage_is_clean(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "tests/test_fine.py": """
+                import random
+
+                def test_fine():
+                    rng = random.Random(0xC0FFEE)
+                    local = random.Random(7)
+                    return rng.random() + local.random()
+                """
+            },
+        )
+        assert lint_test_determinism(root) == []
+
+    def test_missing_suite_directories_are_skipped(self, tmp_path):
+        assert lint_test_determinism(tmp_path) == []
+
+    def test_suites_of_this_repo_are_deterministic(self):
+        assert lint_test_determinism() == []
 
 
 class TestRealRepo:

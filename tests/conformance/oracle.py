@@ -1,0 +1,132 @@
+"""Self-contained scalar oracle for the conformance suite.
+
+Everything here is deliberately independent of :mod:`repro` — no imports
+from the library under test — so the conformance suite checks every
+kernel against a second implementation written from the textbook
+recurrence, not against the library's own DP code.  Keep it boring: the
+oracle's only virtue is that it is obviously correct.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+DNA = "ACGT"
+
+
+def edit_distance(pattern: str, text: str) -> int:
+    """Unit-cost Levenshtein distance via the Wagner–Fischer recurrence.
+
+    Two-row rolling DP; O(len(pattern) * len(text)) time, O(len(text))
+    space.  Global alignment: both sequences consumed end to end.
+    """
+    previous = list(range(len(text) + 1))
+    for i, p in enumerate(pattern, start=1):
+        current = [i] + [0] * len(text)
+        for j, t in enumerate(text, start=1):
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (p != t),
+            )
+        previous = current
+    return previous[len(text)]
+
+
+def random_dna(length: int, rng: random.Random) -> str:
+    """Uniform random DNA string of exactly ``length`` bases."""
+    return "".join(rng.choice(DNA) for _ in range(length))
+
+
+def mutate(sequence: str, error_rate: float, rng: random.Random) -> str:
+    """Apply substitutions/insertions/deletions at ``error_rate`` per base.
+
+    Mirrors how read simulators derive a read from a reference; the
+    result may be empty when deletions hit every base of a short input.
+    """
+    out: List[str] = []
+    for base in sequence:
+        if rng.random() < error_rate:
+            kind = rng.choice("sid")
+            if kind == "s":
+                out.append(rng.choice(DNA.replace(base, "")))
+            elif kind == "i":
+                out.append(base)
+                out.append(rng.choice(DNA))
+            # deletion: emit nothing
+        else:
+            out.append(base)
+    return "".join(out)
+
+
+def generate_case(
+    seed: int, *, min_length: int, max_length: int, max_error: float
+) -> Tuple[str, str]:
+    """Seeded (pattern, text) pair for conformance case ``seed``.
+
+    Sweeps lengths across [min_length, max_length] and error rates across
+    [0, max_error]; every ~8th case is an adversarial special (equal
+    pair, single-base pattern, homopolymers, unrelated sequences) rather
+    than a mutated read, so the suite exercises the DP's corner rows.
+    """
+    rng = random.Random(seed)
+    length = rng.randint(min_length, max_length)
+    special = seed % 8
+    if special == 0:
+        text = random_dna(length, rng)
+        return text, text
+    if special == 1:
+        return random_dna(1, rng), random_dna(length, rng)
+    if special == 2:
+        base = rng.choice(DNA)
+        other = rng.choice(DNA.replace(base, ""))
+        return base * length, (base * (length // 2) + other * length)
+    if special == 3:
+        return random_dna(length, rng), random_dna(max(1, length // 2), rng)
+    error = rng.uniform(0.0, max_error)
+    pattern = random_dna(length, rng)
+    text = mutate(pattern, error, rng) or rng.choice(DNA)
+    return pattern, text
+
+
+def shrink_case(
+    pattern: str, text: str, still_fails: Callable[[str, str], bool]
+) -> Tuple[str, str]:
+    """Greedy ddmin-style shrink of a failing (pattern, text) pair.
+
+    Repeatedly tries dropping halves, then single characters, from each
+    sequence while ``still_fails`` keeps returning True, yielding the
+    minimal reproducer printed in the assertion message.
+    """
+
+    def shrink_one(fixed_other: str, seq: str, seq_is_pattern: bool) -> str:
+        def fails(candidate: str) -> bool:
+            if seq_is_pattern:
+                return still_fails(candidate, fixed_other)
+            return still_fails(fixed_other, candidate)
+
+        changed = True
+        while changed:
+            changed = False
+            # Drop progressively smaller chunks, then single characters.
+            chunk = max(1, len(seq) // 2)
+            while chunk >= 1:
+                start = 0
+                while start < len(seq):
+                    candidate = seq[:start] + seq[start + chunk:]
+                    if candidate != seq and fails(candidate):
+                        seq = candidate
+                        changed = True
+                    else:
+                        start += chunk
+                chunk //= 2
+        return seq
+
+    for _ in range(4):  # alternate until a fixed point
+        new_pattern = shrink_one(text, pattern, True)
+        new_text = shrink_one(new_pattern, text, False)
+        if (new_pattern, new_text) == (pattern, text):
+            break
+        pattern, text = new_pattern, new_text
+    return pattern, text

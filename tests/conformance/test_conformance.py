@@ -1,0 +1,159 @@
+"""Property-based conformance suite: every kernel vs the scalar oracle.
+
+Each kernel is driven over a seeded sweep of random tiles — lengths from
+1 up to 4x the tile size, error rates 0–40%, plus adversarial specials —
+and its score is checked against the independent Wagner–Fischer oracle in
+:mod:`tests.conformance.oracle` (and, transitively, against the BPM and
+Edlib baselines, which run as kernels of the same sweep).  On a mismatch
+the failing pair is shrunk to a minimal reproducer and the assertion
+message prints everything needed to replay it: pattern, text, kernel,
+and case seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.align import (
+    AutoAligner,
+    BandedGmxAligner,
+    FullGmxAligner,
+    WindowedGmxAligner,
+)
+from repro.baselines import (
+    BpmAligner,
+    EdlibAligner,
+    HirschbergAligner,
+    NeedlemanWunschAligner,
+    WfaAligner,
+)
+
+from .oracle import edit_distance, generate_case, shrink_case
+
+TILE_SIZE = 8
+MIN_LENGTH = 1
+MAX_LENGTH = 4 * TILE_SIZE
+MAX_ERROR = 0.40
+CASES_PER_KERNEL = 64
+SEED_BASE = 0x5EED
+
+#: name -> (fresh-aligner factory, kernel is exact for every input).
+KERNELS = {
+    "full-gmx": (lambda: FullGmxAligner(tile_size=TILE_SIZE), True),
+    "full-gmx-fused": (
+        lambda: FullGmxAligner(tile_size=TILE_SIZE, fused=True),
+        True,
+    ),
+    "banded-gmx": (lambda: BandedGmxAligner(tile_size=TILE_SIZE), True),
+    "windowed-gmx": (lambda: WindowedGmxAligner(tile_size=TILE_SIZE), False),
+    "auto": (lambda: AutoAligner(tile_size=TILE_SIZE), True),
+    "nw": (NeedlemanWunschAligner, True),
+    "bpm": (BpmAligner, True),
+    "edlib": (EdlibAligner, True),
+    "hirschberg": (HirschbergAligner, True),
+    "wfa": (WfaAligner, True),
+}
+
+
+def case_seed(kernel: str, index: int) -> int:
+    """Stable per-case seed (printed in failure repros)."""
+    return SEED_BASE + 10_000 * sorted(KERNELS).index(kernel) + index
+
+
+def check_pair(kernel: str, pattern: str, text: str) -> str:
+    """Run one pair through ``kernel``; returns "" or a defect description."""
+    factory, always_exact = KERNELS[kernel]
+    aligner = factory()
+    expected = edit_distance(pattern, text)
+    try:
+        result = aligner.align(pattern, text)
+    except Exception as exc:  # crash is a conformance failure too
+        return f"raised {type(exc).__name__}: {exc}"
+    if always_exact and result.score != expected:
+        return f"score {result.score} != oracle {expected}"
+    if not always_exact:
+        if result.score < expected:
+            return f"score {result.score} below oracle {expected}"
+        if result.exact and result.score != expected:
+            return (
+                f"claims exact but score {result.score} != oracle {expected}"
+            )
+    if result.alignment is not None:
+        try:
+            result.alignment.validate()
+        except Exception as exc:
+            return f"alignment failed validation: {exc}"
+        if always_exact and result.alignment.score != result.score:
+            return (
+                f"alignment scores {result.alignment.score}, "
+                f"result says {result.score}"
+            )
+    return ""
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_kernel_conforms_to_oracle(kernel):
+    for index in range(CASES_PER_KERNEL):
+        seed = case_seed(kernel, index)
+        pattern, text = generate_case(
+            seed,
+            min_length=MIN_LENGTH,
+            max_length=MAX_LENGTH,
+            max_error=MAX_ERROR,
+        )
+        defect = check_pair(kernel, pattern, text)
+        if defect:
+            small_pattern, small_text = shrink_case(
+                pattern, text, lambda p, t: bool(check_pair(kernel, p, t))
+            )
+            small_defect = check_pair(kernel, small_pattern, small_text)
+            pytest.fail(
+                "conformance failure\n"
+                f"  kernel : {kernel}\n"
+                f"  seed   : {seed} (case {index})\n"
+                f"  defect : {small_defect or defect}\n"
+                f"  pattern: {small_pattern!r}\n"
+                f"  text   : {small_text!r}\n"
+                f"  (original pair: {pattern!r} / {text!r})"
+            )
+
+
+def test_sweep_is_large_and_diverse():
+    """The sweep meets the coverage floor: >=500 cases, full length range."""
+    total = CASES_PER_KERNEL * len(KERNELS)
+    assert total >= 500
+    lengths = set()
+    for index in range(CASES_PER_KERNEL):
+        pattern, text = generate_case(
+            case_seed("full-gmx", index),
+            min_length=MIN_LENGTH,
+            max_length=MAX_LENGTH,
+            max_error=MAX_ERROR,
+        )
+        lengths.add(len(pattern))
+        assert 1 <= len(pattern) <= 2 * MAX_LENGTH
+        assert len(text) >= 1
+    assert len(lengths) > 10  # the generator sweeps lengths, not one point
+
+
+def test_shrinker_minimises_a_planted_defect():
+    """The shrinker itself: a planted predicate shrinks to a 1-base repro."""
+
+    def fails(pattern, text):
+        return "G" in pattern and len(text) >= 1
+
+    pattern, text = shrink_case("ACGTACGT", "TTTT", fails)
+    assert pattern == "G"
+    assert text == "T"
+
+
+def test_oracle_matches_known_distances():
+    """Spot-check the oracle against hand-computed distances."""
+    assert edit_distance("", "") == 0
+    assert edit_distance("ACGT", "ACGT") == 0
+    assert edit_distance("ACGT", "") == 4
+    assert edit_distance("", "ACGT") == 4
+    assert edit_distance("ACGT", "AGT") == 1
+    assert edit_distance("ACGT", "ACCT") == 1
+    assert edit_distance("AAAA", "TTTT") == 4
+    assert edit_distance("kitten", "sitting") == 3

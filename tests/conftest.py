@@ -7,12 +7,90 @@ against a second implementation rather than against itself.
 
 from __future__ import annotations
 
+import json
 import random
+from pathlib import Path
 from typing import List
 
 import pytest
 
 DNA = "ACGT"
+
+#: Directory of committed golden snapshots (see the ``golden`` fixture).
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Keys whose values vary run to run (timings) and are scrubbed before
+#: golden comparison.  Matched by suffix or exact name.
+VOLATILE_SUFFIXES = ("_seconds", "_ns", "_per_second")
+VOLATILE_KEYS = {"elapsed", "utilization", "wall", "badge_runtime"}
+
+
+def sanitize_volatile(payload):
+    """Replace timing-dependent values with a stable placeholder.
+
+    Recurses through dicts/lists; a key is volatile when it matches
+    ``VOLATILE_KEYS`` exactly or ends with one of ``VOLATILE_SUFFIXES``.
+    The key itself stays (so schema drift is still caught) — only the
+    value is masked.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: (
+                "<volatile>"
+                if key in VOLATILE_KEYS
+                or any(key.endswith(s) for s in VOLATILE_SUFFIXES)
+                else sanitize_volatile(value)
+            )
+            for key, value in payload.items()
+        }
+    if isinstance(payload, list):
+        return [sanitize_volatile(item) for item in payload]
+    return payload
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ snapshots from the current output",
+    )
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a JSON-safe payload against a committed snapshot.
+
+    Usage: ``golden("lint_json", payload)`` — sanitizes timing keys,
+    serialises with sorted keys, and diffs against
+    ``tests/golden/lint_json.json``.  Run ``pytest --update-golden`` to
+    (re)write the snapshots after an intentional schema change.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, payload) -> None:
+        rendered = (
+            json.dumps(sanitize_volatile(payload), indent=2, sort_keys=True)
+            + "\n"
+        )
+        path = GOLDEN_DIR / f"{name}.json"
+        if update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(rendered)
+            return
+        assert path.exists(), (
+            f"missing golden snapshot {path} — "
+            f"run `pytest --update-golden` to create it"
+        )
+        expected = path.read_text()
+        assert rendered == expected, (
+            f"golden snapshot {name!r} drifted from {path}.\n"
+            f"If the change is intentional, rerun with --update-golden "
+            f"and commit the diff.\n--- expected ---\n{expected}\n"
+            f"--- actual ---\n{rendered}"
+        )
+
+    return check
 
 
 def scalar_edit_matrix(pattern: str, text: str) -> List[List[int]]:

@@ -18,13 +18,13 @@ class TestRunAll:
             "figure3", "figure10", "figure11", "figure12", "figure13",
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
-            "lint", "resilience",
+            "lint", "resilience", "observability",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
-            if name in ("lint", "resilience"):
+            if name in ("lint", "resilience", "observability"):
                 continue  # checked structurally below
             if isinstance(rows, dict):
                 assert all(rows.values()), name
@@ -49,6 +49,22 @@ class TestRunAll:
         assert resilience["unaccounted"] == []
         assert resilience["badge"].startswith("resilience: OK")
         assert resilience["counters"]["faults_injected"] > 0
+
+    def test_observability_stamp_embedded(self, all_results):
+        status = all_results["observability"]
+        assert status["badge"].startswith("observability: 3 kernels")
+        assert status["spans"] > 0
+        kernels = status["kernels"]
+        assert set(kernels) == {"full_gmx", "banded_gmx", "windowed"}
+        for name, entry in kernels.items():
+            assert entry["pairs"] > 0, name
+            assert entry["tiles"] > 0, name
+            assert entry["align_ns"]["count"] == entry["pairs"], name
+
+    def test_observability_stamp_leaves_obs_disabled(self, all_results):
+        from repro.obs import runtime as obs
+
+        assert not obs.enabled()
 
 
 class TestExportJson:

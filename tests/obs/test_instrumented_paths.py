@@ -1,0 +1,150 @@
+"""End-to-end checks of the instrumented hot paths.
+
+These tests run real aligners and batch engines under an armed recorder
+and assert the span/metric streams the rest of the tooling (profiler,
+artifact stamp, Perfetto export) is built on: per-kernel spans with
+phases nested inside them, counters matching the work actually done, and
+worker-process buffers merged back into one coherent trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.align import BandedGmxAligner, FullGmxAligner, WindowedGmxAligner
+from repro.align.batch import align_batch
+from repro.obs import runtime as obs
+from repro.workloads.generator import generate_pair_set
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_around_each_test():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def pairs_for(count, length=60, seed=3):
+    pair_set = generate_pair_set("obs-test", length, 0.1, count, seed=seed)
+    return [(p.pattern, p.text) for p in pair_set.pairs]
+
+
+class TestKernelSpans:
+    def test_full_gmx_nests_phases_under_align(self):
+        recorder, registry = obs.enable()
+        FullGmxAligner(tile_size=8).align("ACGTACGTAC", "ACGTTCGTAC")
+        spans = {s.name: s for s in recorder.spans}
+        align_span = spans["align.full_gmx"]
+        assert spans["phase.compute"].parent_id == align_span.span_id
+        assert spans["phase.traceback"].parent_id == align_span.span_id
+        assert align_span.tags["m"] == 10
+        assert registry.counter("align.full_gmx.pairs") == 1
+        assert registry.counter("align.full_gmx.tiles") > 0
+
+    def test_banded_records_band_passes(self):
+        recorder, registry = obs.enable()
+        pattern, text = pairs_for(1, length=120)[0]
+        BandedGmxAligner(tile_size=8).align(pattern, text)
+        names = [s.name for s in recorder.spans]
+        assert "align.banded_gmx" in names
+        assert "phase.band_pass" in names
+        assert registry.counter("align.banded_gmx.pairs") == 1
+
+    def test_windowed_counts_windows(self):
+        recorder, registry = obs.enable()
+        pattern, text = pairs_for(1, length=200)[0]
+        WindowedGmxAligner(tile_size=8).align(pattern, text)
+        names = [s.name for s in recorder.spans]
+        assert "align.windowed" in names
+        assert "phase.window" in names
+        assert registry.counter("align.windowed.windows") >= 1
+
+    def test_no_spans_while_disabled(self):
+        FullGmxAligner(tile_size=8).align("ACGT", "ACGA")
+        assert not obs.enabled()
+
+
+class TestBatchSpans:
+    def test_serial_batch(self):
+        recorder, registry = obs.enable()
+        batch = align_batch(FullGmxAligner(tile_size=8), pairs_for(3))
+        assert batch.pairs == 3
+        spans = {s.name: s for s in recorder.spans}
+        batch_span = spans["batch.align"]
+        assert batch_span.tags["workers"] == 1
+        assert registry.counter("batch.runs") == 1
+        assert registry.counter("batch.pairs") == 3
+        assert registry.counter("align.full_gmx.pairs") == 3
+
+    def test_sharded_inline_batch(self):
+        recorder, registry = obs.enable()
+        align_batch(
+            FullGmxAligner(tile_size=8),
+            pairs_for(6),
+            workers=1,
+            shard_size=2,
+        )
+        assert registry.counter("batch.shards") == 3
+        shard_spans = [
+            s for s in recorder.spans if s.name == "shard.align"
+        ]
+        assert len(shard_spans) == 3
+        assert all(s.tags["pairs"] == 2 for s in shard_spans)
+
+    @pytest.mark.slow
+    def test_pool_batch_merges_worker_traces(self):
+        recorder, registry = obs.enable()
+        batch = align_batch(
+            FullGmxAligner(tile_size=8),
+            pairs_for(8),
+            workers=2,
+            shard_size=2,
+        )
+        assert batch.pairs == 8
+        # Worker metrics merged back into the parent registry.
+        assert registry.counter("align.full_gmx.pairs") == 8
+        assert registry.counter("batch.shards") == 4
+        spans = recorder.spans
+        ids = {s.span_id for s in spans}
+        assert len(ids) == len(spans)  # absorb never collides ids
+        for span in spans:  # every parent link resolves post-merge
+            assert span.parent_id is None or span.parent_id in ids
+        kernel_spans = [s for s in spans if s.name == "align.full_gmx"]
+        assert len(kernel_spans) == 8
+
+    def test_resilient_inline_batch(self):
+        from repro.resilience import align_batch_resilient
+
+        recorder, registry = obs.enable()
+        batch = align_batch_resilient(
+            FullGmxAligner(tile_size=8),
+            pairs_for(4),
+            workers=1,
+            shard_size=2,
+        )
+        assert batch.pairs == 4
+        names = [s.name for s in recorder.spans]
+        assert "batch.align_resilient" in names
+        assert names.count("shard.attempt") == 2
+        assert registry.counter("batch.resilient_runs") == 1
+        assert registry.counter("align.full_gmx.pairs") == 4
+
+
+class TestDeterminism:
+    def test_span_structure_is_seed_deterministic(self):
+        def run():
+            recorder, registry = obs.enable()
+            align_batch(
+                FullGmxAligner(tile_size=8),
+                pairs_for(3, seed=9),
+                shard_size=2,
+            )
+            structure = [
+                (s.name, tuple(sorted(s.tags.items())), s.parent_id)
+                for s in recorder.spans
+            ]
+            counters = registry.snapshot().to_dict()["counters"]
+            obs.disable()
+            return structure, counters
+
+        assert run() == run()

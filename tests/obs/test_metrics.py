@@ -1,0 +1,145 @@
+"""Tests for the metrics registry and its snapshot algebra."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_BOUNDS_NS,
+    HistogramSnapshot,
+    MetricsError,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+    snapshot_from_dict,
+)
+
+
+def make_registry(observations):
+    registry = MetricsRegistry()
+    for value in observations:
+        registry.observe_ns("h", value)
+    return registry
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("pairs")
+        registry.inc("pairs", 4)
+        assert registry.counter("pairs") == 5
+        assert registry.counter("never-touched") == 0
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("band", 8)
+        registry.set_gauge("band", 16)
+        assert registry.snapshot().gauges == {"band": 16}
+
+    def test_histogram_aggregates(self):
+        registry = make_registry([1_000, 5_000, 2_000_000])
+        hist = registry.snapshot().histograms["h"]
+        assert hist.count == 3
+        assert hist.sum_ns == 2_006_000
+        assert hist.min_ns == 1_000
+        assert hist.max_ns == 2_000_000
+        assert sum(hist.buckets) == 3
+
+    def test_histogram_bucket_placement(self):
+        registry = make_registry([1, HISTOGRAM_BOUNDS_NS[-1] + 1])
+        buckets = registry.snapshot().histograms["h"].buckets
+        assert buckets[0] == 1  # at-or-under the first bound
+        assert buckets[-1] == 1  # overflow bucket
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("", " padded "):
+            with pytest.raises(MetricsError):
+                registry.inc(bad)
+            with pytest.raises(MetricsError):
+                registry.observe_ns(bad, 1)
+
+    def test_clear(self):
+        registry = make_registry([10])
+        registry.inc("c")
+        registry.clear()
+        snapshot = registry.snapshot()
+        assert snapshot.counters == snapshot.gauges == {}
+        assert snapshot.histograms == {}
+
+
+class TestSnapshotAlgebra:
+    def test_to_dict_keys_are_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.inc(name)
+        assert list(registry.snapshot().to_dict()["counters"]) == [
+            "alpha", "mid", "zeta",
+        ]
+
+    def test_diff_isolates_a_window(self):
+        registry = MetricsRegistry()
+        registry.inc("pairs", 3)
+        registry.observe_ns("h", 100)
+        before = registry.snapshot()
+        registry.inc("pairs", 2)
+        registry.inc("fresh")
+        registry.observe_ns("h", 200)
+        delta = registry.snapshot().diff(before)
+        assert delta.counters == {"pairs": 2, "fresh": 1}
+        assert delta.histograms["h"].count == 1
+        assert delta.histograms["h"].sum_ns == 200
+
+    def test_diff_drops_unchanged_names(self):
+        registry = MetricsRegistry()
+        registry.inc("static", 7)
+        before = registry.snapshot()
+        assert registry.snapshot().diff(before).counters == {}
+
+    def test_merge_is_commutative_and_associative(self):
+        parts = []
+        rng = random.Random(0xFACE)
+        for _ in range(3):
+            registry = MetricsRegistry()
+            for _ in range(10):
+                registry.inc("pairs", rng.randint(1, 5))
+                registry.observe_ns("h", rng.randint(1, 10**7))
+            parts.append(registry.snapshot())
+        a, b, c = parts
+        forward = merge_snapshots([a, b, c]).to_dict()
+        backward = merge_snapshots([c, b, a]).to_dict()
+        grouped = merge_snapshots([merge_snapshots([a, b]), c]).to_dict()
+        assert forward == backward == grouped
+
+    def test_absorb_matches_merge(self):
+        worker = MetricsRegistry()
+        worker.inc("pairs", 4)
+        worker.observe_ns("h", 123)
+        parent = MetricsRegistry()
+        parent.inc("pairs", 1)
+        parent.observe_ns("h", 456)
+        expected = merge_snapshots(
+            [parent.snapshot(), worker.snapshot()]
+        ).to_dict()
+        parent.absorb(worker.snapshot())
+        assert parent.snapshot().to_dict() == expected
+
+    def test_snapshot_from_dict_roundtrip(self):
+        registry = make_registry([100, 200])
+        registry.inc("pairs", 9)
+        registry.set_gauge("band", 8.0)
+        snapshot = registry.snapshot()
+        rebuilt = snapshot_from_dict(snapshot.to_dict())
+        assert rebuilt.to_dict() == snapshot.to_dict()
+
+    def test_histogram_merge_identity(self):
+        empty = HistogramSnapshot()
+        full = make_registry([5_000]).snapshot().histograms["h"]
+        assert empty.merge(full) == full
+        assert full.merge(empty) == full
+
+    def test_empty_merge(self):
+        merged = merge_snapshots([])
+        assert merged == MetricsSnapshot()

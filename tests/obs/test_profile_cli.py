@@ -1,0 +1,96 @@
+"""Happy-path tests for the `repro profile` command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_around_each_test():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def test_profile_align_prints_table_and_writes_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    prof = tmp_path / "profile.json"
+    jsonl = tmp_path / "spans.jsonl"
+    code = main(
+        [
+            "profile",
+            "--trace", str(trace),
+            "--json", str(prof),
+            "--jsonl", str(jsonl),
+            "--",
+            "align", "ACGTACGTAC", "ACGTTCGTAC",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "score=" in captured.out  # the inner command's own output
+    assert "profile: align" in captured.out
+    assert "align.full_gmx" in captured.out
+    assert not obs.enabled()  # profiling disarms on exit
+
+    doc = json.loads(trace.read_text())
+    names = {event["name"] for event in doc["traceEvents"]}
+    assert "cli.align" in names
+    assert "align.full_gmx" in names
+    assert all(event["ph"] == "X" for event in doc["traceEvents"])
+
+    payload = json.loads(prof.read_text())
+    assert payload["coverage"] >= 0.95  # the root span brackets the run
+    assert any(row["name"] == "cli.align" for row in payload["rows"])
+
+    lines = jsonl.read_text().strip().splitlines()
+    assert {json.loads(line)["name"] for line in lines} == names
+
+
+def test_profile_exit_code_follows_inner_command(tmp_path, capsys):
+    empty = tmp_path / "empty.seq"
+    empty.write_text("")
+    code = main(["profile", "--", "align", "--pairs", str(empty)])
+    capsys.readouterr()
+    assert code == 2
+    assert not obs.enabled()
+
+
+def test_profile_diff_of_two_real_runs(tmp_path, capsys):
+    for name in ("before", "after"):
+        assert (
+            main(
+                [
+                    "profile",
+                    "--json", str(tmp_path / f"{name}.json"),
+                    "--",
+                    "align", "ACGTACGT", "ACGAACGT",
+                ]
+            )
+            == 0
+        )
+    capsys.readouterr()
+    code = main(
+        [
+            "profile",
+            "--diff",
+            str(tmp_path / "before.json"),
+            str(tmp_path / "after.json"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "profile diff:" in out
+    assert "align.full_gmx" in out
+
+
+def test_profile_top_limits_rows(capsys):
+    code = main(["profile", "--top", "1", "--", "align", "ACGT", "ACGA"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "more spans (see --json)" in out

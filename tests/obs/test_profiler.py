@@ -1,0 +1,170 @@
+"""Tests for the sampling-free profiler (repro.obs.profiler)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import (
+    Profile,
+    ProfileError,
+    ProfileRow,
+    build_profile,
+    diff_profiles,
+    load_profile,
+    render_profile,
+    render_profile_diff,
+)
+from repro.obs.tracing import Span, SpanRecorder
+
+
+def span(span_id, parent_id, name, duration_ns, start_ns=0):
+    return Span(
+        span_id=span_id, parent_id=parent_id, name=name,
+        start_ns=start_ns, duration_ns=duration_ns,
+    )
+
+
+class TestBuildProfile:
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            span(0, None, "outer", 100),
+            span(1, 0, "inner", 60),
+            span(2, 1, "leaf", 10),
+        ]
+        profile = build_profile(spans, wall_ns=120)
+        assert profile.row("outer").self_ns == 40  # only the direct child
+        assert profile.row("inner").self_ns == 50
+        assert profile.row("leaf").self_ns == 10
+
+    def test_coverage_counts_top_level_only(self):
+        spans = [
+            span(0, None, "a", 50),
+            span(1, 0, "a.child", 50),  # nested: no extra coverage
+            span(2, None, "b", 30),
+        ]
+        profile = build_profile(spans, wall_ns=100)
+        assert profile.covered_ns == 80
+        assert profile.coverage == pytest.approx(0.8)
+
+    def test_coverage_clamped_to_wall(self):
+        profile = build_profile([span(0, None, "a", 500)], wall_ns=100)
+        assert profile.coverage == 1.0
+
+    def test_rows_aggregate_by_name(self):
+        spans = [
+            span(0, None, "k", 10),
+            span(1, None, "k", 30),
+            span(2, None, "k", 20),
+        ]
+        (row,) = build_profile(spans, wall_ns=60).rows
+        assert (row.count, row.total_ns) == (3, 60)
+        assert (row.min_ns, row.max_ns) == (10, 30)
+        assert row.mean_ns == pytest.approx(20.0)
+
+    def test_rows_sorted_by_self_time(self):
+        spans = [span(0, None, "cold", 5), span(1, None, "hot", 500)]
+        profile = build_profile(spans, wall_ns=505)
+        assert [row.name for row in profile.rows] == ["hot", "cold"]
+
+    def test_accepts_a_recorder(self):
+        recorder = SpanRecorder(clock=iter(range(0, 10**9, 1000)).__next__)
+        with recorder.span("r"):
+            pass
+        profile = build_profile(recorder, wall_ns=10_000)
+        assert profile.row("r").count == 1
+
+    def test_empty_profile(self):
+        profile = build_profile([], wall_ns=0)
+        assert profile.rows == []
+        assert profile.coverage == 0.0
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("pairs", 3)
+        profile = build_profile(
+            [span(0, None, "k", 100)],
+            wall_ns=120,
+            label="demo",
+            metrics=registry.snapshot(),
+        )
+        path = tmp_path / "p.json"
+        path.write_text(profile.to_json())
+        loaded = load_profile(path)
+        assert loaded.label == "demo"
+        assert loaded.wall_ns == 120
+        assert loaded.row("k").total_ns == 100
+        assert loaded.metrics.counters == {"pairs": 3}
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ProfileError, match="ghost.json"):
+            load_profile(tmp_path / "ghost.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ProfileError, match="not a profile JSON"):
+            load_profile(path)
+
+    def test_load_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(ProfileError, match="no 'rows' key"):
+            load_profile(path)
+
+    def test_load_malformed_row(self, tmp_path):
+        path = tmp_path / "row.json"
+        path.write_text(json.dumps({"rows": [{"name": "x"}]}))
+        with pytest.raises(ProfileError, match="malformed profile row"):
+            load_profile(path)
+
+
+class TestRendering:
+    def test_table_lists_rows_and_coverage(self):
+        profile = build_profile(
+            [span(0, None, "hot", 2_000_000)], wall_ns=2_100_000, label="demo"
+        )
+        text = render_profile(profile)
+        assert "profile: demo" in text
+        assert "span coverage: 95.2%" in text
+        assert "hot" in text
+
+    def test_table_truncates_to_top(self):
+        spans = [span(i, None, f"s{i:02}", 10 + i) for i in range(30)]
+        text = render_profile(build_profile(spans, wall_ns=10**6), top=5)
+        assert "... 25 more spans (see --json)" in text
+
+
+class TestDiff:
+    def test_diff_orders_by_absolute_delta(self):
+        before = Profile(rows=[
+            ProfileRow(name="a", count=1, total_ns=100, self_ns=100),
+            ProfileRow(name="b", count=1, total_ns=500, self_ns=500),
+        ])
+        after = Profile(rows=[
+            ProfileRow(name="a", count=1, total_ns=110, self_ns=110),
+            ProfileRow(name="b", count=1, total_ns=100, self_ns=100),
+            ProfileRow(name="c", count=2, total_ns=50, self_ns=50),
+        ])
+        deltas = diff_profiles(before, after)
+        assert [d.name for d in deltas] == ["b", "c", "a"]
+        by_name = {d.name: d for d in deltas}
+        assert by_name["b"].delta_ns == -400
+        assert by_name["c"].ratio == float("inf")  # new row
+        assert by_name["a"].ratio == pytest.approx(1.1)
+        assert (by_name["c"].before_count, by_name["c"].after_count) == (0, 2)
+
+    def test_render_diff_marks_new_rows(self):
+        before = Profile(label="old", wall_ns=10**6)
+        after = Profile(
+            label="new",
+            wall_ns=10**6,
+            rows=[ProfileRow(name="fresh", count=1, total_ns=10, self_ns=10)],
+        )
+        text = render_profile_diff(before, after)
+        assert "old -> new" in text
+        assert "new" in text.splitlines()[-1]  # the ratio column

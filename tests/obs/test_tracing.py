@@ -1,0 +1,186 @@
+"""Tests for the span recorder (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import NOOP_SPAN, Span, SpanRecorder, TracingError
+
+
+class FakeClock:
+    """Deterministic nanosecond clock advancing a fixed step per read."""
+
+    def __init__(self, step_ns: int = 1000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self) -> int:
+        self.now += self.step
+        return self.now
+
+
+class TestSpanRecording:
+    def test_single_span(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("work", size=3):
+            pass
+        (span,) = recorder.spans
+        assert span.name == "work"
+        assert span.tags == {"size": 3}
+        assert span.parent_id is None
+        assert span.duration_ns == 1000
+
+    def test_nesting_links_parents(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        inner, outer = recorder.spans  # completion order
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_exception_tags_error_and_propagates(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with recorder.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = recorder.spans
+        assert span.tags["error"] is True
+
+    def test_tag_method_chains(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("work") as live:
+            live.tag(rows=4).tag(cols=8)
+        (span,) = recorder.spans
+        assert span.tags == {"rows": 4, "cols": 8}
+
+    def test_out_of_order_close_raises(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        outer = recorder.span("outer")
+        inner = recorder.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(TracingError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_threads_nest_independently(self):
+        recorder = SpanRecorder()
+        done = threading.Barrier(2)
+
+        def worker(name):
+            with recorder.span(f"outer.{name}"):
+                done.wait()  # both outers open concurrently
+                with recorder.span(f"inner.{name}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in recorder.spans}
+        assert len(spans) == 4
+        for i in range(2):
+            inner, outer = spans[f"inner.{i}"], spans[f"outer.{i}"]
+            assert inner.parent_id == outer.span_id
+            assert inner.tid == outer.tid
+
+
+class TestDrainAbsorb:
+    def test_roundtrip_preserves_structure(self):
+        worker = SpanRecorder(clock=FakeClock())
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        buffer = worker.drain()
+        assert len(worker) == 0
+        assert all(isinstance(entry, dict) for entry in buffer)
+
+        parent = SpanRecorder(clock=FakeClock())
+        with parent.span("own"):
+            pass
+        assert parent.absorb(buffer) == 2
+        spans = {s.name: s for s in parent.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert len({s.span_id for s in parent.spans}) == 3  # ids stay unique
+
+    def test_absorb_remaps_colliding_ids(self):
+        a, b = SpanRecorder(clock=FakeClock()), SpanRecorder(clock=FakeClock())
+        for recorder in (a, b):
+            with recorder.span("same-id-zero"):
+                pass
+        a.absorb(b.drain())
+        ids = [s.span_id for s in a.spans]
+        assert len(ids) == len(set(ids)) == 2
+
+    def test_absorb_rejects_garbage(self):
+        recorder = SpanRecorder()
+        with pytest.raises(TracingError, match="malformed span payload"):
+            recorder.absorb([{"name": "half-a-span"}])
+
+    def test_absorb_empty_buffer(self):
+        assert SpanRecorder().absorb([]) == 0
+
+    def test_span_dict_roundtrip(self):
+        span = Span(
+            span_id=3, parent_id=1, name="x", start_ns=10, duration_ns=5,
+            tags={"k": 1}, pid=42, tid=7,
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("outer"):
+            with recorder.span("inner", depth=1):
+                pass
+        doc = recorder.chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]  # start order
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0  # rebased to the earliest span
+            assert event["dur"] > 0.0
+            assert {"pid", "tid", "cat", "args"} <= set(event)
+        assert events[1]["args"]["parent_id"] == events[0]["args"]["span_id"]
+
+    def test_to_json_parses(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("x"):
+            pass
+        parsed = json.loads(recorder.to_json())
+        assert parsed["otherData"]["spans"] == 1
+
+    def test_to_jsonl_one_line_per_span(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        for name in ("a", "b", "c"):
+            with recorder.span(name):
+                pass
+        lines = recorder.to_jsonl().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b", "c"]
+
+    def test_determinism_under_fake_clock(self):
+        def run():
+            recorder = SpanRecorder(clock=FakeClock())
+            with recorder.span("outer", k=1):
+                with recorder.span("inner"):
+                    pass
+            return recorder.to_jsonl()
+
+        assert run() == run()
+
+
+class TestNoopSpan:
+    def test_is_inert_and_reusable(self):
+        with NOOP_SPAN as span:
+            assert span.tag(x=1) is span
+        with NOOP_SPAN:
+            pass

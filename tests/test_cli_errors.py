@@ -1,0 +1,172 @@
+"""CLI error-path contract: bad input exits 2 with a message on stderr.
+
+Every failure mode a user can hit from the shell — bad flags, missing
+files, malformed datasets, unknown names — must (a) return exit code 2,
+(b) say what went wrong on stderr, and (c) never dump a traceback.
+``main`` is called in-process so the tests assert on the real return
+value and captured streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv, capsys):
+    """Invoke the CLI; returns (exit_code, stdout, stderr)."""
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBadFlags:
+    def test_negative_workers(self, capsys):
+        code, _, err = run(["align", "A", "C", "--workers", "-3"], capsys)
+        assert code == 2
+        assert "--workers" in err
+
+    def test_zero_shard_size(self, capsys):
+        code, _, err = run(
+            ["align", "A", "C", "--shard-size", "0", "--workers", "2"], capsys
+        )
+        assert code == 2
+        assert "--shard-size" in err
+
+    def test_missing_operands(self, capsys):
+        code, _, err = run(["align"], capsys)
+        assert code == 2
+        assert "PATTERN TEXT or --pairs" in err
+
+    def test_unknown_command(self, capsys):
+        code, _, err = run(["frobnicate"], capsys)
+        assert code == 2
+        assert "invalid choice" in err
+
+    def test_unknown_experiment_name(self, capsys):
+        code, _, err = run(["experiment", "no-such-figure"], capsys)
+        assert code == 2
+        assert "invalid choice" in err
+
+    def test_unknown_algorithm(self, capsys):
+        code, _, err = run(["align", "A", "C", "--algorithm", "magic"], capsys)
+        assert code == 2
+        assert "invalid choice" in err
+
+    def test_help_exits_zero(self, capsys):
+        code, out, _ = run(["--help"], capsys)
+        assert code == 0
+        assert "align" in out
+
+
+class TestBadFiles:
+    def test_missing_pairs_file(self, capsys, tmp_path):
+        missing = tmp_path / "nope.seq"
+        code, _, err = run(["align", "--pairs", str(missing)], capsys)
+        assert code == 2
+        assert "nope.seq" in err
+        assert "Traceback" not in err
+
+    def test_malformed_pairs_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.seq"
+        bad.write_text("this is not a sequence record\n")
+        code, _, err = run(["align", "--pairs", str(bad)], capsys)
+        assert code == 2
+        assert "line must start with" in err
+
+    def test_empty_pairs_file(self, capsys, tmp_path):
+        empty = tmp_path / "empty.seq"
+        empty.write_text("")
+        code, _, err = run(["align", "--pairs", str(empty)], capsys)
+        assert code == 2
+        assert "no sequence pairs" in err
+
+    def test_unwritable_checkpoint_path(self, capsys, tmp_path):
+        pairs = tmp_path / "ok.seq"
+        pairs.write_text(">ACGT\n<ACGA\n")
+        checkpoint = tmp_path / "no-such-dir" / "x.journal"
+        code, _, err = run(
+            ["align", "--pairs", str(pairs), "--checkpoint", str(checkpoint)],
+            capsys,
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_missing_lint_program_file(self, capsys, tmp_path):
+        code, _, err = run(
+            ["lint", "--program", str(tmp_path / "ghost.hex")], capsys
+        )
+        assert code == 2
+        assert "ghost.hex" in err
+
+    def test_non_hex_lint_program_file(self, capsys, tmp_path):
+        listing = tmp_path / "garbage.hex"
+        listing.write_text("zz not hex zz\n")
+        code, _, err = run(["lint", "--program", str(listing)], capsys)
+        assert code == 2
+        assert "not a hex program listing" in err
+
+
+class TestProfileErrors:
+    def test_profile_without_command(self, capsys):
+        code, _, err = run(["profile"], capsys)
+        assert code == 2
+        assert "nothing to profile" in err
+
+    def test_profile_of_profile_rejected(self, capsys):
+        code, _, err = run(
+            ["profile", "--", "profile", "--", "align", "A", "A"], capsys
+        )
+        assert code == 2
+        assert "cannot profile the profiler" in err
+
+    def test_diff_with_missing_file(self, capsys, tmp_path):
+        code, _, err = run(
+            [
+                "profile",
+                "--diff",
+                str(tmp_path / "a.json"),
+                str(tmp_path / "b.json"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "a.json" in err
+
+    def test_diff_with_malformed_profile(self, capsys, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        code, _, err = run(
+            ["profile", "--diff", str(broken), str(broken)], capsys
+        )
+        assert code == 2
+        assert "broken.json" in err
+
+    def test_inner_command_error_propagates(self, capsys):
+        code, _, err = run(["profile", "--", "align"], capsys)
+        assert code == 2
+        assert "PATTERN TEXT or --pairs" in err
+
+
+class TestErrorHygiene:
+    """Errors never leak tracebacks or leave observability armed."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["align", "--pairs", "/definitely/not/here.seq"],
+            ["align", "A", "C", "--workers", "-1"],
+            ["profile"],
+        ],
+    )
+    def test_no_traceback_on_stderr(self, argv, capsys):
+        code, _, err = run(argv, capsys)
+        assert code == 2
+        assert "Traceback" not in err
+
+    def test_profile_failure_leaves_obs_disabled(self, capsys):
+        from repro.obs import runtime as obs
+
+        run(["profile", "--", "align"], capsys)
+        assert not obs.enabled()
