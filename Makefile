@@ -7,6 +7,9 @@
 # `test-chaos` runs the fault-injection campaigns plus a CLI-level chaos
 # run; the campaign falls back to the inline executor on hosts without
 # usable multiprocessing, so the target degrades gracefully everywhere.
+# `test-backends` runs the kernel-backend suites (registry, differential
+# fuzz, pickling, backend-parameterized conformance) and the speedup gate
+# that maintains BENCH_backends.json.
 # `test-cov` runs the fast suite under pytest-cov and enforces COV_MIN
 # (skipped with a notice when pytest-cov is not installed — the repro
 # container ships without it; CI installs it in the coverage job).
@@ -18,7 +21,7 @@ PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos test-cov bench verify lint
+.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint
 
 test:
 	$(PYTEST) -x -q
@@ -41,6 +44,13 @@ test-slow:
 test-chaos:
 	$(PYTEST) -q -m chaos
 	PYTHONPATH=src $(PYTHON) -m repro chaos --seed 7 --faults 25
+
+test-backends:
+	$(PYTEST) -q tests/align/test_backends.py \
+		tests/align/test_backend_differential.py \
+		tests/align/test_backend_pickling.py \
+		tests/conformance
+	$(PYTEST) -q benchmarks/test_backend_speedup.py
 
 bench:
 	$(PYTEST) -q benchmarks

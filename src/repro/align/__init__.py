@@ -9,6 +9,13 @@ from .base import (
     ResilienceCounters,
 )
 from .auto import AutoAligner
+from .backends import (
+    BackendError,
+    KernelBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .banded_gmx import BandExceededError, BandedGmxAligner
 from .batch import BatchResult, align_batch
 from .full_gmx import FullGmxAligner, align_pair
@@ -26,11 +33,13 @@ __all__ = [
     "AlignmentMode",
     "AlignmentResult",
     "AutoAligner",
+    "BackendError",
     "BandExceededError",
     "BandedGmxAligner",
     "BatchResult",
     "BatchTelemetry",
     "FullGmxAligner",
+    "KernelBackend",
     "KernelStats",
     "ResilienceCounters",
     "ShardTelemetry",
@@ -39,5 +48,8 @@ __all__ = [
     "align_batch",
     "align_batch_sharded",
     "align_pair",
+    "backend_names",
+    "get_backend",
     "iter_shards",
+    "register_backend",
 ]

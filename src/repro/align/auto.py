@@ -17,8 +17,9 @@ it chose, so pipelines can audit the decisions.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
+from .backends import KernelBackend, get_backend
 from .banded_gmx import BandedGmxAligner
 from .base import Aligner, AlignmentResult
 from .full_gmx import _edge_bytes
@@ -35,9 +36,12 @@ class AutoAligner(Aligner):
         require_exact: when True, never fall back to the windowed
             heuristic; raise instead if the budget cannot be met.
         tile_size: T for all engines.
+        backend: kernel backend shared by all engines (see
+            :mod:`repro.align.backends`).
     """
 
     name = "Auto(GMX)"
+    supports_backend = True
 
     def __init__(
         self,
@@ -45,6 +49,7 @@ class AutoAligner(Aligner):
         memory_budget_bytes: int = 64 * 1024 * 1024,
         require_exact: bool = False,
         tile_size: int = 32,
+        backend: Union[None, str, KernelBackend] = None,
     ):
         if memory_budget_bytes < 1024:
             raise ValueError(
@@ -53,10 +58,23 @@ class AutoAligner(Aligner):
         self.memory_budget_bytes = memory_budget_bytes
         self.require_exact = require_exact
         self.tile_size = tile_size
-        self._banded = BandedGmxAligner(tile_size=tile_size)
-        self._windowed = WindowedGmxAligner(tile_size=tile_size)
+        self.backend = get_backend(backend)
+        self._banded = BandedGmxAligner(tile_size=tile_size, backend=self.backend)
+        self._windowed = WindowedGmxAligner(
+            tile_size=tile_size, backend=self.backend
+        )
         #: Engine chosen by the most recent :meth:`align` call.
         self.last_choice: Optional[str] = None
+
+    def with_backend(
+        self, backend: Union[None, str, KernelBackend]
+    ) -> "AutoAligner":
+        return AutoAligner(
+            memory_budget_bytes=self.memory_budget_bytes,
+            require_exact=self.require_exact,
+            tile_size=self.tile_size,
+            backend=backend,
+        )
 
     def _edge_matrix_bytes(self, n: int, m: int) -> int:
         tiles = -(-n // self.tile_size) * -(-m // self.tile_size)

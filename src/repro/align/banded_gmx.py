@@ -16,7 +16,7 @@ so it remains an exact algorithm with banded cost on low-divergence pairs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.bitvec import pack_deltas, unpack_deltas
 from ..core.cigar import (
@@ -31,6 +31,12 @@ from ..core.isa import GmxIsa, encode_pos
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..core.traceback import NextTile
 from ..obs import runtime as obs
+from .backends import (
+    BandedMatrixRequest,
+    KernelBackend,
+    effective_backend,
+    get_backend,
+)
 from .base import Aligner, AlignmentResult, BandExceededError, KernelStats
 from .full_gmx import _chunks, _edge_bytes
 
@@ -50,9 +56,13 @@ class BandedGmxAligner(Aligner):
         trace_sink: when given, every banded pass appends its retired
             :class:`~repro.core.isa.IsaEvent` stream to this list — the
             input of the static program verifier (:mod:`repro.analysis`).
+        backend: kernel backend computing the band passes — a registered
+            name, a :class:`~repro.align.backends.KernelBackend` instance,
+            or ``None`` for the environment/default selection.
     """
 
     name = "Banded(GMX)"
+    supports_backend = True
 
     def __init__(
         self,
@@ -61,6 +71,7 @@ class BandedGmxAligner(Aligner):
         auto_widen: bool = True,
         tile_size: int = DEFAULT_TILE_SIZE,
         trace_sink: Optional[List] = None,
+        backend: Union[None, str, KernelBackend] = None,
     ):
         if band is not None and band < 1:
             raise ValueError(f"band must be positive, got {band}")
@@ -68,6 +79,18 @@ class BandedGmxAligner(Aligner):
         self.auto_widen = auto_widen
         self.tile_size = tile_size
         self.trace_sink = trace_sink
+        self.backend = get_backend(backend)
+
+    def with_backend(
+        self, backend: Union[None, str, KernelBackend]
+    ) -> "BandedGmxAligner":
+        return BandedGmxAligner(
+            self.band,
+            auto_widen=self.auto_widen,
+            tile_size=self.tile_size,
+            trace_sink=self.trace_sink,
+            backend=backend,
+        )
 
     @obs.instrument_align("banded_gmx")
     def align(
@@ -122,10 +145,10 @@ class BandedGmxAligner(Aligner):
         if self.trace_sink is not None:
             isa.trace = []
             self.trace_sink.append(isa.trace)
+        backend = effective_backend(self.backend, isa)
         p_chunks = _chunks(pattern, tile)
         t_chunks = _chunks(text, tile)
         n_tiles = len(p_chunks)
-        m_tiles = len(t_chunks)
         bt = self._tile_band(band)
 
         boundary_v = [pack_deltas([1] * len(chunk)) for chunk in p_chunks]
@@ -139,57 +162,34 @@ class BandedGmxAligner(Aligner):
                 return 0
             return min((tile_row + 1) * tile, len(pattern))
 
-        matrix: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        dv_prev: Dict[int, int] = {}  # tile row -> ΔV right edge, prev column
-        # Running D value at (bottom in-band row, right edge of the column).
+        outcome = backend.banded_matrix(
+            BandedMatrixRequest(
+                isa=isa,
+                stats=stats,
+                pattern=pattern,
+                p_chunks=p_chunks,
+                t_chunks=t_chunks,
+                tile_size=tile,
+                tile_band=bt,
+                store_matrix=traceback,
+                boundary_v=boundary_v,
+                boundary_h=boundary_h,
+                plus_fill_v=plus_fill_v,
+                plus_fill_h=plus_fill_h,
+            )
+        )
+        matrix = outcome.matrix
+
+        # Running D value at (bottom in-band row, right edge of the column):
+        # walk the band bottom down the +1 fill, then along each column's
+        # band-bottom ΔH image.
         prev_bottom = min(n_tiles - 1, bt - 1)
         score = rows_through(prev_bottom)
         for tj, text_chunk in enumerate(t_chunks):
-            lo = max(0, tj - bt)
             hi = min(n_tiles - 1, tj + bt)
-            isa.csrw("gmx_text", text_chunk)
-            stats.add_instr("int_alu", 3)
-            stats.add_instr("branch", 1)
-            # Moving the band bottom down the previous column's right edge
-            # crosses rows whose ΔV is the +1 fill.
             score += rows_through(hi) - rows_through(prev_bottom)
             prev_bottom = hi
-            dh_down = 0
-            dv_cur: Dict[int, int] = {}
-            for ti in range(lo, hi + 1):
-                pattern_chunk = p_chunks[ti]
-                isa.csrw("gmx_pattern", pattern_chunk)
-                if tj == 0:
-                    dv_in = boundary_v[ti]
-                elif ti in dv_prev:
-                    dv_in = dv_prev[ti]
-                else:
-                    dv_in = plus_fill_v[ti]
-                if ti == lo:
-                    if ti == 0:
-                        dh_in = boundary_h[tj]
-                    else:
-                        dh_in = plus_fill_h[tj]
-                else:
-                    dh_in = dh_down
-                dv_out = isa.gmx_v(dv_in, dh_in)
-                dh_out = isa.gmx_h(dv_in, dh_in)
-                dv_cur[ti] = dv_out
-                dh_down = dh_out
-                if traceback:
-                    matrix[(ti, tj)] = (dv_out, dh_out)
-                    stats.dp_bytes_written += 2 * edge_bytes
-                    stats.add_instr("store", 2)
-                stats.dp_bytes_read += 2 * edge_bytes
-                stats.add_instr("load", 2)
-                stats.add_instr("int_alu", 5)
-                stats.add_instr("branch", 1)
-                stats.dp_cells += len(pattern_chunk) * len(text_chunk)
-                stats.tiles += 1
-            dv_prev = dv_cur
-            # Advance the running score along the band-bottom tile's row.
-            score += sum(unpack_deltas(dh_down, len(text_chunk)))
-            stats.add_instr("int_alu", 3)
+            score += sum(unpack_deltas(outcome.bottoms[tj], len(text_chunk)))
 
         stats.hot_bytes = max(stats.hot_bytes or 0, edge_bytes * (2 * bt + 2))
         if traceback:

@@ -133,6 +133,7 @@ def align_batch(
     validate: bool = False,
     workers: int = 1,
     shard_size: Optional[int] = None,
+    backend: Optional[object] = None,
 ) -> BatchResult:
     """Align every pair with ``aligner`` and aggregate the statistics.
 
@@ -148,10 +149,19 @@ def align_batch(
             :func:`repro.align.parallel.align_batch_sharded`, producing
             byte-identical results, stats, and ordering.
         shard_size: pairs per shard when ``workers > 1``.
+        backend: kernel backend override (name or
+            :class:`~repro.align.backends.KernelBackend`); rebinds the
+            aligner via :meth:`~repro.align.base.Aligner.with_backend`
+            before any work starts, so it also survives pickling into
+            pool workers.  Raises
+            :class:`~repro.align.base.AlignerError` for aligners without
+            a pluggable kernel.
 
     The returned :class:`BatchResult` always carries a
     :attr:`~BatchResult.telemetry` record with the measured wall time.
     """
+    if backend is not None:
+        aligner = aligner.with_backend(backend)
     if workers != 1 or shard_size is not None:
         from .parallel import align_batch_sharded
 
@@ -175,7 +185,11 @@ def align_batch(
     obs.inc("batch.runs")
     obs.inc("batch.pairs", batch.pairs)
     wall = time.perf_counter() - start
-    telemetry = BatchTelemetry(workers=1, shard_size=max(1, batch.pairs))
+    telemetry = BatchTelemetry(
+        workers=1,
+        shard_size=max(1, batch.pairs),
+        backend=getattr(getattr(aligner, "backend", None), "name", None),
+    )
     if batch.pairs:
         telemetry.shards.append(
             ShardTelemetry(

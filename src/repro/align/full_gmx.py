@@ -26,14 +26,20 @@ RISC-V code the paper compiles):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
-from ..core.bitvec import pack_deltas, unpack_deltas
+from ..core.bitvec import pack_deltas
 from ..core.cigar import Alignment, OP_DELETION, OP_INSERTION, OP_MATCH, OP_MISMATCH
 from ..core.isa import GmxIsa, encode_pos
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..core.traceback import NextTile
 from ..obs import runtime as obs
+from .backends import (
+    FullMatrixRequest,
+    KernelBackend,
+    effective_backend,
+    get_backend,
+)
 from .base import Aligner, AlignmentMode, AlignmentResult, KernelStats
 
 
@@ -61,9 +67,14 @@ class FullGmxAligner(Aligner):
         trace_sink: when given, every ``align`` call appends its retired
             :class:`~repro.core.isa.IsaEvent` stream to this list — the
             input of the static program verifier (:mod:`repro.analysis`).
+        backend: kernel backend computing the DP-matrix phase — a
+            registered name, a :class:`~repro.align.backends.KernelBackend`
+            instance, or ``None`` for the environment/default selection
+            (see :mod:`repro.align.backends`).
     """
 
     name = "Full(GMX)"
+    supports_backend = True
 
     def __init__(
         self,
@@ -72,6 +83,7 @@ class FullGmxAligner(Aligner):
         *,
         fused: bool = False,
         trace_sink: Optional[List] = None,
+        backend: Union[None, str, KernelBackend] = None,
     ):
         if tile_size < 2:
             raise ValueError(f"tile size must be at least 2, got {tile_size}")
@@ -79,6 +91,18 @@ class FullGmxAligner(Aligner):
         self.mode = mode
         self.fused = fused
         self.trace_sink = trace_sink
+        self.backend = get_backend(backend)
+
+    def with_backend(
+        self, backend: Union[None, str, KernelBackend]
+    ) -> "FullGmxAligner":
+        return FullGmxAligner(
+            tile_size=self.tile_size,
+            mode=self.mode,
+            fused=self.fused,
+            trace_sink=self.trace_sink,
+            backend=backend,
+        )
 
     def _fresh_isa(self) -> GmxIsa:
         """A new ISA instance, wired for trace recording when requested."""
@@ -95,6 +119,7 @@ class FullGmxAligner(Aligner):
         if not pattern or not text:
             raise ValueError("pattern and text must be non-empty")
         isa = self._fresh_isa()
+        backend = effective_backend(self.backend, isa)
         stats = KernelStats()
         tile = self.tile_size
         edge_bytes = _edge_bytes(tile)
@@ -103,11 +128,6 @@ class FullGmxAligner(Aligner):
         n_tiles = len(p_chunks)
         m_tiles = len(t_chunks)
 
-        # M[i][j] = (ΔV_out, ΔH_out) register images of tile (i, j).
-        matrix: Optional[List[List[Tuple[int, int]]]] = None
-        if traceback:
-            matrix = [[(0, 0)] * m_tiles for _ in range(n_tiles)]
-
         boundary_v = [pack_deltas([1] * len(chunk)) for chunk in p_chunks]
         top_fill = 0 if self.mode is AlignmentMode.INFIX else 1
         boundary_h = [
@@ -115,37 +135,32 @@ class FullGmxAligner(Aligner):
         ]
 
         # ---- Algorithm 1: tile-wise DP-matrix computation (column-major) ----
-        bottom_deltas: List[int] = []  # ΔH along the bottom matrix row
-        dv_column = list(boundary_v)  # right edges of the previous tile column
-        with obs.span("phase.compute", kernel="full_gmx", tiles=n_tiles * m_tiles):
-            for j, text_chunk in enumerate(t_chunks):
-                isa.csrw("gmx_text", text_chunk)
-                stats.add_instr("int_alu", 2)
-                stats.add_instr("branch", 1)
-                dh_down = boundary_h[j]  # bottom edge flowing down the column
-                for i, pattern_chunk in enumerate(p_chunks):
-                    isa.csrw("gmx_pattern", pattern_chunk)
-                    dv_in = dv_column[i]
-                    dh_in = dh_down
-                    if self.fused:
-                        dv_out, dh_out = isa.gmx_vh(dv_in, dh_in)
-                    else:
-                        dv_out = isa.gmx_v(dv_in, dh_in)
-                        dh_out = isa.gmx_h(dv_in, dh_in)
-                    dv_column[i] = dv_out
-                    dh_down = dh_out
-                    if matrix is not None:
-                        matrix[i][j] = (dv_out, dh_out)
-                        stats.dp_bytes_written += 2 * edge_bytes
-                        stats.add_instr("store", 2)
-                    stats.dp_bytes_read += 2 * edge_bytes
-                    stats.add_instr("load", 2)
-                    stats.add_instr("int_alu", 4)
-                    stats.add_instr("branch", 1)
-                    stats.dp_cells += len(pattern_chunk) * len(text_chunk)
-                    stats.tiles += 1
-                bottom_deltas.extend(unpack_deltas(dh_down, len(text_chunk)))
-                stats.add_instr("int_alu", 3)
+        # The backend produces M[i][j] = (ΔV_out, ΔH_out) register images
+        # plus the bottom-row ΔH stream; everything downstream (score,
+        # traceback, stats folding) is backend-independent.
+        with obs.span(
+            "phase.compute",
+            kernel="full_gmx",
+            tiles=n_tiles * m_tiles,
+            backend=backend.name,
+        ):
+            outcome = backend.full_matrix(
+                FullMatrixRequest(
+                    isa=isa,
+                    stats=stats,
+                    pattern=pattern,
+                    p_chunks=p_chunks,
+                    t_chunks=t_chunks,
+                    tile_size=tile,
+                    top_fill=top_fill,
+                    fused=self.fused,
+                    store_matrix=traceback,
+                    boundary_v=boundary_v,
+                    boundary_h=boundary_h,
+                )
+            )
+        matrix = outcome.matrix
+        bottom_deltas = outcome.bottom_deltas
 
         score, end_column = self._score(len(pattern), bottom_deltas)
 
@@ -289,6 +304,7 @@ def align_pair(
     tile_size: int = DEFAULT_TILE_SIZE,
     mode: AlignmentMode = AlignmentMode.GLOBAL,
     traceback: bool = True,
+    backend: Union[None, str, KernelBackend] = None,
 ) -> AlignmentResult:
     """Align one pair with Full(GMX) — the library's front door.
 
@@ -297,6 +313,6 @@ def align_pair(
         >>> align_pair("GCAT", "GATT").score
         2
     """
-    return FullGmxAligner(tile_size=tile_size, mode=mode).align(
+    return FullGmxAligner(tile_size=tile_size, mode=mode, backend=backend).align(
         pattern, text, traceback=traceback
     )

@@ -84,6 +84,9 @@ class BatchTelemetry:
             ``None`` when no fallback happened.
         resilience: fault/recovery accounting when the batch ran through
             :mod:`repro.resilience`; ``None`` for plain runs.
+        backend: kernel backend name of the aligner (see
+            :mod:`repro.align.backends`); ``None`` for aligners without a
+            pluggable kernel.
     """
 
     workers: int
@@ -93,6 +96,7 @@ class BatchTelemetry:
     shards: List[ShardTelemetry] = field(default_factory=list)
     fallback_reason: Optional[str] = None
     resilience: Optional[ResilienceCounters] = None
+    backend: Optional[str] = None
 
     @property
     def shard_count(self) -> int:
@@ -288,7 +292,11 @@ def align_batch_sharded(
     shards = iter_shards(pairs, shard_size)
 
     batch = BatchResult()
-    telemetry = BatchTelemetry(workers=workers, shard_size=shard_size)
+    telemetry = BatchTelemetry(
+        workers=workers,
+        shard_size=shard_size,
+        backend=getattr(getattr(aligner, "backend", None), "name", None),
+    )
     start = time.perf_counter()
 
     pickling_failure = _pickling_failure(aligner) if workers > 1 else None

@@ -31,7 +31,8 @@ from ..core.cigar import (
 )
 from ..core.tile import DEFAULT_TILE_SIZE
 from ..obs import runtime as obs
-from .base import Aligner, AlignmentResult, KernelStats
+from .backends import KernelBackend
+from .base import Aligner, AlignerError, AlignmentResult, KernelStats
 from .full_gmx import FullGmxAligner, _edge_bytes
 
 
@@ -58,6 +59,25 @@ class WindowedAligner(Aligner):
         self.inner = inner
         self.window = window
         self.overlap = overlap
+
+    @property
+    def supports_backend(self) -> bool:  # type: ignore[override]
+        """Backend support is inherited from the inner aligner."""
+        return getattr(self.inner, "supports_backend", False)
+
+    @property
+    def backend(self) -> "KernelBackend | None":
+        """The inner aligner's kernel backend (None when it has none)."""
+        return getattr(self.inner, "backend", None)
+
+    def with_backend(self, backend) -> "WindowedAligner":
+        if not self.supports_backend:
+            raise AlignerError(
+                f"{type(self.inner).__name__} does not support kernel backends"
+            )
+        return WindowedAligner(
+            self.inner.with_backend(backend), self.window, self.overlap
+        )
 
     @obs.instrument_align("windowed")
     def align(
@@ -181,6 +201,8 @@ class WindowedGmxAligner(WindowedAligner):
         trace_sink: when given, every window's Full(GMX) run appends its
             retired instruction stream to this list (one program per
             window) for the static program verifier.
+        backend: kernel backend for the inner Full(GMX) windows (see
+            :mod:`repro.align.backends`).
     """
 
     name = "Windowed(GMX)"
@@ -192,12 +214,24 @@ class WindowedGmxAligner(WindowedAligner):
         *,
         tile_size: int = DEFAULT_TILE_SIZE,
         trace_sink: List | None = None,
+        backend: "KernelBackend | str | None" = None,
     ):
         self.tile_size = tile_size
         super().__init__(
-            inner=FullGmxAligner(tile_size=tile_size, trace_sink=trace_sink),
+            inner=FullGmxAligner(
+                tile_size=tile_size, trace_sink=trace_sink, backend=backend
+            ),
             window=window if window is not None else 3 * tile_size,
             overlap=overlap if overlap is not None else tile_size,
+        )
+
+    def with_backend(self, backend) -> "WindowedGmxAligner":
+        return WindowedGmxAligner(
+            self.window,
+            self.overlap,
+            tile_size=self.tile_size,
+            trace_sink=self.inner.trace_sink,
+            backend=backend,
         )
 
     def _window_state_bytes(self) -> int:

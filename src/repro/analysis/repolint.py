@@ -16,7 +16,10 @@ Four contracts the type system cannot express, each with a stable
   sneaking in silently breaks bit-for-bit reproducibility.
 * **REPRO004** — every default-constructible :class:`repro.align.base.Aligner`
   subclass must pickle round-trip, because :mod:`repro.align.parallel`
-  ships aligners to worker processes.
+  ships aligners to worker processes.  The same contract covers the
+  kernel backend layer: every available registered backend round-trips,
+  and every backend-capable aligner round-trips *per backend* with the
+  backend choice surviving the trip.
 * **REPRO005** — tests and benchmarks must use seeded RNGs: no unseeded
   ``random.Random()`` and no calls through the module-level global RNG
   (``random.randint`` etc.).  Every suite in this repo is a determinism
@@ -44,6 +47,7 @@ HOT_PATH_MODULES = (
     "core/bitvec.py",
     "core/isa.py",
     "core/traceback.py",
+    "align/backends.py",
 )
 
 #: Suffixes identifying an exception class by name.
@@ -262,14 +266,47 @@ def check_aligner_picklability() -> List[Diagnostic]:
     Subclasses whose constructor requires arguments (e.g. the generic
     windowed driver, which needs an inner aligner) are exercised through
     their concrete default-constructible subclasses instead.
+
+    Backend-capable aligners (``supports_backend``) are additionally
+    round-tripped once per available registered backend, asserting the
+    restored instance still carries the same backend — the property the
+    parallel engine relies on when a backend-configured aligner ships to
+    a pool worker.  Backend singletons themselves round-trip too.
     """
     import repro.align as align_pkg
     import repro.baselines as baselines_pkg
+    from repro.align.backends import backend_names, get_backend
     from repro.align.base import Aligner
 
     del align_pkg, baselines_pkg  # imported for their subclass side effects
 
     findings = []
+
+    def report(where: str, exc: Exception) -> None:
+        findings.append(
+            Diagnostic(
+                code="REPRO004",
+                severity=Severity.ERROR,
+                message=f"{where} does not pickle round-trip: {exc}",
+                hint="align.parallel ships aligners (and their kernel "
+                "backends) to worker processes; keep constructor state "
+                "picklable (no lambdas, open files, or local classes)",
+                where=where,
+            )
+        )
+
+    backends = backend_names()
+    for backend_name in backends:
+        backend = get_backend(backend_name)
+        try:
+            restored = pickle.loads(pickle.dumps(backend))
+            if type(restored) is not type(backend):
+                raise pickle.PicklingError(
+                    f"round-trip produced {type(restored).__name__}"
+                )
+        except Exception as exc:  # noqa: BLE001 — report, never crash the lint
+            report(f"backend {backend_name!r}", exc)
+
     seen = set()
     stack = list(Aligner.__subclasses__())
     while stack:
@@ -289,16 +326,23 @@ def check_aligner_picklability() -> List[Diagnostic]:
                     f"round-trip produced {type(restored).__name__}"
                 )
         except Exception as exc:  # noqa: BLE001 — report, never crash the lint
-            findings.append(
-                Diagnostic(
-                    code="REPRO004",
-                    severity=Severity.ERROR,
-                    message=f"{cls.__module__}.{cls.__name__} does not "
-                    f"pickle round-trip: {exc}",
-                    hint="align.parallel ships aligners to worker processes; "
-                    "keep constructor state picklable (no lambdas, open "
-                    "files, or local classes)",
-                    where=f"{cls.__module__}.{cls.__name__}",
-                )
+            report(f"{cls.__module__}.{cls.__name__}", exc)
+            continue
+        if not getattr(instance, "supports_backend", False):
+            continue
+        for backend_name in backends:
+            where = (
+                f"{cls.__module__}.{cls.__name__}(backend={backend_name!r})"
             )
+            try:
+                configured = instance.with_backend(backend_name)
+                restored = pickle.loads(pickle.dumps(configured))
+                restored_backend = getattr(restored, "backend", None)
+                if getattr(restored_backend, "name", None) != backend_name:
+                    raise pickle.PicklingError(
+                        f"backend became "
+                        f"{getattr(restored_backend, 'name', None)!r}"
+                    )
+            except Exception as exc:  # noqa: BLE001
+                report(where, exc)
     return findings

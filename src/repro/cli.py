@@ -41,6 +41,7 @@ from .align import (
     FullGmxAligner,
     WindowedGmxAligner,
 )
+from .align.backends import backend_names
 from .baselines import (
     BitapAligner,
     BpmAligner,
@@ -115,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="anchoring mode (full-gmx and nw only)",
     )
     align.add_argument("--tile-size", type=int, default=32)
+    align.add_argument(
+        "--backend",
+        choices=backend_names(available_only=False),
+        default=None,
+        help="kernel backend for the GMX aligners (default: "
+        "$REPRO_BACKEND or 'pure'; see repro.align.backends)",
+    )
     align.add_argument(
         "--fused",
         action="store_true",
@@ -309,6 +317,15 @@ def _cmd_align(args) -> int:
 
     factory = ALIGNER_FACTORIES[args.algorithm]
     aligner = factory(args)
+    if args.backend is not None:
+        from .align import AlignerError
+        from .align.backends import BackendError
+
+        try:
+            aligner = aligner.with_backend(args.backend)
+        except (AlignerError, BackendError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     workers = args.workers
     if workers == 0:
         workers = os.cpu_count() or 1
@@ -392,12 +409,16 @@ def _cmd_align(args) -> int:
             )
     if args.pairs and (args.stats or workers > 1 or resilient):
         telemetry = batch.telemetry
+        backend_note = (
+            f" backend={telemetry.backend}" if telemetry.backend else ""
+        )
         print(
             f"batch: pairs={telemetry.pairs} workers={telemetry.workers} "
             f"shards={telemetry.shard_count} executor={telemetry.executor} "
             f"wall={telemetry.wall_seconds:.3f}s "
             f"pairs/s={telemetry.pairs_per_second:.1f} "
             f"utilization={telemetry.worker_utilization:.0%}"
+            f"{backend_note}"
         )
         if telemetry.resilience is not None:
             counters = telemetry.resilience
@@ -452,6 +473,10 @@ def _cmd_experiment(args) -> int:
         else:
             results = run_all()
             print(f"ran {len(results)} experiments; pass --json FILE to save")
+            for stamp in ("lint", "resilience", "observability", "backends"):
+                block = results.get(stamp)
+                if isinstance(block, dict) and block.get("badge"):
+                    print(block["badge"])
         return 0
     result = _experiments()[args.name]()
     if args.json:

@@ -141,6 +141,58 @@ def _observability_status(*, quick: bool) -> Dict[str, object]:
     return status
 
 
+def _backend_status(*, quick: bool) -> Dict[str, object]:
+    """Kernel-backend stamp embedded in every exported artifact.
+
+    Lists the registered backends (with availability) and runs a seeded
+    differential sweep: every available backend must reproduce the
+    ``pure`` reference's scores and CIGARs bit-for-bit on a fresh pair
+    set.  The badge certifies that whichever backend produced the
+    artifact's numbers, they are the numbers.
+    """
+    from ..align import FullGmxAligner
+    from ..align.backends import DEFAULT_BACKEND, backend_specs, get_backend
+    from ..workloads.generator import generate_pair_set
+    from .reporting import render_backends_badge
+
+    pairs = 8 if quick else 32
+    length = 96 if quick else 192
+    pair_set = generate_pair_set("backend-stamp", length, 0.06, pairs, seed=13)
+    reference = [
+        FullGmxAligner(backend=DEFAULT_BACKEND).align(pair.pattern, pair.text)
+        for pair in pair_set.pairs
+    ]
+    registered = []
+    identical = True
+    checked = []
+    for spec in backend_specs():
+        registered.append(
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "available": spec.available,
+            }
+        )
+        if not spec.available or spec.name == DEFAULT_BACKEND:
+            continue
+        aligner = FullGmxAligner(backend=spec.name)
+        checked.append(spec.name)
+        for pair, expected in zip(pair_set.pairs, reference):
+            result = aligner.align(pair.pattern, pair.text)
+            if (result.score, result.cigar) != (expected.score, expected.cigar):
+                identical = False
+    status: Dict[str, object] = {
+        "registered": registered,
+        "default": DEFAULT_BACKEND,
+        "ambient": get_backend().name,  # honours $REPRO_BACKEND
+        "checked": checked,
+        "checked_pairs": pairs,
+        "identical": identical,
+    }
+    status["badge"] = render_backends_badge(status)
+    return status
+
+
 def run_all(*, quick: bool = True) -> Dict[str, object]:
     """Execute every experiment; returns name → rows (or panel dict).
 
@@ -157,6 +209,7 @@ def run_all(*, quick: bool = True) -> Dict[str, object]:
     results["lint"] = _lint_status(quick=quick)
     results["resilience"] = _resilience_status(quick=quick)
     results["observability"] = _observability_status(quick=quick)
+    results["backends"] = _backend_status(quick=quick)
     return results
 
 

@@ -135,6 +135,34 @@ def render_observability_badge(status: Dict[str, object]) -> str:
     )
 
 
+def render_backends_badge(status: Dict[str, object]) -> str:
+    """One-line kernel-backend badge for experiment reports.
+
+    Args:
+        status: the ``backends`` block of an exported artifact
+            (:func:`repro.eval.export._backend_status` output).
+
+    Returns:
+        ``"backends: N registered (names), default 'pure', differential
+        identical on K pairs"`` — embedded in exported artifacts so a
+        report records which kernel engines exist and that the fast ones
+        reproduce the reference bit-for-bit.
+    """
+    registered = status.get("registered", [])
+    names = ", ".join(
+        entry.get("name", "?")
+        + ("" if entry.get("available", True) else " [unavailable]")
+        for entry in registered
+        if isinstance(entry, dict)
+    )
+    verdict = "identical" if status.get("identical") else "DIVERGENT"
+    return (
+        f"backends: {len(registered)} registered ({names}), "
+        f"default {status.get('default')!r}, differential {verdict} "
+        f"on {status.get('checked_pairs', 0)} pairs"
+    )
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0

@@ -918,7 +918,11 @@ def align_batch_resilient(
         inline=inline,
     )
 
-    telemetry = BatchTelemetry(workers=workers, shard_size=shard_size)
+    telemetry = BatchTelemetry(
+        workers=workers,
+        shard_size=shard_size,
+        backend=getattr(getattr(aligner, "backend", None), "name", None),
+    )
     telemetry.executor = "resilient-inline" if inline else f"resilient-{method}"
     telemetry.fallback_reason = pickling_failure
     start = time.perf_counter()

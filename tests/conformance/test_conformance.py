@@ -7,7 +7,13 @@ and its score is checked against the independent Wagner–Fischer oracle in
 Edlib baselines, which run as kernels of the same sweep).  On a mismatch
 the failing pair is shrunk to a minimal reproducer and the assertion
 message prints everything needed to replay it: pattern, text, kernel,
-and case seed.
+backend, and case seed.
+
+Backend-capable kernels (the GMX aligners) run the whole sweep once per
+registered kernel backend (pure loop, bit-parallel, numpy when present);
+the per-case seed depends only on the kernel name, so every backend sees
+byte-identical inputs and the sweep doubles as a cross-backend
+differential check against the oracle.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.align import (
     FullGmxAligner,
     WindowedGmxAligner,
 )
+from repro.align.backends import DEFAULT_BACKEND, backend_names
 from repro.baselines import (
     BpmAligner,
     EdlibAligner,
@@ -37,33 +44,74 @@ MAX_ERROR = 0.40
 CASES_PER_KERNEL = 64
 SEED_BASE = 0x5EED
 
-#: name -> (fresh-aligner factory, kernel is exact for every input).
+#: Every registered, importable kernel backend (pure is always first).
+BACKENDS = tuple(backend_names())
+
+#: name -> (factory(backend) -> aligner, kernel is exact for every input).
+#: Baseline factories ignore the backend argument — they have no tile
+#: kernel to swap — and run only under the default backend id.
 KERNELS = {
-    "full-gmx": (lambda: FullGmxAligner(tile_size=TILE_SIZE), True),
-    "full-gmx-fused": (
-        lambda: FullGmxAligner(tile_size=TILE_SIZE, fused=True),
+    "full-gmx": (
+        lambda backend: FullGmxAligner(tile_size=TILE_SIZE, backend=backend),
         True,
     ),
-    "banded-gmx": (lambda: BandedGmxAligner(tile_size=TILE_SIZE), True),
-    "windowed-gmx": (lambda: WindowedGmxAligner(tile_size=TILE_SIZE), False),
-    "auto": (lambda: AutoAligner(tile_size=TILE_SIZE), True),
-    "nw": (NeedlemanWunschAligner, True),
-    "bpm": (BpmAligner, True),
-    "edlib": (EdlibAligner, True),
-    "hirschberg": (HirschbergAligner, True),
-    "wfa": (WfaAligner, True),
+    "full-gmx-fused": (
+        lambda backend: FullGmxAligner(
+            tile_size=TILE_SIZE, fused=True, backend=backend
+        ),
+        True,
+    ),
+    "banded-gmx": (
+        lambda backend: BandedGmxAligner(tile_size=TILE_SIZE, backend=backend),
+        True,
+    ),
+    "windowed-gmx": (
+        lambda backend: WindowedGmxAligner(
+            tile_size=TILE_SIZE, backend=backend
+        ),
+        False,
+    ),
+    "auto": (
+        lambda backend: AutoAligner(tile_size=TILE_SIZE, backend=backend),
+        True,
+    ),
+    "nw": (lambda backend: NeedlemanWunschAligner(), True),
+    "bpm": (lambda backend: BpmAligner(), True),
+    "edlib": (lambda backend: EdlibAligner(), True),
+    "hirschberg": (lambda backend: HirschbergAligner(), True),
+    "wfa": (lambda backend: WfaAligner(), True),
 }
+
+#: Kernels whose factory actually honours the backend argument.
+BACKEND_CAPABLE = frozenset(
+    {"full-gmx", "full-gmx-fused", "banded-gmx", "windowed-gmx", "auto"}
+)
+
+
+def sweep_params():
+    """(kernel, backend) matrix: GMX kernels x all backends, rest x pure."""
+    params = []
+    for kernel in sorted(KERNELS):
+        backends = BACKENDS if kernel in BACKEND_CAPABLE else (DEFAULT_BACKEND,)
+        for backend in backends:
+            params.append(pytest.param(kernel, backend, id=f"{kernel}-{backend}"))
+    return params
 
 
 def case_seed(kernel: str, index: int) -> int:
-    """Stable per-case seed (printed in failure repros)."""
+    """Stable per-case seed (printed in failure repros).
+
+    Depends only on the kernel name — every backend replays the exact
+    same pair set, so a backend-specific failure is directly diffable
+    against the pure run of the same case.
+    """
     return SEED_BASE + 10_000 * sorted(KERNELS).index(kernel) + index
 
 
-def check_pair(kernel: str, pattern: str, text: str) -> str:
+def check_pair(kernel: str, pattern: str, text: str, backend: str) -> str:
     """Run one pair through ``kernel``; returns "" or a defect description."""
     factory, always_exact = KERNELS[kernel]
-    aligner = factory()
+    aligner = factory(backend)
     expected = edit_distance(pattern, text)
     try:
         result = aligner.align(pattern, text)
@@ -91,8 +139,8 @@ def check_pair(kernel: str, pattern: str, text: str) -> str:
     return ""
 
 
-@pytest.mark.parametrize("kernel", sorted(KERNELS))
-def test_kernel_conforms_to_oracle(kernel):
+@pytest.mark.parametrize("kernel,backend", sweep_params())
+def test_kernel_conforms_to_oracle(kernel, backend):
     for index in range(CASES_PER_KERNEL):
         seed = case_seed(kernel, index)
         pattern, text = generate_case(
@@ -101,15 +149,18 @@ def test_kernel_conforms_to_oracle(kernel):
             max_length=MAX_LENGTH,
             max_error=MAX_ERROR,
         )
-        defect = check_pair(kernel, pattern, text)
+        defect = check_pair(kernel, pattern, text, backend)
         if defect:
             small_pattern, small_text = shrink_case(
-                pattern, text, lambda p, t: bool(check_pair(kernel, p, t))
+                pattern,
+                text,
+                lambda p, t: bool(check_pair(kernel, p, t, backend)),
             )
-            small_defect = check_pair(kernel, small_pattern, small_text)
+            small_defect = check_pair(kernel, small_pattern, small_text, backend)
             pytest.fail(
                 "conformance failure\n"
                 f"  kernel : {kernel}\n"
+                f"  backend: {backend}\n"
                 f"  seed   : {seed} (case {index})\n"
                 f"  defect : {small_defect or defect}\n"
                 f"  pattern: {small_pattern!r}\n"
@@ -120,7 +171,7 @@ def test_kernel_conforms_to_oracle(kernel):
 
 def test_sweep_is_large_and_diverse():
     """The sweep meets the coverage floor: >=500 cases, full length range."""
-    total = CASES_PER_KERNEL * len(KERNELS)
+    total = CASES_PER_KERNEL * len(sweep_params())
     assert total >= 500
     lengths = set()
     for index in range(CASES_PER_KERNEL):

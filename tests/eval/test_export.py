@@ -18,13 +18,13 @@ class TestRunAll:
             "figure3", "figure10", "figure11", "figure12", "figure13",
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
-            "lint", "resilience", "observability",
+            "lint", "resilience", "observability", "backends",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
-            if name in ("lint", "resilience", "observability"):
+            if name in ("lint", "resilience", "observability", "backends"):
                 continue  # checked structurally below
             if isinstance(rows, dict):
                 assert all(rows.values()), name
@@ -60,6 +60,22 @@ class TestRunAll:
             assert entry["pairs"] > 0, name
             assert entry["tiles"] > 0, name
             assert entry["align_ns"]["count"] == entry["pairs"], name
+
+    def test_backends_stamp_embedded(self, all_results):
+        import os
+
+        from repro.align.backends import BACKEND_ENV, backend_names
+
+        status = all_results["backends"]
+        assert status["identical"] is True
+        assert status["default"] == "pure"
+        assert status["ambient"] == os.environ.get(BACKEND_ENV, "pure")
+        assert status["badge"].startswith("backends:")
+        roster = {entry["name"] for entry in status["registered"]}
+        assert {"pure", "bitpar"} <= roster
+        # Every available non-default backend was differentially checked.
+        assert set(status["checked"]) == set(backend_names()) - {"pure"}
+        assert status["checked_pairs"] > 0
 
     def test_observability_stamp_leaves_obs_disabled(self, all_results):
         from repro.obs import runtime as obs

@@ -40,15 +40,19 @@ def test_chaos_report_golden(golden):
 
 @pytest.mark.slow
 def test_experiment_all_golden(golden):
-    """The exported artifact's shape: keys plus the three status stamps.
+    """The exported artifact's shape: keys plus the status stamps.
 
     Experiment rows carry measured throughput (volatile by nature), so the
     snapshot pins the key set and the deterministic lint/resilience/
-    observability blocks rather than the figures themselves.
+    observability blocks rather than the figures themselves.  The backends
+    stamp is pinned through its host-independent fields only — which
+    backends exist and that the differential verdict holds — because
+    availability (numpy) varies with the host.
     """
     from repro.eval.export import run_all
 
     results = run_all(quick=True)
+    backends = results["backends"]
     golden(
         "experiment_all",
         {
@@ -56,5 +60,13 @@ def test_experiment_all_golden(golden):
             "lint": results["lint"],
             "resilience": results["resilience"],
             "observability": results["observability"],
+            "backends": {
+                "registered": [
+                    entry["name"] for entry in backends["registered"]
+                ],
+                "default": backends["default"],
+                "identical": backends["identical"],
+                "checked_pairs": backends["checked_pairs"],
+            },
         },
     )
