@@ -16,12 +16,17 @@
 # `lint` chains ruff and mypy (skipped with a notice when not installed —
 # the repro container ships without them; CI installs both) and always
 # finishes with the in-tree static analyzer, `repro lint`.
+# `sanitize` runs the concurrency & determinism sanitizer: the
+# worker-reachability scan plus guarded/shadow execution (`repro
+# sanitize`), its violation-corpus self-check (which must exit non-zero),
+# the sanitizer unit suites, and the conformance suite with the runtime
+# guards armed (`--sanitize`).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint
+.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize
 
 test:
 	$(PYTEST) -x -q
@@ -57,6 +62,21 @@ bench:
 
 verify:
 	PYTHONPATH=src $(PYTHON) -m repro verify
+
+sanitize:
+	PYTHONPATH=src $(PYTHON) -m repro sanitize
+	@if PYTHONPATH=src $(PYTHON) -m repro sanitize --corpus \
+			--skip-static --skip-dynamic --skip-shadow >/dev/null; then \
+		echo "violation corpus sanitized clean — dsan lost its teeth" >&2; \
+		exit 1; \
+	fi
+	$(PYTEST) -q tests/analysis/test_sanitizer_reachability.py \
+		tests/analysis/test_sanitizer_guards.py \
+		tests/analysis/test_sanitizer_shadow.py \
+		tests/analysis/test_sanitizer_corpus.py \
+		tests/analysis/test_sanitizer_campaign.py \
+		tests/analysis/test_sarif.py
+	$(PYTEST) -q tests/conformance --sanitize
 
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

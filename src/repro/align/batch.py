@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
+from ..analysis.sanitizer import runtime as dsan
 from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, KernelStats
 
@@ -174,14 +175,18 @@ def align_batch(
 
     batch = BatchResult()
     start = time.perf_counter()
-    with obs.span("batch.align", workers=1):
-        for item in pairs:
-            pattern, text = _as_pair(item)
-            result = aligner.align(pattern, text, traceback=traceback)
-            if validate and result.alignment is not None:
-                result.alignment.validate()
-            batch.results.append(result)
-            batch.stats.merge(result.stats)
+    token = dsan.batch_begin()
+    try:
+        with obs.span("batch.align", workers=1):
+            for item in pairs:
+                pattern, text = _as_pair(item)
+                result = aligner.align(pattern, text, traceback=traceback)
+                if validate and result.alignment is not None:
+                    result.alignment.validate()
+                batch.results.append(result)
+                batch.stats.merge(result.stats)
+    finally:
+        dsan.batch_end(token, "align_batch")
     obs.inc("batch.runs")
     obs.inc("batch.pairs", batch.pairs)
     wall = time.perf_counter() - start

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from ..analysis.sanitizer import runtime as dsan
 from ..obs import runtime as obs
 from .base import Aligner, AlignmentResult, KernelStats, ResilienceCounters
 from .batch import BatchResult, PairLike, _as_pair
@@ -302,22 +303,26 @@ def align_batch_sharded(
     pickling_failure = _pickling_failure(aligner) if workers > 1 else None
     use_pool = workers > 1 and pickling_failure is None
     method = _resolve_start_method(start_method) if use_pool else None
-    with obs.span("batch.align", workers=workers):
-        if use_pool and method is not None:
-            telemetry.executor = method
-            _run_pool(
-                aligner, shards, workers, method, traceback, validate,
-                batch, telemetry,
-            )
-        else:
-            telemetry.executor = "inline" if workers > 1 else "serial"
-            telemetry.fallback_reason = pickling_failure
-            for index, shard in enumerate(shards):
-                results, stats, seconds, _, _ = _align_shard(
-                    (aligner, shard, traceback, validate, False)
+    token = dsan.batch_begin()
+    try:
+        with obs.span("batch.align", workers=workers):
+            if use_pool and method is not None:
+                telemetry.executor = method
+                _run_pool(
+                    aligner, shards, workers, method, traceback, validate,
+                    batch, telemetry,
                 )
-                _merge_shard(batch, telemetry, index, results, stats,
-                             seconds, worker="inline")
+            else:
+                telemetry.executor = "inline" if workers > 1 else "serial"
+                telemetry.fallback_reason = pickling_failure
+                for index, shard in enumerate(shards):
+                    results, stats, seconds, _, _ = _align_shard(
+                        (aligner, shard, traceback, validate, False)
+                    )
+                    _merge_shard(batch, telemetry, index, results, stats,
+                                 seconds, worker="inline")
+    finally:
+        dsan.batch_end(token, "align_batch_sharded")
     obs.inc("batch.runs")
     obs.inc("batch.pairs", batch.pairs)
 

@@ -1,6 +1,6 @@
-"""Static analysis for the GMX reproduction (``repro lint``).
+"""Static analysis for the GMX reproduction (``repro lint`` / ``repro sanitize``).
 
-Two passes, one diagnostic vocabulary:
+Three passes, one diagnostic vocabulary:
 
 * :mod:`repro.analysis.verifier` — the **GMX program verifier**: abstract
   CSR/register dataflow analysis over instruction streams, both retired
@@ -8,9 +8,15 @@ Two passes, one diagnostic vocabulary:
   through :mod:`repro.core.encoding` (codes ``GMX0xx``).
 * :mod:`repro.analysis.repolint` — the **repo invariant lint**: AST-based
   enforcement of codebase contracts the type system can't express
-  (codes ``REPRO0xx``).
+  (codes ``REPRO001``–``005``).
+* :mod:`repro.analysis.sanitizer` — the **concurrency & determinism
+  sanitizer** ("dsan"): worker-reachability analysis (codes ``REPRO006``–
+  ``009``), registry guards with batch-boundary leak checks, and shadow
+  execution diffing parallel-vs-serial content digests.
 
-See ``docs/analysis.md`` for the full diagnostic catalogue and CLI usage.
+Findings export as text, JSON, or SARIF (:mod:`repro.analysis.sarif`).
+See ``docs/analysis.md`` and ``docs/sanitizer.md`` for the diagnostic
+catalogue and CLI usage.
 """
 
 from .corpus import MalformedCase, aligner_stream_programs, malformed_corpus
@@ -30,6 +36,18 @@ from .repolint import (
     lint_repo,
     lint_test_determinism,
 )
+from .sanitizer import (
+    SanitizeReport,
+    SanitizerError,
+    ScanReport,
+    ShadowReport,
+    run_sanitize,
+    sanitize,
+    scan_package,
+    shadow_execute,
+    violation_corpus,
+)
+from .sarif import render_sarif, to_sarif
 from .verifier import verify_program, verify_trace, verify_words
 
 __all__ = [
@@ -40,15 +58,25 @@ __all__ = [
     "LintReport",
     "MalformedCase",
     "Program",
+    "SanitizeReport",
+    "SanitizerError",
+    "ScanReport",
     "Severity",
+    "ShadowReport",
     "aligner_stream_programs",
     "check_aligner_picklability",
     "lint_repo",
     "lint_test_determinism",
     "malformed_corpus",
+    "render_sarif",
     "render_text",
     "run_lint",
+    "run_sanitize",
+    "sanitize",
+    "scan_package",
+    "shadow_execute",
     "summarize",
+    "to_sarif",
     "verify_program",
     "verify_trace",
     "verify_words",

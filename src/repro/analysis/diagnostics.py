@@ -4,8 +4,10 @@ Two code families, mirroring the two passes of :mod:`repro.analysis`:
 
 * ``GMX0xx`` — the GMX *program verifier* (:mod:`repro.analysis.verifier`):
   dataflow violations in an instruction stream;
-* ``REPRO0xx`` — the *repo invariant lint* (:mod:`repro.analysis.repolint`):
-  codebase contracts the type system cannot express.
+* ``REPRO0xx`` — the *repo invariant lint* (:mod:`repro.analysis.repolint`,
+  codes 001–005) and the *concurrency & determinism sanitizer*
+  (:mod:`repro.analysis.sanitizer`, codes 006–009): codebase contracts the
+  type system cannot express.
 
 Every finding is a structured :class:`Diagnostic` with a stable code, a
 severity, a location (instruction index or ``file:line``), and a fix hint,
@@ -45,6 +47,10 @@ CODES: Dict[str, str] = {
     "REPRO003": "floating point in a core kernel hot path",
     "REPRO004": "Aligner subclass is not picklable (breaks align.parallel)",
     "REPRO005": "unseeded or global RNG in a test/benchmark suite",
+    "REPRO006": "worker-reachable write to module-level mutable state",
+    "REPRO007": "ambient hook armed without a guaranteed exception-path reset",
+    "REPRO008": "wall-clock or unseeded RNG in kernel/worker-reachable code",
+    "REPRO009": "process-global registry mutated in worker-reachable code",
 }
 
 

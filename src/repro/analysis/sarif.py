@@ -1,0 +1,128 @@
+"""SARIF 2.1.0 export for analysis findings (GitHub code scanning).
+
+``repro lint --format sarif`` and ``repro sanitize --format sarif``
+serialise their diagnostics as a minimal Static Analysis Results
+Interchange Format log: one run, one rule per diagnostic code seen, one
+result per finding.  GitHub's code-scanning upload accepts the output
+as-is, which puts REPRO/GMX findings inline on pull requests.
+
+Only locations of the ``path:line`` shape become physical locations;
+instruction-stream findings (``label[index]``) carry their location in
+the message and a logicalLocation instead — SARIF physical locations
+require an artifact on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List
+
+from .diagnostics import CODES, Diagnostic
+
+__all__ = ["to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``path:line`` findings (repo files); anything else is stream-located.
+_FILE_WHERE = re.compile(r"^(?P<path>[^:\[\]]+):(?P<line>\d+)$")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule(code: str) -> dict:
+    return {
+        "id": code,
+        "shortDescription": {"text": CODES[code]},
+        "helpUri": "https://example.invalid/docs/analysis.md",
+    }
+
+
+def _result(diagnostic: Diagnostic, rule_index: int) -> dict:
+    result = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index,
+        "level": _LEVELS.get(diagnostic.severity.value, "warning"),
+        "message": {
+            "text": (
+                f"{diagnostic.message} (fix: {diagnostic.hint})"
+                if diagnostic.hint
+                else diagnostic.message
+            )
+        },
+    }
+    match = _FILE_WHERE.match(diagnostic.where or "")
+    if match:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": match.group("path"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": int(match.group("line"))},
+                }
+            }
+        ]
+    elif diagnostic.where:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": diagnostic.where}
+                ]
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    diagnostics: Iterable[Diagnostic], *, tool_name: str = "repro-lint"
+) -> dict:
+    """Build a SARIF 2.1.0 log dict from a diagnostic list.
+
+    Args:
+        diagnostics: findings from any analysis pass.
+        tool_name: the driver name (``repro-lint`` / ``repro-sanitize``).
+    """
+    rules: List[dict] = []
+    rule_index: Dict[str, int] = {}
+    results: List[dict] = []
+    for diagnostic in diagnostics:
+        if diagnostic.code not in rule_index:
+            rule_index[diagnostic.code] = len(rules)
+            rules.append(_rule(diagnostic.code))
+        results.append(_result(diagnostic, rule_index[diagnostic.code]))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://example.invalid/docs/analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///./"}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    diagnostics: Iterable[Diagnostic], *, tool_name: str = "repro-lint"
+) -> str:
+    """The SARIF log as indented JSON text (the ``--format sarif`` body)."""
+    return json.dumps(
+        to_sarif(diagnostics, tool_name=tool_name), indent=2, sort_keys=True
+    )

@@ -13,7 +13,13 @@ Five commands cover the library's workflows:
   static program verifier and the repo invariant lint;
 * ``lint``       — static analysis: the GMX program verifier over aligner
   instruction streams (or a binary program file) plus the repo-wide
-  invariant lint; ``--format json`` emits machine-readable diagnostics;
+  invariant lint; ``--format json``/``--format sarif`` emit
+  machine-readable diagnostics;
+* ``sanitize``   — the concurrency & determinism sanitizer
+  (:mod:`repro.analysis.sanitizer`): worker-reachability lint
+  (REPRO006–009), guarded batch execution with hook-leak detection, and
+  shadow execution diffing parallel-vs-serial content digests;
+  ``--corpus`` runs the seeded violation corpus (exits non-zero);
 * ``chaos``      — run a seeded fault-injection campaign through the
   resilient batch engine (:mod:`repro.resilience`): the batch must come
   out byte-identical to a fault-free serial run with every injected
@@ -212,9 +218,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="diagnostic output format",
+        help="diagnostic output format (sarif: GitHub code scanning)",
     )
     lint.add_argument(
         "--program",
@@ -248,6 +254,49 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify against a single-register-write-port core (gmx.vh illegal)",
     )
+
+    sanitize = commands.add_parser(
+        "sanitize",
+        help="concurrency & determinism sanitizer (dsan): reachability "
+        "lint + guarded execution + shadow verification",
+    )
+    sanitize.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report output format (sarif: GitHub code scanning)",
+    )
+    sanitize.add_argument("--seed", type=int, default=0)
+    sanitize.add_argument(
+        "--corpus",
+        action="store_true",
+        help="run the seeded violation corpus (exits non-zero)",
+    )
+    sanitize.add_argument(
+        "--skip-static",
+        action="store_true",
+        help="skip the worker-reachability scan",
+    )
+    sanitize.add_argument(
+        "--skip-dynamic",
+        action="store_true",
+        help="skip guarded execution of the batch engines",
+    )
+    sanitize.add_argument(
+        "--skip-shadow",
+        action="store_true",
+        help="skip shadow execution (serial re-run + digest diff)",
+    )
+    sanitize.add_argument(
+        "--pairs", type=int, default=12, metavar="N",
+        help="seeded pairs for the dynamic/shadow batches",
+    )
+    sanitize.add_argument("--workers", type=int, default=2)
+    sanitize.add_argument(
+        "--sample", type=int, default=3, metavar="N",
+        help="shards re-executed serially by the shadow pass",
+    )
+    sanitize.add_argument("--tile-size", type=int, default=32)
 
     chaos = commands.add_parser(
         "chaos", help="seeded fault-injection campaign (must survive)"
@@ -473,7 +522,9 @@ def _cmd_experiment(args) -> int:
         else:
             results = run_all()
             print(f"ran {len(results)} experiments; pass --json FILE to save")
-            for stamp in ("lint", "resilience", "observability", "backends"):
+            for stamp in (
+                "lint", "sanitizer", "resilience", "observability", "backends",
+            ):
                 block = results.get(stamp)
                 if isinstance(block, dict) and block.get("badge"):
                     print(block["badge"])
@@ -648,9 +699,40 @@ def _cmd_lint(args) -> int:
     )
     if args.format == "json":
         print(json_module.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import render_sarif
+
+        print(render_sarif(report.diagnostics, tool_name="repro-lint"))
     else:
         print(report.render())
     return 1 if report.diagnostics else 0
+
+
+def _cmd_sanitize(args) -> int:
+    import json as json_module
+
+    from .analysis.sanitizer import run_sanitize
+
+    report = run_sanitize(
+        seed=args.seed,
+        static=not args.skip_static,
+        dynamic=not args.skip_dynamic,
+        shadow=not args.skip_shadow,
+        corpus=args.corpus,
+        pairs=args.pairs,
+        workers=args.workers,
+        sample=args.sample,
+        tile_size=args.tile_size,
+    )
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import render_sarif
+
+        print(render_sarif(report.diagnostics, tool_name="repro-sanitize"))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
 
 
 def _cmd_chaos(args) -> int:
@@ -774,6 +856,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "design": _cmd_design,
         "verify": _cmd_verify,
         "lint": _cmd_lint,
+        "sanitize": _cmd_sanitize,
         "chaos": _cmd_chaos,
         "profile": _cmd_profile,
     }

@@ -59,6 +59,43 @@ def _lint_status(*, quick: bool) -> Dict[str, object]:
     }
 
 
+def _sanitizer_status(*, quick: bool) -> Dict[str, object]:
+    """Concurrency/determinism stamp embedded in every exported artifact.
+
+    Runs the sanitizer (:mod:`repro.analysis.sanitizer`): the static
+    worker-reachability scan, a guarded batch execution, and shadow
+    execution diffing parallel-vs-serial content digests.  The badge
+    certifies the artifact's numbers came from engines that were
+    sanitized against races, hook leaks, and executor divergence.
+    """
+    from ..analysis.sanitizer import run_sanitize
+    from .reporting import render_sanitizer_badge
+
+    report = run_sanitize(
+        pairs=6 if quick else 12,
+        workers=1 if quick else 2,
+        sample=2 if quick else 3,
+    )
+    report_dict = report.to_dict()
+    scan = report_dict.get("scan") or {}
+    session = report_dict.get("session") or {}
+    shadow = report_dict.get("shadow") or {}
+    status: Dict[str, object] = {
+        "clean": report.clean,
+        "summary": report_dict["summary"],
+        "worker_reachable": scan.get("worker_reachable", 0),
+        "suppressed": len(scan.get("suppressed", ())),
+        "batches_checked": session.get("batches_checked", 0),
+        "shadow_sampled": len(shadow.get("sampled", ())),
+        "shadow_clean": shadow.get("clean", True),
+        "findings": len(report_dict["diagnostics"]),
+        "dynamic_errors": len(report_dict["dynamic_errors"]),
+        "shadow_mismatches": len(shadow.get("mismatches", ())),
+    }
+    status["badge"] = render_sanitizer_badge(status)
+    return status
+
+
 def _resilience_status(*, quick: bool) -> Dict[str, object]:
     """Fault-tolerance stamp embedded in every exported artifact.
 
@@ -207,6 +244,7 @@ def run_all(*, quick: bool = True) -> Dict[str, object]:
         results["figure10"]
     )
     results["lint"] = _lint_status(quick=quick)
+    results["sanitizer"] = _sanitizer_status(quick=quick)
     results["resilience"] = _resilience_status(quick=quick)
     results["observability"] = _observability_status(quick=quick)
     results["backends"] = _backend_status(quick=quick)

@@ -84,6 +84,35 @@ def render_lint_badge(summary: Dict[str, int]) -> str:
     return f"lint: {total} diagnostics ({errors} errors, {warnings} warnings)"
 
 
+def render_sanitizer_badge(status: Dict[str, object]) -> str:
+    """One-line concurrency/determinism badge for experiment reports.
+
+    Args:
+        status: the ``sanitizer`` block of an exported artifact
+            (:func:`repro.eval.export._sanitizer_status` output).
+
+    Returns:
+        ``"sanitizer: clean (N worker-reachable fns, M batches guarded,
+        shadow digests identical)"`` when the tree passes, otherwise a
+        finding breakdown — embedded in exported artifacts so a report
+        records that parallel execution was sanitized against races,
+        hook leaks, and parallel-vs-serial divergence.
+    """
+    if status.get("clean"):
+        return (
+            f"sanitizer: clean ({status.get('worker_reachable', 0)} "
+            f"worker-reachable fns, {status.get('batches_checked', 0)} "
+            f"batches guarded, shadow digests identical)"
+        )
+    findings = status.get("findings", 0)
+    dynamic = status.get("dynamic_errors", 0)
+    mismatches = status.get("shadow_mismatches", 0)
+    return (
+        f"sanitizer: DIRTY ({findings} findings, {dynamic} runtime "
+        f"violations, {mismatches} shadow mismatches)"
+    )
+
+
 def render_resilience_badge(report: Dict[str, object]) -> str:
     """One-line fault-tolerance badge for experiment reports.
 

@@ -40,7 +40,7 @@ _RECORDER: Optional[SpanRecorder] = None
 _METRICS: Optional[MetricsRegistry] = None
 
 
-def enable(
+def enable(  # dsan: allow[REPRO007] arming primitive; capture() restores
     recorder: Optional[SpanRecorder] = None,
     registry: Optional[MetricsRegistry] = None,
     *,

@@ -33,17 +33,19 @@ for in the returned ledger.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import random
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..align.base import (
     Aligner,
     AlignmentResult,
     ResilienceCounters,
 )
+from ..analysis.sanitizer import runtime as dsan
 from ..align.batch import BatchResult, PairLike
 from ..align.parallel import (
     DEFAULT_SHARD_SIZE,
@@ -301,6 +303,28 @@ def _execute_item(aligner: Aligner, task: _ShardTask) -> _ShardReply:
     return _execute_item_body(aligner, task)
 
 
+@contextlib.contextmanager
+def _trace_capture(
+    aligner: Aligner, enabled: bool
+) -> Iterator[Optional[List]]:
+    """Redirect ``aligner.trace_sink`` into a fresh buffer for one block.
+
+    Yields the buffer (``None`` when disabled or the aligner has no
+    sink); the previous sink comes back in a ``finally``, so a raising
+    alignment cannot leave the sink dangling for later pairs.
+    """
+    if not enabled or not hasattr(aligner, "trace_sink"):
+        yield None
+        return
+    previous = aligner.trace_sink
+    traces: List = []
+    aligner.trace_sink = traces
+    try:
+        yield traces
+    finally:
+        aligner.trace_sink = previous
+
+
 def _execute_item_body(aligner: Aligner, task: _ShardTask) -> _ShardReply:
     from ..core.isa import fault_injection
 
@@ -344,13 +368,7 @@ def _execute_item_body(aligner: Aligner, task: _ShardTask) -> _ShardReply:
                 HardwareFaultInjector(spec)
                 for spec in hardware.get(offset, ())
             ]
-            traces: Optional[List] = None
-            previous_sink = None
-            if task.cross_check and hasattr(aligner, "trace_sink"):
-                traces = []
-                previous_sink = aligner.trace_sink
-                aligner.trace_sink = traces
-            try:
+            with _trace_capture(aligner, task.cross_check) as traces:
                 if injectors:
                     with fault_injection(FaultHookChain(injectors)):
                         result = aligner.align(
@@ -360,9 +378,6 @@ def _execute_item_body(aligner: Aligner, task: _ShardTask) -> _ShardReply:
                     result = aligner.align(
                         pattern, text, traceback=task.traceback
                     )
-            finally:
-                if traces is not None:
-                    aligner.trace_sink = previous_sink
             for injector in injectors:
                 target = fired if injector.fired else unfired
                 target.append(injector.spec.fault_id)
@@ -926,11 +941,15 @@ def align_batch_resilient(
     telemetry.executor = "resilient-inline" if inline else f"resilient-{method}"
     telemetry.fallback_reason = pickling_failure
     start = time.perf_counter()
-    with obs.span("batch.align_resilient", workers=workers):
-        if inline:
-            _drive_inline(supervisor, aligner)
-        else:
-            _drive_pool(supervisor, aligner, workers, method)
+    token = dsan.batch_begin()
+    try:
+        with obs.span("batch.align_resilient", workers=workers):
+            if inline:
+                _drive_inline(supervisor, aligner)
+            else:
+                _drive_pool(supervisor, aligner, workers, method)
+    finally:
+        dsan.batch_end(token, "align_batch_resilient")
     obs.inc("batch.resilient_runs")
     batch = supervisor.assemble(telemetry)
     telemetry.wall_seconds = time.perf_counter() - start

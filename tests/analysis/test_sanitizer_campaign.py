@@ -1,0 +1,65 @@
+"""Chaos under the sanitizer: the acceptance gate of ISSUE 7.
+
+A 100-fault campaign runs inside an armed ``sanitize()`` session: every
+``align_batch*`` boundary is leak-checked, the backend registries are
+guarded, and the output must stay byte-identical.  The full campaign
+carries the ``chaos`` marker like the resilience suite's, and a quick
+variant runs in every tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import run_sanitize, sanitize
+from repro.resilience import run_campaign
+
+
+class TestQuickGuardedCampaign:
+    def test_small_campaign_under_guards(self):
+        with sanitize() as session:
+            report = run_campaign(
+                seed=7, faults=6, pairs=8, length=48,
+                workers=1, shard_size=3, shard_timeout=2.0,
+            )
+        assert report.ok
+        assert report.identical
+        assert session.batches_checked >= 1
+
+    def test_guarded_campaign_matches_unguarded(self):
+        """Arming the sanitizer must not perturb the campaign ledger."""
+        plain = run_campaign(
+            seed=13, faults=4, pairs=6, length=32,
+            workers=1, shard_size=3, shard_timeout=2.0,
+        )
+        with sanitize():
+            guarded = run_campaign(
+                seed=13, faults=4, pairs=6, length=32,
+                workers=1, shard_size=3, shard_timeout=2.0,
+            )
+        assert plain.ledger == guarded.ledger
+        assert plain.counters == guarded.counters
+
+
+@pytest.mark.chaos
+class TestFullGuardedCampaign:
+    def test_100_fault_campaign_under_guards(self):
+        """The ISSUE acceptance run: 100 faults, workers, guards armed."""
+        with sanitize() as session:
+            report = run_campaign(
+                seed=11, faults=100, workers=2, shard_timeout=5.0
+            )
+        assert report.ok, report.render()
+        assert report.identical, report.render()
+        assert report.counters.faults_injected == 100
+        assert report.unaccounted == []
+        assert session.batches_checked >= 2
+
+    def test_full_sanitize_driver_is_clean(self):
+        """The complete driver pass (static + dynamic + shadow)."""
+        report = run_sanitize(seed=5, pairs=12, workers=2, sample=3)
+        assert report.clean, report.render()
+        assert report.scan is not None and report.scan.clean
+        assert report.shadow is not None and report.shadow.clean
+        assert report.session is not None
+        assert report.session["batches_checked"] >= 1

@@ -1,0 +1,238 @@
+"""Unit tests for the sanitizer's runtime guards and sessions.
+
+Covers the :class:`GuardedMapping` ownership rules (owner writes audit,
+cross-thread writes raise, frozen guards raise, fork-private copies pass
+through), batch-boundary hook-leak detection, and the ``sanitize()``
+session lifecycle (registry wrap/restore, nesting, exception paths).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.align import backends
+from repro.analysis.sanitizer import SanitizerError, sanitize
+from repro.analysis.sanitizer.guards import AuditEvent, GuardedMapping
+from repro.analysis.sanitizer import runtime as dsan
+from repro.obs import runtime as obs
+
+
+def _in_thread(fn):
+    """Run ``fn`` in a worker thread, re-raising anything it raised."""
+    box = []
+
+    def target():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box.append(exc)
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join()
+    if box:
+        raise box[0]
+
+
+# -- GuardedMapping ------------------------------------------------------
+
+
+def test_owner_thread_mutations_allowed_and_audited():
+    audit = []
+    guard = GuardedMapping({"a": 1}, name="t", audit=audit)
+    guard["b"] = 2
+    guard.setdefault("c", 3)
+    guard.pop("a")
+    assert dict(guard.items()) == {"b": 2, "c": 3}
+    assert [(e.op, e.key) for e in audit] == [
+        ("__setitem__", "b"),
+        ("setdefault", "c"),
+        ("pop", "a"),
+    ]
+    assert all(isinstance(e, AuditEvent) for e in audit)
+
+
+def test_reads_never_audit():
+    audit = []
+    guard = GuardedMapping({"a": 1}, name="t", audit=audit)
+    assert guard["a"] == 1
+    assert guard.get("missing", 9) == 9
+    assert "a" in guard
+    assert list(guard) == ["a"]
+    assert len(guard) == 1
+    assert bool(guard)
+    assert list(guard.keys()) == ["a"]
+    assert list(guard.values()) == [1]
+    assert audit == []
+
+
+def test_setdefault_on_present_key_is_a_read():
+    audit = []
+    guard = GuardedMapping({"a": 1}, name="t", audit=audit)
+    assert guard.setdefault("a", 99) == 1
+    assert audit == []
+
+
+def test_frozen_guard_rejects_every_mutation():
+    guard = GuardedMapping({"a": 1}, name="frozen-reg", frozen=True)
+    with pytest.raises(SanitizerError, match="frozen"):
+        guard["b"] = 2
+    with pytest.raises(SanitizerError, match="REPRO009"):
+        guard.pop("a")
+    with pytest.raises(SanitizerError):
+        guard.clear()
+    assert guard.data == {"a": 1}
+
+
+def test_cross_thread_mutation_raises():
+    guard = GuardedMapping({}, name="cache")
+    with pytest.raises(SanitizerError, match="cross-thread"):
+        _in_thread(lambda: guard.__setitem__("k", 1))
+    assert "k" not in guard
+
+
+def test_cross_thread_read_is_fine():
+    guard = GuardedMapping({"k": 1}, name="cache")
+    _in_thread(lambda: guard["k"])
+
+
+def test_foreign_pid_mutation_passes_through():
+    """A forked worker touches its COW copy — invisible to the owner."""
+    guard = GuardedMapping({}, name="cache")
+    guard._pid = guard._pid + 1  # simulate "guard built in the parent"
+    guard["k"] = 1  # must neither raise nor audit
+    assert guard["k"] == 1
+
+
+def test_wraps_without_copying():
+    raw = {"a": 1}
+    guard = GuardedMapping(raw, name="t")
+    guard["b"] = 2
+    assert raw == {"a": 1, "b": 2}
+    assert guard.data is raw
+
+
+# -- batch boundary tokens ----------------------------------------------
+
+
+def test_batch_hooks_disabled_when_disarmed():
+    assert not dsan.armed()
+    token = dsan.batch_begin()
+    assert token is None
+    dsan.batch_end(token, "noop")  # must be a silent no-op
+
+
+def test_batch_leak_detected_inside_session():
+    with sanitize() as session:
+        token = dsan.batch_begin()
+        obs.enable()
+        try:
+            with pytest.raises(SanitizerError, match="REPRO007 dynamic"):
+                dsan.batch_end(token, "test_batch")
+        finally:
+            obs.disable()
+        # Only leak-free boundaries count as "checked".
+        assert session.batches_checked == 0
+
+
+def test_batch_balanced_arming_passes():
+    """obs armed and disarmed inside the batch leaves no residue."""
+    with sanitize() as session:
+        token = dsan.batch_begin()
+        obs.enable()
+        obs.disable()
+        dsan.batch_end(token, "test_batch")
+        assert session.batches_checked >= 1
+
+
+def test_batch_token_is_per_batch_not_per_session():
+    """Hooks armed *around* a batch (obs.capture style) are legitimate."""
+    with sanitize():
+        obs.enable()
+        try:
+            token = dsan.batch_begin()
+            dsan.batch_end(token, "wrapped_batch")  # must not raise
+        finally:
+            obs.disable()
+
+
+# -- sanitize() session lifecycle ---------------------------------------
+
+
+def test_sanitize_wraps_and_restores_registries():
+    original_registry = backends._REGISTRY
+    original_instances = backends._INSTANCES
+    with sanitize():
+        assert isinstance(backends._REGISTRY, GuardedMapping)
+        assert isinstance(backends._INSTANCES, GuardedMapping)
+        assert dsan.armed()
+    assert backends._REGISTRY is original_registry
+    assert backends._INSTANCES is original_instances
+    assert not dsan.armed()
+
+
+def test_sanitize_restores_on_exception():
+    original_registry = backends._REGISTRY
+    with pytest.raises(ValueError):
+        with sanitize():
+            raise ValueError("boom")
+    assert backends._REGISTRY is original_registry
+    assert not dsan.armed()
+
+
+def test_register_backend_raises_under_session():
+    with sanitize():
+        with pytest.raises(SanitizerError, match="frozen"):
+            backends.register_backend(
+                "dsan-test-probe", lambda: None, description="probe"
+            )
+    assert "dsan-test-probe" not in backends._REGISTRY
+
+
+def test_get_backend_works_under_session():
+    """Pre-warmed instances serve lookups without tripping the guard."""
+    with sanitize():
+        engine = backends.get_backend("pure")
+        assert engine.name == "pure"
+
+
+def test_nested_sanitize_reuses_session():
+    with sanitize() as outer:
+        with sanitize() as inner:
+            assert inner is outer
+        # Inner exit must not tear down the outer session's guards.
+        assert dsan.armed()
+        assert isinstance(backends._REGISTRY, GuardedMapping)
+    assert not dsan.armed()
+
+
+def test_session_exit_leak_check():
+    """An ambient hook still armed at clean session exit raises."""
+    with pytest.raises(SanitizerError):
+        with sanitize():
+            obs.enable()
+    obs.disable()
+    assert not dsan.armed()
+    assert not isinstance(backends._REGISTRY, GuardedMapping)
+
+
+def test_session_exit_check_skipped_on_exception():
+    """An in-flight exception must not be shadowed by the leak check."""
+    with pytest.raises(KeyError, match="original"):
+        with sanitize():
+            obs.enable()
+            raise KeyError("original")
+    obs.disable()
+    assert not dsan.armed()
+
+
+def test_session_summary_shape():
+    with sanitize() as session:
+        token = dsan.batch_begin()
+        dsan.batch_end(token, "summary_batch")
+        summary = session.summary()
+    assert summary["batches_checked"] >= 1
+    assert "guards" in summary
+    assert "audit" in summary

@@ -1,0 +1,457 @@
+"""Unit tests for the sanitizer's worker-reachability scan (REPRO006-009).
+
+Every rule gets a true-positive fixture and a clean twin, written as tiny
+synthetic trees scanned with the corpus configuration (a single
+``worker.py`` whose ``_shard_worker`` is the root).  The real package is
+scanned once at the end: it must be finding-free, with the known audited
+sites suppressed by their inline pragmas.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.diagnostics import CODES, AnalysisError
+from repro.analysis.sanitizer.reachability import (
+    DEFAULT_ROOTS,
+    ScanConfig,
+    scan_package,
+    scan_tree,
+)
+from repro.analysis.sanitizer.sancorpus import CORPUS_CONFIG
+
+
+def _scan(tmp_path, source, config=CORPUS_CONFIG):
+    (tmp_path / "worker.py").write_text(textwrap.dedent(source))
+    return scan_tree(tmp_path, config=config)
+
+
+def _codes(report):
+    return sorted(d.code for d in report.findings)
+
+
+# -- REPRO006: shared mutable module state ------------------------------
+
+
+def test_repro006_subscript_write_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _CACHE = {}
+
+        def _shard_worker(shard):
+            _CACHE["k"] = shard
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+    (finding,) = report.findings
+    assert "worker.py:5" in finding.where
+    assert "_CACHE" in finding.message
+
+
+def test_repro006_mutator_method_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _LOG = []
+
+        def _shard_worker(shard):
+            _LOG.append(len(shard))
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+    assert "append" in report.findings[0].message
+
+
+def test_repro006_global_rebind_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        TOTAL = 0
+
+        def _shard_worker(shard):
+            global TOTAL
+            TOTAL += len(shard)
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+
+
+def test_repro006_transitive_callee_flagged(tmp_path):
+    """The write sits two calls below the root; reachability must find it."""
+    report = _scan(
+        tmp_path,
+        """
+        _SEEN = []
+
+        def _shard_worker(shard):
+            return _outer(shard)
+
+        def _outer(shard):
+            return _inner(shard)
+
+        def _inner(shard):
+            _SEEN.append(shard)
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+    # The message carries a sample call chain from the root.
+    assert "_shard_worker" in report.findings[0].message
+
+
+def test_repro006_local_state_clean(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        def _shard_worker(shard):
+            cache = {}
+            log = []
+            for key, value in shard:
+                cache[key] = value
+                log.append(key)
+            return cache, log
+        """,
+    )
+    assert report.clean
+
+
+def test_repro006_unreachable_write_not_flagged(tmp_path):
+    """A mutation outside the worker-reachable set is out of scope."""
+    report = _scan(
+        tmp_path,
+        """
+        _CACHE = {}
+
+        def _shard_worker(shard):
+            return shard
+
+        def driver_only(key, value):
+            _CACHE[key] = value
+        """,
+    )
+    assert report.clean
+    assert "worker.py::driver_only" not in report.reachable
+
+
+# -- REPRO007: ambient hooks without guaranteed reset -------------------
+
+
+def test_repro007_inline_arm_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        def _shard_worker(shard, isa):
+            buffer = []
+            isa.trace_sink = buffer
+            out = [len(p) for p, _ in shard]
+            isa.trace_sink = None
+            return out, buffer
+        """,
+    )
+    assert _codes(report) == ["REPRO007"]
+    assert "trace_sink" in report.findings[0].message
+
+
+def test_repro007_ambient_global_arm_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _FAULT_HOOK = None
+
+        def _shard_worker(shard):
+            _arm(object())
+            return shard
+
+        def _arm(hook):
+            global _FAULT_HOOK
+            _FAULT_HOOK = hook
+        """,
+    )
+    assert _codes(report) == ["REPRO007"]
+
+
+def test_repro007_contextmanager_clean(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        import contextlib
+
+        _FAULT_HOOK = None
+
+        def _shard_worker(shard):
+            with _fault_scope(object()):
+                return [len(p) for p, _ in shard]
+
+        @contextlib.contextmanager
+        def _fault_scope(hook):
+            global _FAULT_HOOK
+            previous = _FAULT_HOOK
+            _FAULT_HOOK = hook
+            try:
+                yield
+            finally:
+                _FAULT_HOOK = previous
+        """,
+    )
+    assert report.clean
+
+
+def test_repro007_contextmanager_without_finally_flagged(tmp_path):
+    """The decorator alone earns no exemption — the try/finally does."""
+    report = _scan(
+        tmp_path,
+        """
+        import contextlib
+
+        _FAULT_HOOK = None
+
+        def _shard_worker(shard):
+            with _fault_scope(object()):
+                return [len(p) for p, _ in shard]
+
+        @contextlib.contextmanager
+        def _fault_scope(hook):
+            global _FAULT_HOOK
+            previous = _FAULT_HOOK
+            _FAULT_HOOK = hook
+            yield
+            _FAULT_HOOK = previous
+        """,
+    )
+    assert _codes(report) == ["REPRO007"]
+
+
+def test_repro007_disarm_writes_clean(tmp_path):
+    """Setting a hook to None / a saved previous value is a disarm."""
+    report = _scan(
+        tmp_path,
+        """
+        def _shard_worker(shard, isa):
+            previous = isa.trace_sink
+            isa.trace_sink = None
+            out = [len(p) for p, _ in shard]
+            isa.trace_sink = previous
+            return out
+        """,
+    )
+    assert report.clean
+
+
+# -- REPRO008: wall clock / unseeded RNG --------------------------------
+
+
+@pytest.mark.parametrize(
+    "stmt",
+    [
+        "stamp = time.time()",
+        "jitter = random.random()",
+        "value = random.randrange(4)",
+        "rng = random.Random()",
+        "token = os.urandom(8)",
+        "label = uuid.uuid4()",
+        "now = datetime.datetime.now()",
+    ],
+)
+def test_repro008_nondeterminism_flagged(tmp_path, stmt):
+    report = _scan(
+        tmp_path,
+        f"""
+        import datetime
+        import os
+        import random
+        import time
+        import uuid
+
+        def _shard_worker(shard):
+            {stmt}
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO008"]
+
+
+@pytest.mark.parametrize(
+    "stmt",
+    [
+        "start = time.perf_counter()",
+        "tick = time.monotonic()",
+        "rng = random.Random(7)",
+        "time.sleep(0)",
+    ],
+)
+def test_repro008_allowed_forms_clean(tmp_path, stmt):
+    report = _scan(
+        tmp_path,
+        f"""
+        import random
+        import time
+
+        def _shard_worker(shard):
+            {stmt}
+            return shard
+        """,
+    )
+    assert report.clean
+
+
+# -- REPRO009: process-global registry mutation -------------------------
+
+
+def test_repro009_registry_write_flagged(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _REGISTRY = {}
+        _INSTANCES = {}
+
+        def _shard_worker(shard):
+            _REGISTRY["late"] = object
+            _INSTANCES.pop("stale", None)
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO009", "REPRO009"]
+
+
+def test_repro009_registry_read_clean(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _REGISTRY = {"pure": object}
+
+        def _shard_worker(shard):
+            engine = _REGISTRY["pure"]
+            return [engine for _ in shard]
+        """,
+    )
+    assert report.clean
+
+
+# -- pragmas ------------------------------------------------------------
+
+
+def test_pragma_on_finding_line_suppresses(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _INSTANCES = {}
+
+        def _shard_worker(shard):
+            _INSTANCES["k"] = shard  # dsan: allow[REPRO009] audited fill
+            return shard
+        """,
+    )
+    assert report.clean
+    assert [d.code for d in report.suppressed] == ["REPRO009"]
+
+
+def test_pragma_on_def_line_suppresses(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _LOG = []
+
+        def _shard_worker(shard):  # dsan: allow[REPRO006] audited log
+            _LOG.append(shard)
+            return shard
+        """,
+    )
+    assert report.clean
+    assert [d.code for d in report.suppressed] == ["REPRO006"]
+
+
+def test_pragma_wrong_code_does_not_suppress(tmp_path):
+    report = _scan(
+        tmp_path,
+        """
+        _LOG = []
+
+        def _shard_worker(shard):
+            _LOG.append(shard)  # dsan: allow[REPRO009] wrong code
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+
+
+def test_pragma_on_preceding_line_does_not_suppress(tmp_path):
+    """Block comments above the line are documentation, not suppression."""
+    report = _scan(
+        tmp_path,
+        """
+        _LOG = []
+
+        def _shard_worker(shard):
+            # dsan: allow[REPRO006] too far away
+            _LOG.append(shard)
+            return shard
+        """,
+    )
+    assert _codes(report) == ["REPRO006"]
+
+
+# -- roots & configuration ----------------------------------------------
+
+
+def test_missing_root_raises(tmp_path):
+    (tmp_path / "worker.py").write_text("def other():\n    return 1\n")
+    config = ScanConfig(
+        roots=("worker.py::_shard_worker",), kernel_base=None, where_prefix=""
+    )
+    with pytest.raises(AnalysisError, match="_shard_worker"):
+        scan_tree(tmp_path, config=config)
+
+
+def test_kernel_subclass_methods_become_roots(tmp_path):
+    (tmp_path / "kernels.py").write_text(
+        textwrap.dedent(
+            """
+            _SCRATCH = []
+
+            class KernelBackend:
+                def full_matrix(self, pattern, text):
+                    raise NotImplementedError
+
+            class FastBackend(KernelBackend):
+                def full_matrix(self, pattern, text):
+                    _SCRATCH.append(pattern)
+                    return 0
+            """
+        )
+    )
+    config = ScanConfig(roots=(), kernel_base="KernelBackend", where_prefix="")
+    report = scan_tree(tmp_path, config=config)
+    assert any("FastBackend.full_matrix" in root for root in report.roots)
+    assert _codes(report) == ["REPRO006"]
+
+
+def test_new_rule_codes_registered():
+    for code in ("REPRO006", "REPRO007", "REPRO008", "REPRO009"):
+        assert code in CODES
+
+
+# -- the real tree -------------------------------------------------------
+
+
+def test_package_scan_is_clean():
+    """The shipped package has zero findings; audited sites suppressed."""
+    report = scan_package()
+    assert report.clean, [d.to_dict() for d in report.findings]
+    assert report.suppressed, "expected the audited pragma sites"
+    suppressed = {d.code for d in report.suppressed}
+    assert suppressed <= {"REPRO007", "REPRO009"}
+
+
+def test_package_scan_reaches_both_engines():
+    report = scan_package()
+    for root in DEFAULT_ROOTS:
+        assert any(root in resolved for resolved in report.roots)
+    assert report.reachable, "worker-reachable set must not be empty"
+    assert report.modules > 50
+    assert report.functions > len(report.reachable)

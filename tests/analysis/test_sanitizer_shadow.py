@@ -1,0 +1,180 @@
+"""Unit tests for shadow execution (parallel-vs-serial digest diffing).
+
+The digest helpers must canonicalise results stably; ``shadow_execute``
+must pass on a deterministic aligner and catch a rigged stateful one,
+shrinking the diverging shard to a minimal reproducer that names the
+backend and worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.align import FullGmxAligner
+from repro.align.base import AlignmentResult, KernelStats
+from repro.analysis.sanitizer.shadow import (
+    ShadowMismatch,
+    result_digest,
+    results_digest,
+    shadow_execute,
+    shrink_shard,
+)
+from repro.workloads.generator import generate_pair
+
+
+def _pairs(count, seed=3, length=48):
+    rng = random.Random(seed)
+    return [
+        (pair.pattern, pair.text)
+        for pair in (generate_pair(length, 0.1, rng) for _ in range(count))
+    ]
+
+
+def _result(score=3, cells=10):
+    return AlignmentResult(
+        score=score,
+        alignment=None,
+        stats=KernelStats(
+            instructions=Counter({"gmx.tile": 2, "ctrl": 1}), dp_cells=cells
+        ),
+    )
+
+
+class StatefulAligner:
+    """Rigged aligner whose score leaks a per-instance call counter.
+
+    The parallel pass advances the live instance's counter; the shadow
+    pass re-executes on a pickled snapshot, so the counters (and scores)
+    diverge — exactly the class of bug shadow execution exists to catch.
+    Module-level so it pickles for the pool path.
+    """
+
+    name = "stateful"
+
+    def __init__(self):
+        self.calls = 0
+
+    def align(self, pattern, text, *, traceback=True):
+        self.calls += 1
+        return AlignmentResult(
+            score=abs(len(pattern) - len(text)) + self.calls,
+            alignment=None,
+            stats=KernelStats(),
+        )
+
+
+# -- digests -------------------------------------------------------------
+
+
+def test_result_digest_is_deterministic():
+    assert result_digest(_result()) == result_digest(_result())
+
+
+def test_result_digest_covers_score_and_stats():
+    base = result_digest(_result())
+    assert result_digest(_result(score=4)) != base
+    assert result_digest(_result(cells=11)) != base
+
+
+def test_result_digest_ignores_instruction_insertion_order():
+    first = _result()
+    second = _result()
+    second.stats.instructions = Counter()
+    second.stats.instructions["ctrl"] = 1
+    second.stats.instructions["gmx.tile"] = 2
+    assert result_digest(first) == result_digest(second)
+
+
+def test_results_digest_is_order_sensitive():
+    a, b = _result(score=1), _result(score=2)
+    assert results_digest([a, b]) != results_digest([b, a])
+
+
+# -- shrink_shard --------------------------------------------------------
+
+
+def test_shrink_shard_isolates_poison_pair():
+    pairs = list(range(16))
+    minimal = shrink_shard(pairs, lambda shard: 11 in shard)
+    assert minimal == [11]
+
+
+def test_shrink_shard_keeps_interacting_pairs():
+    pairs = list(range(16))
+    minimal = shrink_shard(pairs, lambda shard: {3, 12} <= set(shard))
+    assert sorted(minimal) == [3, 12]
+
+
+def test_shrink_shard_never_returns_passing_shard():
+    pairs = list(range(8))
+    still_fails = lambda shard: len(shard) >= 3  # noqa: E731
+    minimal = shrink_shard(pairs, still_fails)
+    assert still_fails(minimal)
+    assert len(minimal) == 3
+
+
+# -- shadow_execute ------------------------------------------------------
+
+
+def test_shadow_clean_on_deterministic_aligner():
+    report = shadow_execute(
+        FullGmxAligner(tile_size=16),
+        _pairs(10),
+        workers=2,
+        shard_size=3,
+        sample=3,
+        seed=5,
+    )
+    assert report.clean
+    assert report.mismatches == []
+    assert 0 < len(report.sampled) <= 3
+    assert all(0 <= index < report.shards for index in report.sampled)
+    assert report.batch_digest
+
+
+def test_shadow_sampling_is_seeded():
+    aligner = FullGmxAligner(tile_size=16)
+    pairs = _pairs(12)
+    kwargs = dict(workers=1, shard_size=2, sample=3, seed=9)
+    first = shadow_execute(aligner, pairs, **kwargs)
+    second = shadow_execute(aligner, pairs, **kwargs)
+    assert first.sampled == second.sampled
+    assert first.batch_digest == second.batch_digest
+
+
+def test_shadow_catches_stateful_aligner():
+    report = shadow_execute(
+        StatefulAligner(),
+        _pairs(8),
+        workers=1,
+        shard_size=2,
+        sample=4,
+        seed=2,
+    )
+    assert not report.clean
+    assert report.mismatches
+    mismatch = report.mismatches[0]
+    assert isinstance(mismatch, ShadowMismatch)
+    assert mismatch.parallel_digest != mismatch.shadow_digest
+    # The shrunk reproducer stays small and the render names the context.
+    assert 1 <= len(mismatch.minimal_pairs) <= 2
+    rendered = mismatch.render()
+    assert "worker" in rendered
+    assert str(report.workers) in rendered
+
+
+def test_shadow_report_to_dict():
+    report = shadow_execute(
+        FullGmxAligner(tile_size=16),
+        _pairs(6),
+        workers=1,
+        shard_size=2,
+        sample=2,
+        seed=1,
+    )
+    payload = report.to_dict()
+    assert payload["clean"] is True
+    assert payload["shards"] == report.shards
+    assert payload["sampled"] == list(report.sampled)
+    assert payload["mismatches"] == []

@@ -1,0 +1,106 @@
+"""SARIF 2.1.0 export: shape, locations, and the CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.sarif import SARIF_VERSION, render_sarif, to_sarif
+from repro.cli import main
+
+
+def _file_diag(code="REPRO006", line=12):
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message="worker writes shared state",
+        hint="thread it through the reply",
+        where=f"src/repro/align/parallel.py:{line}",
+    )
+
+
+def _stream_diag():
+    return Diagnostic(
+        code="GMX003",
+        severity=Severity.WARNING,
+        message="tile shape drifted",
+        where="Full(GMX)[42]",
+    )
+
+
+def test_sarif_top_level_shape():
+    log = to_sarif([_file_diag()])
+    assert log["version"] == SARIF_VERSION
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert "SRCROOT" in run["originalUriBaseIds"]
+
+
+def test_sarif_rules_deduplicate_and_index():
+    log = to_sarif([_file_diag(line=1), _file_diag(line=2), _stream_diag()])
+    (run,) = log["runs"]
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["REPRO006", "GMX003"]
+    results = run["results"]
+    assert [r["ruleIndex"] for r in results] == [0, 0, 1]
+    assert all("shortDescription" in r for r in rules)
+
+
+def test_sarif_physical_location_for_file_findings():
+    log = to_sarif([_file_diag(line=7)])
+    (result,) = log["runs"][0]["results"]
+    (location,) = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == (
+        "src/repro/align/parallel.py"
+    )
+    assert physical["artifactLocation"]["uriBaseId"] == "SRCROOT"
+    assert physical["region"]["startLine"] == 7
+
+
+def test_sarif_logical_location_for_stream_findings():
+    log = to_sarif([_stream_diag()])
+    (result,) = log["runs"][0]["results"]
+    (location,) = result["locations"]
+    assert "physicalLocation" not in location
+    (logical,) = location["logicalLocations"]
+    assert logical["fullyQualifiedName"] == "Full(GMX)[42]"
+
+
+def test_sarif_severity_mapping_and_hint_in_message():
+    log = to_sarif([_file_diag(), _stream_diag()])
+    first, second = log["runs"][0]["results"]
+    assert first["level"] == "error"
+    assert "(fix: " in first["message"]["text"]
+    assert second["level"] == "warning"
+    assert "(fix: " not in second["message"]["text"]
+
+
+def test_render_sarif_round_trips():
+    text = render_sarif([_file_diag()], tool_name="repro-sanitize")
+    log = json.loads(text)
+    assert log["runs"][0]["tool"]["driver"]["name"] == "repro-sanitize"
+
+
+def test_cli_lint_sarif(capsys):
+    assert main(["lint", "--format", "sarif", "--pairs", "2"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == SARIF_VERSION
+    assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+    assert log["runs"][0]["results"] == []  # the tree lints clean
+
+
+def test_cli_sanitize_sarif(capsys):
+    code = main(
+        [
+            "sanitize",
+            "--format", "sarif",
+            "--skip-shadow",
+            "--skip-dynamic",
+        ]
+    )
+    assert code == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["tool"]["driver"]["name"] == "repro-sanitize"
+    assert log["runs"][0]["results"] == []  # the tree sanitizes clean

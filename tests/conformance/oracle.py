@@ -10,7 +10,7 @@ oracle's only virtue is that it is obviously correct.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 DNA = "ACGT"
 
@@ -130,3 +130,33 @@ def shrink_case(
             break
         pattern, text = new_pattern, new_text
     return pattern, text
+
+
+def shrink_shard(
+    items: Sequence, still_fails: Callable[[List], bool]
+) -> List:
+    """Greedy ddmin over a *list* of items (shards, pairs, cases).
+
+    The sequence-level twin of :func:`shrink_case`: repeatedly drops
+    halves, then single items, while ``still_fails`` keeps returning
+    True on the shrunk list.  Used by the shadow-conformance suite to
+    reduce a diverging shard to the minimal set of pairs that still
+    reproduces the parallel-vs-serial mismatch.  Deliberately
+    repro-import-free, like everything else in this oracle.
+    """
+    items = list(items)
+    changed = True
+    while changed:
+        changed = False
+        chunk = max(1, len(items) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(items):
+                candidate = items[:start] + items[start + chunk:]
+                if candidate != items and still_fails(candidate):
+                    items = candidate
+                    changed = True
+                else:
+                    start += chunk
+            chunk //= 2
+    return items

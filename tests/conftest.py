@@ -55,6 +55,33 @@ def pytest_addoption(parser):
         default=False,
         help="rewrite tests/golden/ snapshots from the current output",
     )
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every test under the concurrency & determinism "
+        "sanitizer (registry guards + batch-boundary hook-leak checks)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _dsan(request):
+    """Arm the sanitizer around each test when ``--sanitize`` is given.
+
+    Off by default (one flag check per test).  With the flag, the test
+    body runs inside :func:`repro.analysis.sanitizer.sanitize`: the
+    backend registry freezes, the instance cache becomes owner-checked,
+    and every ``align_batch*`` boundary verifies that no ambient hook,
+    trace sink, or obs recorder leaked — exactly how CI runs the
+    conformance and chaos suites.
+    """
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.analysis.sanitizer import sanitize
+
+    with sanitize():
+        yield
 
 
 @pytest.fixture

@@ -18,13 +18,15 @@ class TestRunAll:
             "figure3", "figure10", "figure11", "figure12", "figure13",
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
-            "lint", "resilience", "observability", "backends",
+            "lint", "sanitizer", "resilience", "observability", "backends",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
-            if name in ("lint", "resilience", "observability", "backends"):
+            if name in (
+                "lint", "sanitizer", "resilience", "observability", "backends"
+            ):
                 continue  # checked structurally below
             if isinstance(rows, dict):
                 assert all(rows.values()), name
@@ -41,6 +43,17 @@ class TestRunAll:
         assert lint["badge"] == "lint: clean (0 diagnostics)"
         assert lint["diagnostics"] == []
         assert lint["programs_checked"] == lint["programs_clean"] > 0
+
+    def test_sanitizer_badge_embedded(self, all_results):
+        status = all_results["sanitizer"]
+        assert status["clean"] is True
+        assert status["badge"].startswith("sanitizer: clean")
+        assert status["worker_reachable"] > 0
+        assert status["batches_checked"] >= 1
+        assert status["shadow_clean"] is True
+        assert status["findings"] == 0
+        assert status["dynamic_errors"] == 0
+        assert status["shadow_mismatches"] == 0
 
     def test_resilience_badge_embedded(self, all_results):
         resilience = all_results["resilience"]
