@@ -21,12 +21,15 @@
 # sanitize`), its violation-corpus self-check (which must exit non-zero),
 # the sanitizer unit suites, and the conformance suite with the runtime
 # guards armed (`--sanitize`).
+# `serve-test` runs the alignment-service suites (cache, coalescer, pool
+# lifecycle, service, HTTP, obs drain, load smoke) plus the serving-path
+# chaos drill through the CLI (`repro chaos --serve`).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize
+.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize serve-test
 
 test:
 	$(PYTEST) -x -q
@@ -56,6 +59,12 @@ test-backends:
 		tests/align/test_backend_pickling.py \
 		tests/conformance
 	$(PYTEST) -q benchmarks/test_backend_speedup.py
+
+serve-test:
+	$(PYTEST) -q tests/serve
+	PYTHONPATH=src $(PYTHON) -m repro chaos --serve --pairs 16 --workers 2
+	PYTHONPATH=src $(PYTHON) -m repro bench serve \
+		--requests 60 --clients 4 --unique 12 --workers 2
 
 bench:
 	$(PYTEST) -q benchmarks

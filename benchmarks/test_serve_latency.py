@@ -1,0 +1,111 @@
+"""Serving latency gate + the BENCH_serve trajectory snapshot.
+
+Boots the real HTTP alignment service (warm worker pool, coalescer,
+content-addressed cache), drives a seeded mixed hit/miss load at it,
+and enforces the headline claim of the serving layer: **the warm
+resident pool serves a fresh pair at least 5x faster at p50 than
+spinning a worker pool per request**.  A per-request pool inside a
+multi-threaded server must ``spawn`` (forking with live handler
+threads is unsafe), so the cold baseline pays interpreter+import start
+on every request — exactly the cost the warm pool amortises.
+
+The measured run writes ``BENCH_serve.json``: latency percentiles,
+throughput, cache hit rate, and the warm-vs-cold comparison.  The file
+is rewritten only when missing or when the ``CONFIG`` identity block
+changed — re-measuring on a different machine never dirties the
+checkout, but changing the workload or the gate makes ``git diff
+--exit-code BENCH_serve.json`` fail in CI until the new snapshot is
+committed alongside the change.
+"""
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.serve.bench import run_serve_bench
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The benchmark's identity: changing anything here stales the snapshot.
+CONFIG = {
+    "schema": 1,
+    "workload": "serve-150bp-5%",
+    "requests": 240,
+    "clients": 8,
+    "unique_pairs": 32,
+    "length": 150,
+    "error_rate": 0.05,
+    "seed": 23,
+    "workers": 2,
+    "warm_cold_probes": 5,
+    "warm_speedup_floor": 5.0,
+    "gated_on": "warm resident pool p50 vs per-request spawn pool p50",
+}
+
+
+@pytest.mark.skipif(
+    not multiprocessing.get_all_start_methods(),
+    reason="no multiprocessing start method available",
+)
+def test_serve_latency_and_snapshot():
+    # -- measure ---------------------------------------------------------
+    report = run_serve_bench(
+        requests=CONFIG["requests"],
+        clients=CONFIG["clients"],
+        unique_pairs=CONFIG["unique_pairs"],
+        length=CONFIG["length"],
+        error_rate=CONFIG["error_rate"],
+        seed=CONFIG["seed"],
+        workers=CONFIG["workers"],
+        warm_cold_probes=CONFIG["warm_cold_probes"],
+    )
+    data = report.to_dict()
+
+    # The load itself must have been clean: every request answered, the
+    # schedule's guaranteed repeats observed as cache hits, and the pool
+    # fully torn down afterwards.
+    assert report.errors == 0
+    assert len(report.latencies_ns) == CONFIG["requests"]
+    assert report.cache["hits"] > 0
+    assert report.leaked_workers == 0
+
+    # -- the gate --------------------------------------------------------
+    speedup = report.warm_speedup
+    assert speedup is not None, "warm/cold probes did not run"
+    assert speedup >= CONFIG["warm_speedup_floor"], (
+        f"warm-pool p50 speedup {speedup:.2f}x is below the "
+        f"{CONFIG['warm_speedup_floor']}x floor "
+        f"(warm {data['warm_vs_cold']['warm_p50_ms']} ms, "
+        f"cold {data['warm_vs_cold']['cold_p50_ms']} ms)"
+    )
+
+    # -- the trajectory snapshot ----------------------------------------
+    snapshot = {
+        "config": CONFIG,
+        "throughput_rps": data["throughput_rps"],
+        "latency": data["latency"],
+        "warm_vs_cold": data["warm_vs_cold"],
+        "cache": data["cache"],
+        "pool": data["pool"],
+        "requests_accounting": data["requests_accounting"],
+        "leaked_workers": data["leaked_workers"],
+    }
+
+    existing = None
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = None
+    if existing is None or existing.get("config") != CONFIG:
+        BENCH_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    # Whatever was (or now is) on disk must describe this configuration —
+    # the currency contract CI enforces with `git diff --exit-code`.
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["config"] == CONFIG
+    assert on_disk["warm_vs_cold"]["speedup"] >= (
+        CONFIG["warm_speedup_floor"]
+    )

@@ -21,7 +21,9 @@ from .batch import BatchResult, align_batch
 from .full_gmx import FullGmxAligner, align_pair
 from .parallel import (
     BatchTelemetry,
+    PoolError,
     ShardTelemetry,
+    WorkerPool,
     align_batch_sharded,
     iter_shards,
 )
@@ -41,8 +43,10 @@ __all__ = [
     "FullGmxAligner",
     "KernelBackend",
     "KernelStats",
+    "PoolError",
     "ResilienceCounters",
     "ShardTelemetry",
+    "WorkerPool",
     "WindowedAligner",
     "WindowedGmxAligner",
     "align_batch",

@@ -33,9 +33,10 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from ..analysis.sanitizer import runtime as dsan
 from ..obs import runtime as obs
@@ -258,6 +259,190 @@ def _resolve_start_method(preferred: Optional[str]) -> Optional[str]:
     return None
 
 
+class PoolError(RuntimeError):
+    """Raised on :class:`WorkerPool` lifecycle misuse (e.g. use after close)."""
+
+
+class _InlineHandle:
+    """Completed-on-construction stand-in for a pool ``AsyncResult``.
+
+    Inline pools execute the work in the submitting thread; the handle
+    then answers ``get``/``ready`` with the stored outcome, so callers
+    drive both executors through one interface.
+    """
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, fn: Callable, payload) -> None:
+        self._value = None
+        self._error: Optional[BaseException] = None
+        try:
+            self._value = fn(payload)
+        except Exception as exc:  # noqa: BLE001 - re-raised from get()
+            self._error = exc
+
+    def get(self, timeout: Optional[float] = None):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def ready(self) -> bool:
+        return True
+
+
+def _pool_worker_init() -> None:
+    """Worker-process initializer: leave SIGINT to the parent.
+
+    A foreground Ctrl-C is delivered to the whole process group; without
+    this, every pool worker dies printing its own KeyboardInterrupt
+    traceback while the parent is already running its orderly shutdown
+    (which terminates the workers anyway).
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+class WorkerPool:
+    """A reusable worker-pool handle: create once, submit many, close once.
+
+    This is the shared pool lifecycle behind both the one-shot batch API
+    (:func:`align_batch_sharded` creates an ephemeral pool per call) and
+    the long-lived alignment service (:mod:`repro.serve` creates one warm
+    pool at startup and reuses it across requests).  The handle wraps a
+    ``multiprocessing.Pool`` when a start method is available and degrades
+    to a deterministic in-process executor otherwise (``workers=1``, or a
+    platform without ``fork``/``spawn``).
+
+    Lifecycle: :meth:`start` (optional — first submit warms lazily) →
+    :meth:`submit`/:meth:`imap` → :meth:`rebuild` on suspected crashes →
+    :meth:`close`.  ``generation`` counts pool (re)creations, so callers
+    can tell a warm reuse from a rebuild.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._method = (
+            _resolve_start_method(start_method) if workers > 1 else None
+        )
+        self._pool = None
+        self._lock = threading.Lock()
+        self.generation = 0
+        self.rebuilds = 0
+        self._closed = False
+
+    @property
+    def method(self) -> Optional[str]:
+        """Multiprocessing start method (``None`` for the inline executor)."""
+        return self._method
+
+    @property
+    def process_mode(self) -> bool:
+        """True when shards run in worker processes (not inline)."""
+        return self._method is not None
+
+    @property
+    def executor(self) -> str:
+        """Executor label for :class:`BatchTelemetry` (method or inline)."""
+        if self._method is not None:
+            return self._method
+        return "serial" if self.workers == 1 else "inline"
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise PoolError("worker pool is closed")
+        if self.process_mode and self._pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._method)
+            self._pool = context.Pool(
+                processes=self.workers, initializer=_pool_worker_init
+            )
+            self.generation += 1
+        return self._pool
+
+    def start(self) -> "WorkerPool":
+        """Warm the pool now (idempotent); returns self for chaining."""
+        with self._lock:
+            self._ensure_pool()
+        return self
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live worker processes (empty for inline pools)."""
+        with self._lock:
+            if self._pool is None:
+                return []
+            procs = getattr(self._pool, "_pool", None) or []
+            return [proc.pid for proc in procs if proc.pid is not None]
+
+    def submit(self, fn: Callable, payload):
+        """Dispatch ``fn(payload)`` asynchronously; returns a result handle.
+
+        The handle answers ``get(timeout)`` / ``ready()`` — a
+        ``multiprocessing`` ``AsyncResult`` in process mode, an
+        already-completed :class:`_InlineHandle` otherwise.  ``fn`` must be
+        a module-level callable (it crosses the pickle boundary).
+        """
+        with self._lock:
+            pool = self._ensure_pool()
+        if pool is None:
+            return _InlineHandle(fn, payload)
+        return pool.apply_async(fn, (payload,))
+
+    def imap(self, fn: Callable, payloads: Iterable) -> Iterator:
+        """Ordered lazy map over the pool (inline: a plain generator)."""
+        with self._lock:
+            pool = self._ensure_pool()
+        if pool is None:
+            return map(fn, payloads)
+        return pool.imap(fn, payloads)
+
+    def rebuild(self) -> None:
+        """Tear the current pool down and start a fresh one.
+
+        The crash-recovery path: a worker killed mid-task loses that task
+        forever (the pool replaces the process but the reply never comes),
+        so supervisors detect the loss by deadline, rebuild the pool, and
+        re-run the work.  In-flight handles of the old pool are abandoned.
+        """
+        with self._lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+                self.rebuilds += 1
+            if not self._closed:
+                self._ensure_pool()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); further submits raise."""
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def align_batch_sharded(
     aligner: Aligner,
     pairs: Iterable[PairLike],
@@ -267,6 +452,7 @@ def align_batch_sharded(
     traceback: bool = True,
     validate: bool = False,
     start_method: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> BatchResult:
     """Align a batch across a sharded worker pool.
 
@@ -278,6 +464,10 @@ def align_batch_sharded(
         shard_size: pairs per shard (default ``DEFAULT_SHARD_SIZE``).
         traceback / validate: as in :func:`~repro.align.batch.align_batch`.
         start_method: force a multiprocessing start method (testing hook).
+        pool: an existing warm :class:`WorkerPool` to reuse — the batch
+            runs on it without paying pool spin-up and leaves it open for
+            the next caller.  ``None`` (the one-shot path) creates an
+            ephemeral pool for this batch and closes it afterwards.
 
     Returns:
         A :class:`~repro.align.batch.BatchResult` whose ``results``,
@@ -285,7 +475,7 @@ def align_batch_sharded(
         :attr:`~repro.align.batch.BatchResult.telemetry` populated.
     """
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = pool.workers if pool is not None else (os.cpu_count() or 1)
     if workers < 1:
         raise ValueError(f"workers must be positive, got {workers}")
     if shard_size is None:
@@ -302,15 +492,21 @@ def align_batch_sharded(
 
     pickling_failure = _pickling_failure(aligner) if workers > 1 else None
     use_pool = workers > 1 and pickling_failure is None
-    method = _resolve_start_method(start_method) if use_pool else None
+    if use_pool:
+        if pool is not None:
+            use_pool = pool.process_mode and not pool.closed
+            method = pool.method
+        else:
+            method = _resolve_start_method(start_method)
+            use_pool = method is not None
     token = dsan.batch_begin()
     try:
         with obs.span("batch.align", workers=workers):
-            if use_pool and method is not None:
+            if use_pool:
                 telemetry.executor = method
                 _run_pool(
                     aligner, shards, workers, method, traceback, validate,
-                    batch, telemetry,
+                    batch, telemetry, pool=pool,
                 )
             else:
                 telemetry.executor = "inline" if workers > 1 else "serial"
@@ -340,16 +536,23 @@ def _run_pool(
     validate: bool,
     batch: BatchResult,
     telemetry: BatchTelemetry,
+    pool: Optional[WorkerPool] = None,
 ) -> None:
-    """Fan shards out over a pool; merge completions in input order."""
-    import multiprocessing
+    """Fan shards out over a pool; merge completions in input order.
 
-    context = multiprocessing.get_context(method)
+    With ``pool=None`` an ephemeral :class:`WorkerPool` is created and
+    closed around the batch (the historical one-shot behaviour); a caller
+    pool is borrowed and left open — the warm-pool path the alignment
+    service depends on.
+    """
+    owns_pool = pool is None
+    if owns_pool:
+        pool = WorkerPool(workers, start_method=method)
     payloads = (
         (aligner, shard, traceback, validate, obs.enabled())
         for shard in shards
     )
-    with context.Pool(processes=workers) as pool:
+    try:
         # imap preserves submission order and consumes the payload
         # generator lazily, so streaming inputs stay streaming.
         for index, (results, stats, seconds, worker, buffers) in enumerate(
@@ -360,6 +563,9 @@ def _run_pool(
                 batch, telemetry, index, results, stats, seconds,
                 worker=worker,
             )
+    finally:
+        if owns_pool:
+            pool.close()
 
 
 def _absorb_obs_buffers(buffers: ObsBuffers) -> None:

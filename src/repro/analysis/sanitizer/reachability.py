@@ -71,6 +71,7 @@ __all__ = [
 DEFAULT_ROOTS = (
     "align/parallel.py::_align_shard",
     "resilience/engine.py::_process_entry",
+    "serve/service.py::_serve_shard",
 )
 
 #: Attribute names that act as ambient hooks when assigned on any object.

@@ -23,7 +23,16 @@ Five commands cover the library's workflows:
 * ``chaos``      — run a seeded fault-injection campaign through the
   resilient batch engine (:mod:`repro.resilience`): the batch must come
   out byte-identical to a fault-free serial run with every injected
-  fault accounted for; exits non-zero otherwise;
+  fault accounted for; exits non-zero otherwise; ``--serve`` runs the
+  serving-path drill instead (kill a pool worker mid-request; the
+  request must still complete with the correct result);
+* ``serve``      — run the alignment service (:mod:`repro.serve`): an
+  HTTP server with a warm worker pool, request coalescing, a
+  content-addressed result cache, and admission control
+  (``POST /align``, ``GET /health``, ``GET /metrics``);
+* ``bench``      — load-test a serving configuration and print/write
+  latency percentiles, throughput, cache hit rate, and the
+  warm-vs-cold pool comparison (``repro bench serve``);
 * ``profile``    — run any other command under the observability layer
   (:mod:`repro.obs`) and print its per-kernel hot-path table; exports
   Chrome-trace JSON (``--trace``), profile JSON (``--json``), span JSON
@@ -325,6 +334,91 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", metavar="FILE", help="write the campaign report as JSON"
     )
+    chaos.add_argument(
+        "--serve",
+        action="store_true",
+        help="serving-path drill: kill a warm-pool worker mid-request; "
+        "every request must still complete with the correct result",
+    )
+    chaos.add_argument(
+        "--dispatch-timeout", type=float, default=3.0, metavar="SECONDS",
+        help="shard-loss detection deadline for the --serve drill",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the alignment HTTP service (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="warm worker-pool size (1 = inline execution)",
+    )
+    serve.add_argument(
+        "--algorithm",
+        choices=sorted(ALIGNER_FACTORIES),
+        default="full-gmx",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=[mode.value for mode in AlignmentMode],
+        default="global",
+    )
+    serve.add_argument("--tile-size", type=int, default=32)
+    serve.add_argument(
+        "--fused", action="store_true",
+        help="use the dual-destination gmx.vh tile instruction (full-gmx)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=backend_names(available_only=False),
+        default=None,
+        help="kernel backend for the GMX aligners",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096, metavar="ENTRIES",
+        help="content-addressed result cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=256, metavar="PAIRS",
+        help="admission limit; beyond it requests get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--coalesce-window", type=float, default=2.0, metavar="MS",
+        help="micro-batching window in milliseconds",
+    )
+    serve.add_argument(
+        "--coalesce-max-pairs", type=int, default=16, metavar="PAIRS",
+        help="dispatch a batch as soon as it holds this many pairs",
+    )
+    serve.add_argument(
+        "--dispatch-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="shard deadline before the pool is declared lost and rebuilt",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="load-test a subsystem and report latency/throughput"
+    )
+    bench.add_argument("target", choices=("serve",))
+    bench.add_argument("--requests", type=int, default=300, metavar="N")
+    bench.add_argument("--clients", type=int, default=8, metavar="N")
+    bench.add_argument(
+        "--unique", type=int, default=48, metavar="PAIRS",
+        help="unique pairs in the request pool (repeats become cache hits)",
+    )
+    bench.add_argument("--length", type=int, default=150)
+    bench.add_argument("--error", type=float, default=0.05)
+    bench.add_argument("--seed", type=int, default=23)
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument(
+        "--cache-size", type=int, default=4096, metavar="ENTRIES"
+    )
+    bench.add_argument(
+        "--coalesce-window", type=float, default=2.0, metavar="MS"
+    )
+    bench.add_argument(
+        "--json", metavar="FILE", help="write the bench report as JSON"
+    )
 
     profile = commands.add_parser(
         "profile",
@@ -523,7 +617,8 @@ def _cmd_experiment(args) -> int:
             results = run_all()
             print(f"ran {len(results)} experiments; pass --json FILE to save")
             for stamp in (
-                "lint", "sanitizer", "resilience", "observability", "backends",
+                "lint", "sanitizer", "resilience", "observability",
+                "backends", "serving",
             ):
                 block = results.get(stamp)
                 if isinstance(block, dict) and block.get("badge"):
@@ -735,11 +830,117 @@ def _cmd_sanitize(args) -> int:
     return 0 if report.clean else 1
 
 
+def _serve_aligner(args):
+    """Build (and optionally re-backend) the aligner a service will host."""
+    aligner = ALIGNER_FACTORIES[args.algorithm](args)
+    if getattr(args, "backend", None) is not None:
+        from .align import AlignerError
+        from .align.backends import BackendError
+
+        try:
+            aligner = aligner.with_backend(args.backend)
+        except (AlignerError, BackendError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+    return aligner
+
+
+def _cmd_serve(args) -> int:
+    from .serve import AlignmentHTTPServer, AlignmentService, ServeConfig
+    from .serve import ServeError
+
+    aligner = _serve_aligner(args)
+    if aligner is None:
+        return 2
+    config = ServeConfig(
+        workers=args.workers,
+        coalesce_window=args.coalesce_window / 1000.0,
+        coalesce_max_pairs=args.coalesce_max_pairs,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        dispatch_timeout=args.dispatch_timeout,
+    )
+    try:
+        service = AlignmentService(aligner, config=config)
+    except (ServeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        try:
+            server = AlignmentHTTPServer((args.host, args.port), service)
+        except OSError as exc:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        host, port = server.server_address[0], server.server_address[1]
+        print(
+            f"serving {args.algorithm} on http://{host}:{port} "
+            f"(workers={service.pool.workers} executor={service.pool.executor} "
+            f"cache={args.cache_size} max_inflight={args.max_inflight})"
+        )
+        print("endpoints: POST /align, GET /health, GET /metrics — Ctrl-C stops")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from .serve.bench import run_serve_bench
+
+    report = run_serve_bench(
+        requests=args.requests,
+        clients=args.clients,
+        unique_pairs=args.unique,
+        length=args.length,
+        error_rate=args.error,
+        seed=args.seed,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        coalesce_window=args.coalesce_window / 1000.0,
+    )
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json_module.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote bench report to {args.json}")
+    return 0 if report.errors == 0 else 1
+
+
 def _cmd_chaos(args) -> int:
     import json as json_module
     from pathlib import Path
 
     from .resilience import run_campaign
+
+    if args.serve:
+        from .serve.chaos import run_serve_chaos
+
+        report = run_serve_chaos(
+            seed=args.seed,
+            pairs=args.pairs if args.pairs is not None else 32,
+            workers=args.workers,
+            length=args.length,
+            error_rate=args.error,
+            dispatch_timeout=args.dispatch_timeout,
+        )
+        print(report.render())
+        if args.json:
+            Path(args.json).write_text(
+                json_module.dumps(report.to_dict(), indent=2)
+            )
+            print(f"wrote serve chaos report to {args.json}")
+        return 0 if report.ok else 1
 
     report = run_campaign(
         seed=args.seed,
@@ -858,6 +1059,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "sanitize": _cmd_sanitize,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
+        "bench": _cmd_bench,
         "profile": _cmd_profile,
     }
     try:

@@ -230,6 +230,51 @@ def _backend_status(*, quick: bool) -> Dict[str, object]:
     return status
 
 
+def _serving_status(*, quick: bool) -> Dict[str, object]:
+    """Serving-layer stamp embedded in every exported artifact.
+
+    Boots an inline :class:`~repro.serve.AlignmentService` (pool-free, so
+    the export works on any host), runs a seeded workload through the
+    coalescer twice, and checks that (a) served results match the serial
+    batch engine exactly and (b) the second pass is answered entirely by
+    the content-addressed cache.  The badge certifies the serving path
+    returns the same bytes the batch engine computes.
+    """
+    from ..align import FullGmxAligner
+    from ..align.batch import align_batch
+    from ..serve import AlignmentService, ServeConfig
+    from ..workloads.generator import generate_pair_set
+    from .reporting import render_serving_badge
+
+    pairs = 6 if quick else 16
+    length = 64 if quick else 150
+    pair_set = generate_pair_set("serve-stamp", length, 0.06, pairs, seed=17)
+    workload = [(pair.pattern, pair.text) for pair in pair_set]
+    expected = [
+        (r.score, r.cigar)
+        for r in align_batch(FullGmxAligner(), workload).results
+    ]
+    config = ServeConfig(workers=1, coalesce_window=0.0)
+    with AlignmentService(FullGmxAligner(), config=config) as service:
+        first = service.align_pairs(workload)
+        second = service.align_pairs(workload)
+        snapshot = service.metrics_snapshot()
+    identical = [(r.score, r.cigar) for r in first] == expected
+    cached = all(r.cached for r in second) and (
+        [(r.score, r.cigar) for r in second] == expected
+    )
+    status: Dict[str, object] = {
+        "identical": identical,
+        "cache_identical": cached,
+        "pairs": pairs,
+        "cache": snapshot["cache"],
+        "coalescing": snapshot["coalescing"],
+        "requests": snapshot["requests"],
+    }
+    status["badge"] = render_serving_badge(status)
+    return status
+
+
 def run_all(*, quick: bool = True) -> Dict[str, object]:
     """Execute every experiment; returns name → rows (or panel dict).
 
@@ -248,6 +293,7 @@ def run_all(*, quick: bool = True) -> Dict[str, object]:
     results["resilience"] = _resilience_status(quick=quick)
     results["observability"] = _observability_status(quick=quick)
     results["backends"] = _backend_status(quick=quick)
+    results["serving"] = _serving_status(quick=quick)
     return results
 
 

@@ -192,6 +192,35 @@ def render_backends_badge(status: Dict[str, object]) -> str:
     )
 
 
+def render_serving_badge(status: Dict[str, object]) -> str:
+    """One-line serving-layer badge for experiment reports.
+
+    Args:
+        status: the ``serving`` block of an exported artifact
+            (:func:`repro.eval.export._serving_status` output).
+
+    Returns:
+        ``"serving: OK (N pairs served identical to batch, replay 100%
+        cached, hit_rate H)"`` when the coalesced/cached serving path
+        reproduces the batch engine exactly, otherwise a divergence
+        breakdown — embedded in exported artifacts so a report records
+        that alignment-as-a-service returns the bytes the engine computes.
+    """
+    cache = status.get("cache", {})
+    hit_rate = cache.get("hit_rate", 0.0) if isinstance(cache, dict) else 0.0
+    if status.get("identical") and status.get("cache_identical"):
+        return (
+            f"serving: OK ({status.get('pairs', 0)} pairs served identical "
+            f"to batch, replay 100% cached, hit_rate {hit_rate})"
+        )
+    first = "identical" if status.get("identical") else "DIVERGED"
+    replay = "cached" if status.get("cache_identical") else "NOT cached"
+    return (
+        f"serving: FAILED (first pass {first}, replay {replay}, "
+        f"hit_rate {hit_rate})"
+    )
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe ratio (0 when the denominator is 0)."""
     return numerator / denominator if denominator else 0.0

@@ -1,0 +1,206 @@
+"""Micro-batching coalescer: pack concurrent small requests into shards.
+
+A serving workload arrives as a stream of tiny requests — often a single
+pair each — while the pool's efficient unit of work is a shard of many
+pairs (amortising pickling and IPC, exactly like
+:data:`~repro.align.parallel.DEFAULT_SHARD_SIZE` does for batches).  The
+coalescer bridges the two: the first queued request opens a *collection
+window* (a few milliseconds), every request arriving inside the window
+joins the batch, and the batch is dispatched when it reaches
+``max_pairs`` or the window expires — whichever comes first.  A lone
+request therefore pays at most the window in added latency, and a burst
+of N concurrent requests coalesces into ⌈N / max_pairs⌉ shard dispatches
+instead of N.
+
+Requests carry a *group* key (the traceback flag): only requests of the
+same group share a shard, because a shard runs under a single traceback
+mode.  A group change flushes the current batch and opens a new window.
+
+The coalescer is executor-agnostic — it calls the ``dispatch`` callable
+it was built with (the service's shard-dispatch path) and never touches
+the pool itself, so its batching semantics are unit-testable with a plain
+list-appending dispatcher.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class CoalescerError(RuntimeError):
+    """Raised on coalescer lifecycle misuse (submit after close)."""
+
+
+@dataclass
+class PendingPair:
+    """One queued alignment request travelling through the coalescer.
+
+    Attributes:
+        pattern / text: the pair to align.
+        group: shard-compatibility key — requests only coalesce with
+            requests of the same group (the service uses the traceback
+            flag).
+        future: resolved by the service when the pair's result is ready.
+        key: content-address of the request (``None`` when caching is
+            disabled); the service uses it to fill the cache and release
+            coalesced duplicate waiters.
+    """
+
+    pattern: str
+    text: str
+    group: object
+    future: Future = field(default_factory=Future)
+    key: Optional[str] = None
+
+
+#: Queue sentinel asking the collection thread to drain and exit.
+_STOP = object()
+
+
+class Coalescer:
+    """Holds concurrent requests for a bounded window, dispatches shards.
+
+    Args:
+        dispatch: called with each packed batch (a non-empty list of
+            :class:`PendingPair` sharing one group), from the coalescer's
+            own thread.  An exception from ``dispatch`` fails that batch's
+            futures and the coalescer keeps running.
+        window_seconds: how long the first request of a batch waits for
+            company (0 = dispatch immediately, batching only what is
+            already queued).
+        max_pairs: dispatch as soon as a batch reaches this many pairs.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[List[PendingPair]], None],
+        *,
+        window_seconds: float = 0.002,
+        max_pairs: int = 16,
+    ) -> None:
+        if window_seconds < 0:
+            raise CoalescerError(
+                f"window must be >= 0 seconds, got {window_seconds}"
+            )
+        if max_pairs < 1:
+            raise CoalescerError(f"max_pairs must be >= 1, got {max_pairs}")
+        self.window_seconds = window_seconds
+        self.max_pairs = max_pairs
+        self._dispatch = dispatch
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        # Telemetry (read by /metrics; written only by the collector thread
+        # except pairs_in, which submit() bumps under the lock).
+        self.batches = 0
+        self.pairs_in = 0
+        self.pairs_out = 0
+        self.max_batch = 0
+
+    def start(self) -> "Coalescer":
+        """Start the collection thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise CoalescerError("coalescer is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-coalescer", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def submit(self, entry: PendingPair) -> None:
+        """Queue one request for coalescing (raises after close)."""
+        with self._lock:
+            if self._closed:
+                raise CoalescerError("coalescer is closed")
+            self.pairs_in += 1
+        self._queue.put(entry)
+
+    @property
+    def backlog(self) -> int:
+        """Approximate requests queued but not yet packed into a batch."""
+        return self._queue.qsize()
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean pairs per dispatched batch (0.0 before the first batch)."""
+        return self.pairs_out / self.batches if self.batches else 0.0
+
+    def close(self) -> None:
+        """Flush queued requests, stop the thread, reject new submits."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        self._queue.put(_STOP)
+        if thread is not None:
+            thread.join()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._drain_remaining()
+                return
+            if not self._collect_and_flush(item):
+                self._drain_remaining()
+                return
+
+    def _collect_and_flush(self, first: PendingPair) -> bool:
+        """Grow a batch from ``first``; returns False when _STOP arrived."""
+        batch = [first]
+        deadline = time.monotonic() + self.window_seconds
+        keep_running = True
+        while len(batch) < self.max_pairs:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                keep_running = False
+                break
+            if item.group != batch[0].group:
+                # Incompatible request: flush what we have, start over.
+                self._flush(batch)
+                batch = [item]
+                deadline = time.monotonic() + self.window_seconds
+                continue
+            batch.append(item)
+        self._flush(batch)
+        return keep_running
+
+    def _drain_remaining(self) -> None:
+        """Flush anything still queued at shutdown (single-pair batches)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            self._flush([item])
+
+    def _flush(self, batch: List[PendingPair]) -> None:
+        if not batch:
+            return
+        self.batches += 1
+        self.pairs_out += len(batch)
+        self.max_batch = max(self.max_batch, len(batch))
+        try:
+            self._dispatch(batch)
+        except Exception as exc:  # noqa: BLE001 - routed to the futures
+            for entry in batch:
+                if not entry.future.done():
+                    entry.future.set_exception(exc)

@@ -1,0 +1,205 @@
+"""Thin JSON/HTTP facade over :class:`~repro.serve.service.AlignmentService`.
+
+Endpoints:
+
+``POST /align``
+    Body: ``{"pattern": "...", "text": "..."}`` for one pair, or
+    ``{"pairs": [["p1", "t1"], ["p2", "t2"], ...]}`` for several; an
+    optional ``"traceback": false`` requests distance-only alignment.
+    Response: ``{"pairs": n, "results": [{score, cigar, exact,
+    text_start, text_end, cached}, ...]}`` in input order.  Saturation
+    returns ``429`` with a ``Retry-After`` header; malformed input
+    returns ``400``.
+
+``GET /health``
+    Liveness: status, uptime, pool shape.
+
+``GET /metrics``
+    The full :meth:`AlignmentService.metrics_snapshot` — obs registry,
+    cache hit-rate, queue depth, coalescing and pool gauges.
+
+The server is a stdlib :class:`~http.server.ThreadingHTTPServer`; each
+connection gets a handler thread, and all of them funnel into the one
+shared service (whose coalescer packs their concurrent requests into
+shards).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator, List, Optional, Tuple
+
+from ..obs import runtime as obs
+from .service import AlignmentService, ServeError, ServiceSaturatedError
+
+#: Refuse request bodies larger than this (defense against misdirected uploads).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class RequestError(ServeError):
+    """Client-side request problem (maps to HTTP 400)."""
+
+
+def _parse_align_request(body: bytes) -> Tuple[List[Tuple[str, str]], bool]:
+    """Decode and validate a ``POST /align`` body → (pairs, traceback)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    traceback = payload.get("traceback", True)
+    if not isinstance(traceback, bool):
+        raise RequestError("'traceback' must be a boolean")
+    if "pairs" in payload:
+        raw_pairs = payload["pairs"]
+        if not isinstance(raw_pairs, list) or not raw_pairs:
+            raise RequestError("'pairs' must be a non-empty list")
+        pairs: List[Tuple[str, str]] = []
+        for index, item in enumerate(raw_pairs):
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not all(isinstance(part, str) for part in item)
+            ):
+                raise RequestError(
+                    f"pairs[{index}] must be a [pattern, text] string pair"
+                )
+            pairs.append((item[0], item[1]))
+        return pairs, traceback
+    pattern = payload.get("pattern")
+    text = payload.get("text")
+    if not isinstance(pattern, str) or not isinstance(text, str):
+        raise RequestError(
+            "request must provide 'pattern' and 'text' strings, "
+            "or a 'pairs' list"
+        )
+    return [(pattern, text)], traceback
+
+
+class AlignmentRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP traffic into the shared :class:`AlignmentService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    @property
+    def service(self) -> AlignmentService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr logging; obs metrics cover it."""
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            self._send_json(200, self.service.health())
+        elif self.path == "/metrics":
+            self._send_json(200, self.service.metrics_snapshot())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/align":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        with obs.span("serve.request"):
+            self._handle_align()
+
+    def _handle_align(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(
+                400,
+                {"error": "Content-Length required and <= "
+                          f"{MAX_BODY_BYTES} bytes"},
+            )
+            return
+        body = self.rfile.read(length)
+        try:
+            pairs, traceback = _parse_align_request(body)
+            results = self.service.align_pairs(pairs, traceback=traceback)
+        except RequestError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except ServiceSaturatedError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+            return
+        except ServeError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(
+            200,
+            {
+                "pairs": len(results),
+                "results": [result.to_dict() for result in results],
+            },
+        )
+
+    def _send_json(
+        self,
+        code: int,
+        payload: dict,
+        *,
+        headers: Optional[dict] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class AlignmentHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`AlignmentService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: AlignmentService,
+    ) -> None:
+        super().__init__(address, AlignmentRequestHandler)
+        self.service = service
+
+
+@contextlib.contextmanager
+def running_server(
+    service: AlignmentService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Iterator[Tuple[AlignmentHTTPServer, str]]:
+    """Run a server for ``service`` on a background thread.
+
+    Yields ``(server, base_url)``; ``port=0`` binds an ephemeral port
+    (read the real one off the URL).  Shuts the server down on exit —
+    the *service* lifecycle stays with the caller.
+    """
+    server = AlignmentHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    try:
+        yield server, f"http://{bound_host}:{bound_port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join()

@@ -19,13 +19,15 @@ class TestRunAll:
             "figure14", "figure15", "table1", "table2", "scalability_1mbp",
             "memory_footprint", "tile_costs", "energy", "speedup_summary",
             "lint", "sanitizer", "resilience", "observability", "backends",
+            "serving",
         }
         assert set(all_results) == expected
 
     def test_rows_are_non_empty(self, all_results):
         for name, rows in all_results.items():
             if name in (
-                "lint", "sanitizer", "resilience", "observability", "backends"
+                "lint", "sanitizer", "resilience", "observability",
+                "backends", "serving",
             ):
                 continue  # checked structurally below
             if isinstance(rows, dict):
@@ -89,6 +91,17 @@ class TestRunAll:
         # Every available non-default backend was differentially checked.
         assert set(status["checked"]) == set(backend_names()) - {"pure"}
         assert status["checked_pairs"] > 0
+
+    def test_serving_stamp_embedded(self, all_results):
+        status = all_results["serving"]
+        assert status["identical"] is True
+        assert status["cache_identical"] is True
+        assert status["badge"].startswith("serving: OK")
+        assert status["pairs"] > 0
+        # Replay pass: every pair answered from the cache, none recomputed.
+        assert status["cache"]["hits"] == status["pairs"]
+        assert status["requests"]["cached"] == status["pairs"]
+        assert status["requests"]["failed"] == 0
 
     def test_observability_stamp_leaves_obs_disabled(self, all_results):
         from repro.obs import runtime as obs

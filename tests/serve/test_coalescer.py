@@ -1,0 +1,139 @@
+"""Coalescer micro-batching semantics: windows, caps, groups, failures."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Coalescer, CoalescerError, PendingPair
+
+
+class _Sink:
+    """Dispatch target recording batches and resolving their futures."""
+
+    def __init__(self, fail=False):
+        self.batches = []
+        self.fail = fail
+        self.event = threading.Event()
+
+    def __call__(self, batch):
+        self.batches.append([entry.pattern for entry in batch])
+        if self.fail:
+            raise RuntimeError("dispatch exploded")
+        for entry in batch:
+            entry.future.set_result(entry.pattern)
+        self.event.set()
+
+
+def _pair(pattern="A", group=True):
+    return PendingPair(pattern=pattern, text=pattern, group=group)
+
+
+def test_lone_request_dispatches_after_window():
+    sink = _Sink()
+    coalescer = Coalescer(sink, window_seconds=0.005, max_pairs=16).start()
+    try:
+        entry = _pair("solo")
+        coalescer.submit(entry)
+        assert entry.future.result(timeout=5.0) == "solo"
+        assert sink.batches == [["solo"]]
+    finally:
+        coalescer.close()
+
+
+def test_burst_coalesces_up_to_max_pairs():
+    sink = _Sink()
+    # A wide window so the whole burst lands inside one collection.
+    coalescer = Coalescer(sink, window_seconds=0.25, max_pairs=4).start()
+    try:
+        entries = [_pair(f"p{i}") for i in range(10)]
+        for entry in entries:
+            coalescer.submit(entry)
+        for entry in entries:
+            entry.future.result(timeout=5.0)
+    finally:
+        coalescer.close()
+    assert coalescer.pairs_out == 10
+    assert all(len(batch) <= 4 for batch in sink.batches)
+    assert max(len(batch) for batch in sink.batches) == 4
+    assert coalescer.max_batch == 4
+    # Order is preserved across batches.
+    flattened = [name for batch in sink.batches for name in batch]
+    assert flattened == [f"p{i}" for i in range(10)]
+
+
+def test_group_change_flushes_current_batch():
+    sink = _Sink()
+    coalescer = Coalescer(sink, window_seconds=0.25, max_pairs=16).start()
+    try:
+        tb = [_pair("tb1", group=True), _pair("tb2", group=True)]
+        dist = [_pair("d1", group=False)]
+        for entry in tb + dist:
+            coalescer.submit(entry)
+        for entry in tb + dist:
+            entry.future.result(timeout=5.0)
+    finally:
+        coalescer.close()
+    assert ["tb1", "tb2"] in sink.batches
+    assert ["d1"] in sink.batches
+
+
+def test_dispatch_failure_routes_to_futures():
+    sink = _Sink(fail=True)
+    coalescer = Coalescer(sink, window_seconds=0.0, max_pairs=4).start()
+    try:
+        entry = _pair("boom")
+        coalescer.submit(entry)
+        with pytest.raises(RuntimeError, match="dispatch exploded"):
+            entry.future.result(timeout=5.0)
+        # The coalescer survives a failing dispatch.
+        entry2 = _pair("after")
+        coalescer.submit(entry2)
+        with pytest.raises(RuntimeError):
+            entry2.future.result(timeout=5.0)
+    finally:
+        coalescer.close()
+
+
+def test_close_flushes_queued_requests():
+    sink = _Sink()
+    coalescer = Coalescer(sink, window_seconds=0.05, max_pairs=16)
+    coalescer.start()
+    entries = [_pair(f"q{i}") for i in range(3)]
+    for entry in entries:
+        coalescer.submit(entry)
+    coalescer.close()
+    for entry in entries:
+        assert entry.future.result(timeout=1.0) == entry.pattern
+
+
+def test_submit_after_close_raises():
+    coalescer = Coalescer(_Sink(), window_seconds=0.0).start()
+    coalescer.close()
+    with pytest.raises(CoalescerError):
+        coalescer.submit(_pair())
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(CoalescerError):
+        Coalescer(_Sink(), window_seconds=-0.001)
+    with pytest.raises(CoalescerError):
+        Coalescer(_Sink(), max_pairs=0)
+
+
+def test_mean_batch_telemetry():
+    sink = _Sink()
+    coalescer = Coalescer(sink, window_seconds=0.25, max_pairs=2).start()
+    try:
+        entries = [_pair(f"m{i}") for i in range(4)]
+        for entry in entries:
+            coalescer.submit(entry)
+        for entry in entries:
+            entry.future.result(timeout=5.0)
+        deadline = time.monotonic() + 5.0
+        while coalescer.batches < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert coalescer.batches == 2
+        assert coalescer.mean_batch == pytest.approx(2.0)
+    finally:
+        coalescer.close()

@@ -1,0 +1,50 @@
+"""Load smoke: 200+ mixed hit/miss requests, clean shutdown, no leaks."""
+
+import multiprocessing
+
+import pytest
+
+from repro.serve.bench import percentile, run_serve_bench
+
+
+def test_percentile_nearest_rank():
+    samples = [10, 20, 30, 40, 50]
+    assert percentile(samples, 0.0) == 10
+    assert percentile(samples, 0.5) == 30
+    assert percentile(samples, 1.0) == 50
+    assert percentile([], 0.5) == 0
+
+
+@pytest.mark.slow
+def test_load_smoke_mixed_hit_miss_clean_shutdown():
+    report = run_serve_bench(
+        requests=200,
+        clients=8,
+        unique_pairs=24,
+        length=96,           # shorter pairs keep the smoke fast
+        workers=2 if multiprocessing.get_all_start_methods() else 1,
+        warm_cold_probes=0,  # latency percentiles only; no cold pools
+    )
+    assert report.errors == 0
+    assert len(report.latencies_ns) == 200
+    # The schedule guarantees repeats: both hits and misses must appear.
+    # (Misses can exceed the unique-pair count: a lookup racing an
+    # identical in-flight pair counts a miss, then deduplicates.)
+    assert report.cache["hits"] > 0
+    assert report.cache["misses"] >= 24
+    assert report.cache["size"] == 24
+    # Every request was accounted for, nothing rejected at this depth.
+    accounting = report.requests_accounting
+    assert accounting["rejected"] == 0
+    assert accounting["failed"] == 0
+    assert accounting["pairs"] == 200
+    assert (
+        accounting["computed"] + accounting["cached"] + accounting["deduped"]
+        == 200
+    )
+    # Clean shutdown: the warm pool's workers are gone.
+    assert report.leaked_workers == 0
+    data = report.to_dict()
+    assert data["latency"]["p50_ms"] > 0
+    assert data["latency"]["p99_ms"] >= data["latency"]["p50_ms"]
+    assert data["throughput_rps"] > 0

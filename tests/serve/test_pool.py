@@ -1,0 +1,144 @@
+"""WorkerPool lifecycle: warm reuse, rebuild, close, batch-API sharing."""
+
+import multiprocessing
+
+import pytest
+
+from repro.align import FullGmxAligner, PoolError, WorkerPool, align_batch
+from repro.align.parallel import _align_shard, align_batch_sharded
+from repro.workloads import generate_pair_set
+
+HAS_PROCESSES = bool(multiprocessing.get_all_start_methods())
+
+needs_processes = pytest.mark.skipif(
+    not HAS_PROCESSES, reason="no multiprocessing start method available"
+)
+
+
+def _payload(pairs=2):
+    pair_set = generate_pair_set("pool", 48, 0.1, pairs, seed=3)
+    shard = [(p.pattern, p.text) for p in pair_set]
+    return (FullGmxAligner(), shard, True, False, False)
+
+
+class TestInlinePool:
+    def test_single_worker_is_inline(self):
+        pool = WorkerPool(1)
+        assert not pool.process_mode
+        assert pool.executor == "serial"
+        assert pool.method is None
+        assert pool.worker_pids() == []
+
+    def test_submit_executes_inline(self):
+        with WorkerPool(1) as pool:
+            handle = pool.submit(_align_shard, _payload())
+            assert handle.ready()
+            results, stats, _, worker, _ = handle.get()
+            assert len(results) == 2
+            assert worker.startswith("pid:")
+
+    def test_inline_error_raised_from_get(self):
+        def boom(payload):
+            raise ValueError("inline failure")
+
+        with WorkerPool(1) as pool:
+            handle = pool.submit(boom, None)
+            with pytest.raises(ValueError, match="inline failure"):
+                handle.get()
+
+
+class TestPoolLifecycle:
+    def test_closed_pool_rejects_submissions(self):
+        pool = WorkerPool(1)
+        pool.close()
+        assert pool.closed
+        with pytest.raises(PoolError):
+            pool.submit(_align_shard, _payload())
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()
+
+    @needs_processes
+    def test_warm_start_pays_generation_once(self):
+        with WorkerPool(2) as pool:
+            assert pool.process_mode
+            assert pool.generation == 1
+            pool.start()  # idempotent
+            assert pool.generation == 1
+            pids = pool.worker_pids()
+            assert len(pids) == 2
+            for _ in range(3):
+                pool.submit(_align_shard, _payload()).get(timeout=60)
+            # Reuse never recreated the pool.
+            assert pool.generation == 1
+            assert pool.worker_pids() == pids
+
+    @needs_processes
+    def test_rebuild_replaces_workers(self):
+        with WorkerPool(2) as pool:
+            before = set(pool.worker_pids())
+            pool.rebuild()
+            assert pool.rebuilds == 1
+            assert pool.generation == 2
+            after = set(pool.worker_pids())
+            assert after and after.isdisjoint(before)
+            results, *_ = pool.submit(_align_shard, _payload()).get(timeout=60)
+            assert len(results) == 2
+
+
+class TestSharedPoolBatchAPI:
+    """align_batch_sharded rides an external warm pool without owning it."""
+
+    @needs_processes
+    def test_external_pool_results_identical_and_pool_survives(self):
+        pair_set = generate_pair_set("shared", 72, 0.08, 10, seed=21)
+        pairs = [(p.pattern, p.text) for p in pair_set]
+        aligner = FullGmxAligner()
+        serial = align_batch(aligner, pairs)
+
+        with WorkerPool(2) as pool:
+            generation = pool.generation
+            first = align_batch_sharded(
+                aligner, pairs, shard_size=3, pool=pool
+            )
+            second = align_batch_sharded(
+                aligner, pairs, shard_size=3, pool=pool
+            )
+            # The batch borrowed the pool: no churn, still open.
+            assert pool.generation == generation
+            assert not pool.closed
+
+        for batch in (first, second):
+            assert [(r.score, r.cigar) for r in batch.results] == [
+                (r.score, r.cigar) for r in serial.results
+            ]
+            assert batch.stats == serial.stats
+            assert batch.telemetry.executor == pool.method
+
+    def test_inline_external_pool_falls_back_serially(self):
+        pair_set = generate_pair_set("shared-inline", 48, 0.08, 6, seed=22)
+        pairs = [(p.pattern, p.text) for p in pair_set]
+        aligner = FullGmxAligner()
+        serial = align_batch(aligner, pairs)
+        with WorkerPool(1) as pool:
+            batch = align_batch_sharded(aligner, pairs, pool=pool)
+        assert [(r.score, r.cigar) for r in batch.results] == [
+            (r.score, r.cigar) for r in serial.results
+        ]
+        assert batch.telemetry.executor == "serial"
+
+    @needs_processes
+    def test_closed_external_pool_degrades_inline(self):
+        pair_set = generate_pair_set("shared-closed", 48, 0.08, 4, seed=23)
+        pairs = [(p.pattern, p.text) for p in pair_set]
+        aligner = FullGmxAligner()
+        pool = WorkerPool(2)
+        pool.close()
+        batch = align_batch_sharded(aligner, pairs, pool=pool)
+        serial = align_batch(aligner, pairs)
+        assert [(r.score, r.cigar) for r in batch.results] == [
+            (r.score, r.cigar) for r in serial.results
+        ]
+        assert batch.telemetry.executor == "inline"

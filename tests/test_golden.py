@@ -68,5 +68,10 @@ def test_experiment_all_golden(golden):
                 "identical": backends["identical"],
                 "checked_pairs": backends["checked_pairs"],
             },
+            "serving": {
+                "identical": results["serving"]["identical"],
+                "cache_identical": results["serving"]["cache_identical"],
+                "pairs": results["serving"]["pairs"],
+            },
         },
     )
