@@ -9,7 +9,9 @@ Endpoints:
     Response: ``{"pairs": n, "results": [{score, cigar, exact,
     text_start, text_end, cached}, ...]}`` in input order.  Saturation
     returns ``429`` with a ``Retry-After`` header; malformed input
-    returns ``400``.
+    (including empty sequences) returns ``400``; a request that outlives
+    the service's ``request_timeout`` returns ``504``; any unexpected
+    server-side failure returns ``500`` rather than a dropped connection.
 
 ``GET /health``
     Liveness: status, uptime, pool shape.
@@ -29,6 +31,7 @@ from __future__ import annotations
 import contextlib
 import json
 import threading
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, List, Optional, Tuple
 
@@ -63,10 +66,11 @@ def _parse_align_request(body: bytes) -> Tuple[List[Tuple[str, str]], bool]:
             if (
                 not isinstance(item, (list, tuple))
                 or len(item) != 2
-                or not all(isinstance(part, str) for part in item)
+                or not all(isinstance(part, str) and part for part in item)
             ):
                 raise RequestError(
-                    f"pairs[{index}] must be a [pattern, text] string pair"
+                    f"pairs[{index}] must be a [pattern, text] pair of "
+                    f"non-empty strings"
                 )
             pairs.append((item[0], item[1]))
         return pairs, traceback
@@ -77,6 +81,8 @@ def _parse_align_request(body: bytes) -> Tuple[List[Tuple[str, str]], bool]:
             "request must provide 'pattern' and 'text' strings, "
             "or a 'pairs' list"
         )
+    if not pattern or not text:
+        raise RequestError("'pattern' and 'text' must be non-empty")
     return [(pattern, text)], traceback
 
 
@@ -136,6 +142,19 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
             return
         except ServeError as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        except FuturesTimeoutError:
+            self._send_json(
+                504, {"error": "alignment timed out; retry later"}
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - never drop the connection
+            # A shard failure propagates the worker's exception through
+            # align_pairs; the client must still get an HTTP response, not
+            # a closed socket.
+            self._send_json(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
             return
         self._send_json(
             200,

@@ -35,10 +35,11 @@ exports.
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -82,6 +83,10 @@ class ServiceSaturatedError(ServeError):
 
 class ServiceClosedError(ServeError):
     """The service is not accepting requests (not started, or closed)."""
+
+
+class _WorkerLost(Exception):
+    """Internal: a dispatched shard's worker was verified dead."""
 
 
 def _serve_shard(payload):
@@ -166,12 +171,20 @@ _STOP = object()
 
 @dataclass
 class _InFlightShard:
-    """One dispatched shard awaiting collection."""
+    """One dispatched shard awaiting collection.
+
+    ``worker_pids`` snapshots the pool's processes at dispatch time so the
+    collector can tell a crashed worker (a pid vanished — the pool replaces
+    it and the reply is lost forever) from a healthy shard still queued
+    behind others when its deadline expires.
+    """
 
     handle: object
     batch: List[PendingPair]
     payload: tuple
     deadline: float
+    worker_pids: Tuple[int, ...] = ()
+    generation: int = 0
 
 
 class AlignmentService:
@@ -311,6 +324,11 @@ class AlignmentService:
                 f"pattern/text must be strings, got "
                 f"{type(pattern).__name__}/{type(text).__name__}"
             )
+        if not pattern or not text:
+            # Reject here (400 at the HTTP layer) instead of letting the
+            # aligner raise inside a shard, which would fail the whole
+            # coalesced batch — including other clients' pairs.
+            raise ServeError("pattern and text must be non-empty")
         future: "Future[ServeResult]" = Future()
         key: Optional[str] = None
         if self.cache.capacity:
@@ -355,7 +373,21 @@ class AlignmentService:
             pattern=pattern, text=text, group=traceback,
             future=future, key=key,
         )
-        self.coalescer.submit(entry)
+        try:
+            self.coalescer.submit(entry)
+        except Exception as exc:  # noqa: BLE001 - close() race
+            # Roll the admission slot back: leaving it incremented (and the
+            # pending record registered) would leak the slot and hang later
+            # identical submits on a list that never resolves.
+            error = ServiceClosedError("service is shutting down")
+            with self._lock:
+                self._inflight_pairs -= 1
+                waiters = (
+                    self._pending.pop(key, []) if key is not None else []
+                )
+            for waiter in waiters:
+                self._reject(waiter, error)
+            raise error from exc
         return future
 
     def align_pair(
@@ -415,6 +447,8 @@ class AlignmentService:
                 batch=batch,
                 payload=payload,
                 deadline=time.monotonic() + self.config.dispatch_timeout,
+                worker_pids=tuple(self.pool.worker_pids()),
+                generation=self.pool.generation,
             )
         )
 
@@ -423,19 +457,33 @@ class AlignmentService:
             item = self._collect_queue.get()
             if item is _STOP:
                 return
-            self._collect_one(item)
+            try:
+                self._collect_one(item)
+            except Exception as exc:  # noqa: BLE001 - collector must survive
+                # A dead collector strands every in-flight and future
+                # request (admission never drains, wedging the service at
+                # permanent 429): fail this shard's batch and keep going.
+                obs.inc("serve.collector.errors")
+                try:
+                    self._fail(item.batch, exc)
+                except Exception:  # noqa: BLE001 - last-ditch guard
+                    pass
 
     def _collect_one(self, shard: _InFlightShard) -> None:
         start = time.perf_counter()
         try:
-            timeout: Optional[float] = None
-            if self.pool.process_mode:
-                timeout = max(0.0, shard.deadline - time.monotonic())
-            outcome = shard.handle.get(timeout=timeout)
-        except Exception:  # noqa: BLE001 - lost worker / broken pool
+            outcome = self._await_shard(shard)
+        except _WorkerLost:
             outcome = self._recover(shard)
             if outcome is None:
                 return
+        except Exception as exc:  # noqa: BLE001 - application error
+            # The reply arrived promptly and was an exception: the shard
+            # *ran* and raised — an application error, not a lost worker.
+            # Fail only this batch; the pool is healthy and rebuilding it
+            # would abandon every other in-flight shard.
+            self._fail(shard.batch, exc)
+            return
         results, _stats, _seconds, _worker, buffers = outcome
         _absorb_obs_buffers(buffers)
         obs.observe_ns(
@@ -443,6 +491,45 @@ class AlignmentService:
             int((time.perf_counter() - start) * 1e9),
         )
         self._complete(shard.batch, results)
+
+    def _await_shard(self, shard: _InFlightShard):
+        """Wait for a shard's reply; raise :class:`_WorkerLost` on loss.
+
+        A missed deadline alone is not proof of a dead worker: the
+        collector drains shards serially, so under load a healthy shard
+        can still be queued in the pool when its dispatch-relative
+        deadline expires.  Before declaring the pool lost (a disruptive
+        call — rebuild abandons every other in-flight shard), verify the
+        symptom: the reply is absent *and* a worker from the dispatch-time
+        pid snapshot is gone (the pool replaces crashed processes, so a
+        changed pid set means a task may have died with its worker).
+        While the original workers all remain alive the shard is merely
+        queued, and it is granted another full deadline.
+        """
+        if not self.pool.process_mode:
+            return shard.handle.get()
+        while True:
+            if self.pool.generation != shard.generation:
+                # The pool this shard was dispatched to was rebuilt while
+                # the shard waited in the collect queue; unless the reply
+                # already landed, it never will — skip the deadline wait.
+                if shard.handle.ready():
+                    return shard.handle.get(timeout=0)
+                raise _WorkerLost() from None
+            try:
+                return shard.handle.get(
+                    timeout=max(0.0, shard.deadline - time.monotonic())
+                )
+            except (multiprocessing.TimeoutError, TimeoutError):
+                if shard.handle.ready():
+                    # The reply landed just as the deadline fired.
+                    return shard.handle.get(timeout=0)
+                alive = set(self.pool.worker_pids())
+                if not alive or not set(shard.worker_pids) <= alive:
+                    raise _WorkerLost() from None
+                shard.deadline = (
+                    time.monotonic() + self.config.dispatch_timeout
+                )
 
     def _recover(self, shard: _InFlightShard):
         """Crash path: rebuild the pool, re-run the shard inline.
@@ -485,11 +572,11 @@ class AlignmentService:
                 obs.observe(
                     "serve.queue.inflight_pairs", self._inflight_pairs
                 )
-            entry.future.set_result(self._from_cached(cached_entry))
+            self._resolve(entry.future, self._from_cached(cached_entry))
             for waiter in waiters:
                 # Attached duplicates did no kernel work of their own.
-                waiter.set_result(
-                    self._from_cached(cached_entry, cached=True)
+                self._resolve(
+                    waiter, self._from_cached(cached_entry, cached=True)
                 )
 
     def _fail(self, batch: List[PendingPair], exc: Exception) -> None:
@@ -502,12 +589,34 @@ class AlignmentService:
                     if entry.key is not None
                     else []
                 )
-            if not entry.future.done():
-                entry.future.set_exception(exc)
+            self._reject(entry.future, exc)
             for waiter in waiters:
-                if not waiter.done():
-                    waiter.set_exception(exc)
+                self._reject(waiter, exc)
         obs.inc("serve.failed", len(batch))
+
+    @staticmethod
+    def _resolve(future: "Future[ServeResult]", result: ServeResult) -> None:
+        """``set_result`` tolerant of a concurrent client-side cancel.
+
+        A client that cancels its future between the ``done()`` check and
+        the set would otherwise raise :class:`InvalidStateError` out of
+        the collector thread and kill it.
+        """
+        if future.done():
+            return
+        try:
+            future.set_result(result)
+        except InvalidStateError:
+            pass
+
+    @staticmethod
+    def _reject(future: Future, exc: Exception) -> None:
+        if future.done():
+            return
+        try:
+            future.set_exception(exc)
+        except InvalidStateError:
+            pass
 
     @staticmethod
     def _from_cached(

@@ -164,6 +164,61 @@ def test_missing_fields_400(server):
         assert "error" in payload
 
 
+def test_empty_sequences_400(server):
+    """Empty pattern/text must be rejected at the door, not in a shard."""
+    client, service, _url = server
+    for bad in ({"pattern": "", "text": "ACGT"},
+                {"pattern": "ACGT", "text": ""},
+                {"pairs": [["", "ACGT"]]},
+                {"pairs": [["ACGT", ""]]}):
+        status, _headers, payload = client.post("/align", bad)
+        assert status == 400, bad
+        assert "error" in payload
+    # The rejects never became shard work or recoveries.
+    assert service.pairs_failed == 0
+    assert service.shard_recoveries == 0
+
+
+def test_request_timeout_returns_504(server):
+    client, service, _url = server
+    pattern, text = _workload(count=1)[0]
+    original = service.align_pairs
+
+    def timing_out(*args, **kwargs):
+        import concurrent.futures
+
+        raise concurrent.futures.TimeoutError()
+
+    service.align_pairs = timing_out
+    try:
+        status, _headers, payload = client.post(
+            "/align", {"pattern": pattern, "text": text}
+        )
+    finally:
+        service.align_pairs = original
+    assert status == 504
+    assert "error" in payload
+
+
+def test_unexpected_error_returns_500_not_dropped_connection(server):
+    client, service, _url = server
+    pattern, text = _workload(count=1)[0]
+    original = service.align_pairs
+
+    def exploding(*args, **kwargs):
+        raise RuntimeError("boom")
+
+    service.align_pairs = exploding
+    try:
+        status, _headers, payload = client.post(
+            "/align", {"pattern": pattern, "text": text}
+        )
+    finally:
+        service.align_pairs = original
+    assert status == 500
+    assert "boom" in payload["error"]
+
+
 def test_saturation_returns_429_with_retry_after():
     gate = threading.Event()
 

@@ -2,6 +2,7 @@
 
 import multiprocessing
 import threading
+import time
 
 import pytest
 
@@ -41,6 +42,23 @@ class _GatedAligner(FullGmxAligner):
 
     def align(self, pattern, text, traceback=True):
         self.gate.wait(timeout=30)
+        return super().align(pattern, text, traceback=traceback)
+
+
+class _PoisonAligner(FullGmxAligner):
+    """Aligner that raises on a marker pattern (application-error drills)."""
+
+    def align(self, pattern, text, traceback=True):
+        if pattern == "POISON":
+            raise ValueError("poisoned pair")
+        return super().align(pattern, text, traceback=traceback)
+
+
+class _SlowAligner(FullGmxAligner):
+    """Picklable aligner slower than the service's dispatch deadline."""
+
+    def align(self, pattern, text, traceback=True):
+        time.sleep(0.5)
         return super().align(pattern, text, traceback=traceback)
 
 
@@ -219,6 +237,94 @@ def test_process_mode_identical_to_serial():
     assert _rows(served) == _rows(serial.results)
     assert [r.stats for r in served] == [r.stats for r in serial.results]
     assert health["executor"] in ("fork", "spawn", "forkserver")
+
+
+def test_empty_pair_rejected_before_dispatch():
+    """Empty sequences are a 400-class submit error, never a shard error."""
+    with AlignmentService(config=ServeConfig(workers=1)) as service:
+        for bad in (("", "ACGT"), ("ACGT", ""), ("", "")):
+            with pytest.raises(ServeError):
+                service.submit(*bad)
+        # The rejections never reached a shard: nothing failed, nothing
+        # recovered, and the service still serves.
+        pattern, text = _workload(count=1)[0]
+        result = service.align_pair(pattern, text)
+        assert result.score == FullGmxAligner().align(pattern, text).score
+        assert service.pairs_failed == 0
+        assert service.shard_recoveries == 0
+        assert service.pool.rebuilds == 0
+
+
+def test_application_error_fails_batch_without_pool_rebuild():
+    """A shard that ran and raised is an app error, not a lost worker."""
+    workload = _workload(count=2, seed=43)
+    config = ServeConfig(workers=1, cache_size=0, coalesce_window=0.0)
+    with AlignmentService(_PoisonAligner(), config=config) as service:
+        poisoned = service.submit("POISON", "ACGT")
+        with pytest.raises(ValueError):
+            poisoned.result(timeout=30)
+        # No recovery theatre: the pool was healthy the whole time...
+        assert service.shard_recoveries == 0
+        assert service.pool.rebuilds == 0
+        assert service.pairs_failed == 1
+        # ...and unrelated requests are untouched.
+        results = service.align_pairs(workload)
+        assert len(results) == 2
+        assert service.inflight_pairs == 0
+
+
+def test_cancelled_future_does_not_kill_collector():
+    """A client-side cancel must not crash the collector thread."""
+    gate = threading.Event()
+    workload = _workload(count=2, seed=47)
+    config = ServeConfig(workers=1, cache_size=0, coalesce_window=0.0)
+    service = AlignmentService(_GatedAligner(gate), config=config)
+    with service:
+        future = service.submit(*workload[0])
+        future.cancel()
+        gate.set()
+        # The collector survived resolving a cancelled future: later
+        # requests still complete instead of hanging until timeout.
+        result = service.align_pair(*workload[1], timeout=30)
+        assert result.score is not None
+        for _ in range(200):
+            if service.inflight_pairs == 0:
+                break
+            time.sleep(0.01)
+        assert service.inflight_pairs == 0
+
+
+def test_submit_rolls_back_admission_on_coalescer_failure():
+    """A failed hand-off must release the admission slot it claimed."""
+    service = AlignmentService(config=ServeConfig(workers=1))
+    with service:
+        pattern, text = _workload(count=1)[0]
+        # Simulate the close() race: the coalescer stops accepting while
+        # the service still believes it is open.
+        service.coalescer.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(pattern, text)
+        assert service.inflight_pairs == 0
+        assert service._pending == {}
+
+
+@needs_processes
+def test_slow_healthy_shard_is_not_declared_lost():
+    """Deadline expiry alone must not rebuild the pool: verify death."""
+    config = ServeConfig(
+        workers=2, cache_size=0, coalesce_window=0.0,
+        dispatch_timeout=0.15, request_timeout=30.0,
+    )
+    with AlignmentService(_SlowAligner(), config=config) as service:
+        if not service.pool.process_mode:
+            pytest.skip("aligner did not reach process mode")
+        pattern, text = _workload(count=1)[0]
+        result = service.align_pair(pattern, text, timeout=30)
+        assert result.score == FullGmxAligner().align(pattern, text).score
+        # The shard blew through several dispatch deadlines while its
+        # worker stayed alive — no spurious recovery, no rebuild.
+        assert service.shard_recoveries == 0
+        assert service.pool.rebuilds == 0
 
 
 def test_unpicklable_aligner_falls_back_inline():
