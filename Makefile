@@ -24,12 +24,16 @@
 # `serve-test` runs the alignment-service suites (cache, coalescer, pool
 # lifecycle, service, HTTP, obs drain, load smoke) plus the serving-path
 # chaos drill through the CLI (`repro chaos --serve`).
+# `dist-test` runs the distributed-execution suites (protocol, packing,
+# worker node, coordinator, dist chaos) plus the multi-node chaos drill
+# through the CLI (`repro chaos --dist`: 3 supervised localhost worker
+# processes, seeded node faults, byte-identical + exactly-once proof).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize serve-test
+.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize serve-test dist-test
 
 test:
 	$(PYTEST) -x -q
@@ -65,6 +69,11 @@ serve-test:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --serve --pairs 16 --workers 2
 	PYTHONPATH=src $(PYTHON) -m repro bench serve \
 		--requests 60 --clients 4 --unique 12 --workers 2
+
+dist-test:
+	$(PYTEST) -q tests/dist
+	PYTHONPATH=src $(PYTHON) -m repro chaos --dist \
+		--seed 29 --faults 30 --nodes 3 --length 32 --lease-timeout 1.2
 
 bench:
 	$(PYTEST) -q benchmarks

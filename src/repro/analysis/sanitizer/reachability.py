@@ -72,6 +72,7 @@ DEFAULT_ROOTS = (
     "align/parallel.py::_align_shard",
     "resilience/engine.py::_process_entry",
     "serve/service.py::_serve_shard",
+    "dist/worker.py::_execute_dist_shard",
 )
 
 #: Attribute names that act as ambient hooks when assigned on any object.

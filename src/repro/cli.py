@@ -25,7 +25,15 @@ Five commands cover the library's workflows:
   out byte-identical to a fault-free serial run with every injected
   fault accounted for; exits non-zero otherwise; ``--serve`` runs the
   serving-path drill instead (kill a pool worker mid-request; the
-  request must still complete with the correct result);
+  request must still complete with the correct result); ``--dist``
+  runs the distributed drill (node kill/hang/slow/partition faults
+  across real localhost worker processes with exactly-once
+  accounting);
+* ``dist``       — distributed shard execution (:mod:`repro.dist`):
+  ``dist worker`` runs one worker node (a warm pool behind HTTP),
+  ``dist coordinator`` leases a batch's shards across nodes with
+  heartbeats, lease-epoch fencing, and journal-backed exactly-once
+  accounting;
 * ``serve``      — run the alignment service (:mod:`repro.serve`): an
   HTTP server with a warm worker pool, request coalescing, a
   content-addressed result cache, and admission control
@@ -344,6 +352,124 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dispatch-timeout", type=float, default=3.0, metavar="SECONDS",
         help="shard-loss detection deadline for the --serve drill",
     )
+    chaos.add_argument(
+        "--dist",
+        action="store_true",
+        help="distributed drill: node kill/hang/slow/partition faults "
+        "across real localhost worker processes; the batch must complete "
+        "byte-identical to serial with exactly-once accounting",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=3, metavar="N",
+        help="worker-node processes for the --dist drill",
+    )
+    chaos.add_argument(
+        "--node-workers", type=int, default=1, metavar="N",
+        help="warm pool size inside each --dist node",
+    )
+    chaos.add_argument(
+        "--lease-timeout", type=float, default=1.2, metavar="SECONDS",
+        help="shard lease deadline for the --dist drill",
+    )
+
+    dist = commands.add_parser(
+        "dist",
+        help="distributed shard execution (repro.dist): worker/coordinator",
+    )
+    dist_commands = dist.add_subparsers(dest="dist_command", required=True)
+    dist_worker = dist_commands.add_parser(
+        "worker", help="run one worker node (warm pool behind HTTP)"
+    )
+    dist_worker.add_argument("--host", default="127.0.0.1")
+    dist_worker.add_argument("--port", type=int, default=8876)
+    dist_worker.add_argument(
+        "--node", default=None, metavar="NAME",
+        help="node name reported to the coordinator (default host:port)",
+    )
+    dist_worker.add_argument(
+        "--incarnation", type=int, default=1, metavar="N",
+        help="restart counter; bump on every supervisor respawn",
+    )
+    dist_worker.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="warm worker-pool size inside the node",
+    )
+    dist_worker.add_argument(
+        "--algorithm",
+        choices=sorted(ALIGNER_FACTORIES),
+        default="full-gmx",
+    )
+    dist_worker.add_argument(
+        "--mode",
+        choices=[mode.value for mode in AlignmentMode],
+        default="global",
+    )
+    dist_worker.add_argument("--tile-size", type=int, default=32)
+    dist_worker.add_argument(
+        "--fused", action="store_true",
+        help="use the dual-destination gmx.vh tile instruction (full-gmx)",
+    )
+    dist_worker.add_argument(
+        "--backend",
+        choices=backend_names(available_only=False),
+        default=None,
+        help="kernel backend for the GMX aligners",
+    )
+    dist_coord = dist_commands.add_parser(
+        "coordinator",
+        help="lease a batch's shards across worker nodes and collect "
+        "results with exactly-once accounting",
+    )
+    dist_coord.add_argument(
+        "--node", action="append", required=True, metavar="URL",
+        dest="node_urls",
+        help="worker node base URL (repeat per node), e.g. "
+        "http://127.0.0.1:8876",
+    )
+    dist_coord.add_argument(
+        "--pairs", metavar="FILE", required=True,
+        help="align every pair of a .seq/FASTA/FASTQ file",
+    )
+    dist_coord.add_argument(
+        "--algorithm",
+        choices=sorted(ALIGNER_FACTORIES),
+        default="full-gmx",
+    )
+    dist_coord.add_argument(
+        "--mode",
+        choices=[mode.value for mode in AlignmentMode],
+        default="global",
+    )
+    dist_coord.add_argument("--tile-size", type=int, default=32)
+    dist_coord.add_argument(
+        "--fused", action="store_true",
+        help="use the dual-destination gmx.vh tile instruction (full-gmx)",
+    )
+    dist_coord.add_argument(
+        "--backend",
+        choices=backend_names(available_only=False),
+        default=None,
+        help="kernel backend for the GMX aligners",
+    )
+    dist_coord.add_argument(
+        "--no-traceback", action="store_true", help="distance only"
+    )
+    dist_coord.add_argument(
+        "--shard-size", type=int, default=None, metavar="PAIRS",
+        help="pair cap per packed shard",
+    )
+    dist_coord.add_argument(
+        "--lease-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="shard lease deadline before reassignment",
+    )
+    dist_coord.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="journal completed shards to FILE and resume from it",
+    )
+    dist_coord.add_argument(
+        "--stats", action="store_true",
+        help="print per-node and accounting statistics",
+    )
 
     serve = commands.add_parser(
         "serve", help="run the alignment HTTP service (repro.serve)"
@@ -394,6 +520,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--dispatch-timeout", type=float, default=30.0, metavar="SECONDS",
         help="shard deadline before the pool is declared lost and rebuilt",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="RPS",
+        help="per-client token-bucket rate limit in requests/second "
+        "(keyed on the X-Client-Id header; 0 disables)",
+    )
+    serve.add_argument(
+        "--rate-limit-burst", type=float, default=0.0, metavar="TOKENS",
+        help="token-bucket burst capacity (0 picks a default)",
     )
 
     bench = commands.add_parser(
@@ -859,6 +994,8 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         max_inflight=args.max_inflight,
         dispatch_timeout=args.dispatch_timeout,
+        rate_limit_rps=args.rate_limit,
+        rate_limit_burst=args.rate_limit_burst,
     )
     try:
         service = AlignmentService(aligner, config=config)
@@ -923,6 +1060,28 @@ def _cmd_chaos(args) -> int:
 
     from .resilience import run_campaign
 
+    if args.dist:
+        from .dist import run_dist_campaign
+
+        report = run_dist_campaign(
+            seed=args.seed,
+            faults=args.faults,
+            nodes=args.nodes,
+            node_workers=args.node_workers,
+            length=args.length,
+            error_rate=args.error,
+            shard_size=args.shard_size,
+            lease_timeout=args.lease_timeout,
+            checkpoint=args.checkpoint,
+        )
+        print(report.render())
+        if args.json:
+            Path(args.json).write_text(
+                json_module.dumps(report.to_dict(), indent=2)
+            )
+            print(f"wrote dist chaos report to {args.json}")
+        return 0 if report.ok else 1
+
     if args.serve:
         from .serve.chaos import run_serve_chaos
 
@@ -961,6 +1120,110 @@ def _cmd_chaos(args) -> int:
         )
         print(f"wrote campaign report to {args.json}")
     return 0 if report.ok else 1
+
+
+def _cmd_dist(args) -> int:
+    if args.dist_command == "worker":
+        return _cmd_dist_worker(args)
+    return _cmd_dist_coordinator(args)
+
+
+def _cmd_dist_worker(args) -> int:
+    from .dist import run_worker
+
+    aligner = _serve_aligner(args)
+    if aligner is None:
+        return 2
+    node = args.node or f"{args.host}:{args.port}"
+
+    def _on_bound(host: str, port: int) -> None:
+        print(
+            f"dist worker {node!r} (incarnation {args.incarnation}) "
+            f"serving {args.algorithm} on http://{host}:{port} "
+            f"(pool workers={args.workers})"
+        )
+        print("endpoints: GET /health, POST /shard — Ctrl-C stops")
+
+    try:
+        run_worker(
+            aligner,
+            host=args.host,
+            port=args.port,
+            node=node,
+            incarnation=args.incarnation,
+            workers=args.workers,
+            on_bound=_on_bound,
+        )
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_dist_coordinator(args) -> int:
+    from .dist import DistConfig, DistCoordinator, DistError, NodeHandle
+    from .workloads.seqio import iter_pairs
+
+    aligner = _serve_aligner(args)
+    if aligner is None:
+        return 2
+    nodes = [
+        NodeHandle(name=f"node{index}", url=url.rstrip("/"))
+        for index, url in enumerate(args.node_urls)
+    ]
+    if args.shard_size is not None and args.shard_size < 1:
+        print(
+            f"error: --shard-size must be >= 1, got {args.shard_size}",
+            file=sys.stderr,
+        )
+        return 2
+    pairs = list(iter_pairs(args.pairs))
+    config = DistConfig(
+        lease_timeout=args.lease_timeout,
+        shard_size=args.shard_size,
+    )
+    coordinator = DistCoordinator(
+        aligner,
+        nodes,
+        config=config,
+        checkpoint=args.checkpoint,
+    )
+    try:
+        outcome = coordinator.run(pairs, traceback=not args.no_traceback)
+    except DistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counters = outcome.counters
+    print(
+        f"aligned {outcome.pairs} pairs across {counters.shards} shards "
+        f"on {len(nodes)} node(s)"
+    )
+    print(
+        f"leases: {counters.leases_granted} granted, "
+        f"{counters.leases_expired} expired, "
+        f"{counters.stale_discards} stale discarded, "
+        f"{counters.retries} retries, "
+        f"{counters.local_shards} local, "
+        f"{counters.resumed_shards} resumed"
+    )
+    if args.stats:
+        for name, state in sorted(outcome.nodes.items()):
+            print(
+                f"  {name}: completed={state['completed']} "
+                f"failures={state['failures']} "
+                f"stale={state['stale_replies']} "
+                f"alive={state['alive']} "
+                f"quarantined={state['quarantined']}"
+            )
+        stats = outcome.stats
+        print(
+            f"kernel: {stats.total_instructions} instructions, "
+            f"{stats.dp_cells} DP cells"
+        )
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -1059,6 +1322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": _cmd_lint,
         "sanitize": _cmd_sanitize,
         "chaos": _cmd_chaos,
+        "dist": _cmd_dist,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
         "profile": _cmd_profile,

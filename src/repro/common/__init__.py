@@ -1,0 +1,10 @@
+"""Cross-subsystem utilities shared by the engines and the services.
+
+Code here must stay dependency-light: it is imported by the resilience
+engine, the serving stack, and the distributed coordinator alike, so it
+may depend only on the standard library.
+"""
+
+from .retry import RetryPolicy
+
+__all__ = ["RetryPolicy"]

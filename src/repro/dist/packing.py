@@ -1,0 +1,120 @@
+"""Predicted-cost shard packing and node selection.
+
+The coordinator does not know how long a shard will take on any given
+node, but it *can* predict the relative kernel work per pair from the
+closed-form cost model (:func:`repro.sim.cost_model.predict_pair_cost`
+— Scrooge's work-avoidance framing: never pay for an alignment to learn
+its price).  Packing uses that signal twice:
+
+* **shard cutting** — contiguous pairs are greedily packed until either
+  the pair cap or the cost budget is hit, so one monster pair does not
+  ride in a shard with fifteen cheap ones.  Shards stay contiguous
+  ``[lo, hi)`` ranges because the checkpoint journal keys on ranges.
+* **node choice** — every node carries an EWMA of its measured speed
+  (predicted cost per wall second) and the predicted cost of its
+  outstanding leases; the next shard goes to the node that would finish
+  it soonest.  A fresh node with no history gets optimistic defaults so
+  it is probed early.  Ties break by node name — deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..align.batch import PairLike
+from ..align.parallel import DEFAULT_SHARD_SIZE, iter_shards
+from ..sim.cost_model import predict_pair_cost
+
+
+@dataclass
+class PackedShard:
+    """One contiguous work item with its predicted kernel cost."""
+
+    shard_id: int
+    lo: int
+    hi: int
+    pairs: List[Tuple[str, str]]
+    cost: int
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+
+def pack_shards(
+    aligner,
+    pairs: Iterable[PairLike],
+    *,
+    shard_size: Optional[int] = None,
+    traceback: bool = True,
+    cost_budget: Optional[int] = None,
+) -> List[PackedShard]:
+    """Cut ``pairs`` into contiguous, cost-annotated shards.
+
+    ``shard_size`` caps the pair count per shard; ``cost_budget`` caps
+    its predicted cost (default: ``shard_size`` x the batch's mean pair
+    cost, so uniform batches pack exactly like the plain sharder while
+    skewed batches split around expensive pairs).  A single pair always
+    fits, whatever its cost — shards are never empty.
+    """
+    size = shard_size if shard_size is not None else DEFAULT_SHARD_SIZE
+    if size < 1:
+        raise ValueError(f"shard size must be positive, got {size}")
+    flat: List[Tuple[str, str]] = []
+    for shard in iter_shards(pairs, 1024):
+        flat.extend(shard)
+    costs = [
+        predict_pair_cost(
+            aligner, len(pattern), len(text), traceback=traceback
+        )
+        for pattern, text in flat
+    ]
+    if cost_budget is None and flat:
+        cost_budget = max(1, (sum(costs) // len(flat)) * size)
+    packed: List[PackedShard] = []
+    lo = 0
+    current: List[Tuple[str, str]] = []
+    current_cost = 0
+    for index, (pair, cost) in enumerate(zip(flat, costs)):
+        if current and (
+            len(current) >= size
+            or (cost_budget is not None and current_cost + cost > cost_budget)
+        ):
+            packed.append(
+                PackedShard(len(packed), lo, index, current, current_cost)
+            )
+            lo = index
+            current = []
+            current_cost = 0
+        current.append(pair)
+        current_cost += cost
+    if current:
+        packed.append(
+            PackedShard(len(packed), lo, len(flat), current, current_cost)
+        )
+    return packed
+
+
+def pick_node(
+    candidates: Sequence[Tuple[str, int, float]],
+    shard_cost: int,
+) -> Optional[str]:
+    """Choose the node expected to finish ``shard_cost`` units soonest.
+
+    ``candidates`` rows are ``(name, outstanding_cost, ewma_speed)`` with
+    speed in predicted-cost units per second (0 = no history yet → the
+    node is probed with the optimistic assumption it is instantaneous).
+    Returns the chosen name, or ``None`` when no candidates exist.
+    """
+    best_name: Optional[str] = None
+    best_eta: Optional[float] = None
+    for name, outstanding, speed in sorted(candidates):
+        if speed <= 0.0:
+            eta = 0.0 if outstanding <= 0 else float(outstanding)
+        else:
+            eta = (outstanding + shard_cost) / speed
+        if best_eta is None or eta < best_eta:
+            best_eta = eta
+            best_name = name
+    return best_name

@@ -24,6 +24,7 @@ reversible, and validation re-runs on load).
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -127,8 +128,15 @@ class CheckpointJournal:
                 handle.write(json.dumps(header) + "\n")
 
     def _load(self) -> None:
-        with self.path.open() as handle:
-            lines = [line for line in handle if line.strip()]
+        raw = self.path.read_bytes()
+        lines: List[str] = []
+        offsets: List[int] = []  # byte offset of each kept line
+        position = 0
+        for chunk in raw.splitlines(keepends=True):
+            if chunk.strip():
+                lines.append(chunk.decode("utf-8", "replace"))
+                offsets.append(position)
+            position += len(chunk)
         if not lines:
             raise CheckpointError(f"{self.path}: empty journal")
         try:
@@ -153,15 +161,34 @@ class CheckpointJournal:
                     f"{self.path}: journal belongs to a different run "
                     f"({key}: journal={header.get(key)!r}, run={value!r})"
                 )
-        for index, line in enumerate(lines[1:], start=2):
+        body = lines[1:]
+        for position_index, line in enumerate(body):
+            index = position_index + 2
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError as exc:
+                lo, hi = entry["lo"], entry["hi"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if position_index == len(body) - 1:
+                    # A crash mid-append leaves exactly one torn record,
+                    # and only at the tail.  Drop it — the work item it
+                    # described was never acknowledged, so re-running it
+                    # is safe — and truncate the file back to the last
+                    # intact record so the next append starts cleanly.
+                    warnings.warn(
+                        f"{self.path}: dropping torn trailing journal "
+                        f"entry at line {index} (crash mid-write?): {exc}",
+                        stacklevel=2,
+                    )
+                    with self.path.open("r+b") as handle:
+                        handle.truncate(offsets[1:][position_index])
+                    break
+                # Garbage *before* intact records is not a torn append —
+                # the file was edited or corrupted; refuse to guess.
                 raise CheckpointError(
                     f"{self.path}: line {index}: malformed journal entry "
-                    f"(torn write?): {exc}"
+                    f"(not a torn tail — followed by valid records): {exc}"
                 ) from exc
-            self.entries[(entry["lo"], entry["hi"])] = entry
+            self.entries[(lo, hi)] = entry
 
     def lookup(
         self, lo: int, hi: int, checksum: int
@@ -183,6 +210,15 @@ class CheckpointJournal:
         results = [deserialize_result(item) for item in entry["results"]]
         return results, list(entry.get("quarantined", ()))
 
+    def has(self, lo: int, hi: int) -> bool:
+        """True when item ``[lo, hi)`` is already journalled.
+
+        Used by the distributed coordinator as the exactly-once gate: a
+        completion whose range is already present must not be recorded
+        (or accounted) a second time, whatever node it came from.
+        """
+        return (lo, hi) in self.entries
+
     def record(
         self,
         lo: int,
@@ -190,8 +226,18 @@ class CheckpointJournal:
         checksum: int,
         results: Sequence[AlignmentResult],
         quarantined: Sequence[dict] = (),
+        *,
+        epoch: Optional[int] = None,
+        node: Optional[str] = None,
     ) -> None:
-        """Append one completed item and flush it to disk."""
+        """Append one completed item and flush it to disk.
+
+        ``epoch`` and ``node`` are optional provenance fields written by
+        the distributed coordinator: the lease epoch under which the
+        shard completed and the node that executed it.  They do not
+        participate in lookup keys — exactly-once accounting is keyed on
+        the ``[lo, hi)`` range alone.
+        """
         entry = {
             "lo": lo,
             "hi": hi,
@@ -199,6 +245,10 @@ class CheckpointJournal:
             "results": [serialize_result(result) for result in results],
             "quarantined": list(quarantined),
         }
+        if epoch is not None:
+            entry["epoch"] = epoch
+        if node is not None:
+            entry["node"] = node
         with self.path.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
             handle.flush()

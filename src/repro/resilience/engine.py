@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import contextlib
 import pickle
-import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -55,6 +54,7 @@ from ..align.parallel import (
     _resolve_start_method,
     iter_shards,
 )
+from ..common.retry import RetryPolicy
 from ..core.cigar import AlignmentError
 from ..obs import runtime as obs
 from ..obs.metrics import snapshot_from_dict
@@ -75,33 +75,6 @@ DEFAULT_CHAOS_TIMEOUT = 5.0
 
 class CrossCheckError(RuntimeError):
     """A result failed independent verification (score/CIGAR/trace)."""
-
-
-@dataclass
-class RetryPolicy:
-    """Seeded exponential backoff with deterministic jitter.
-
-    Attributes:
-        max_retries: retries per work item after its first attempt.
-        backoff_base: delay before the first retry, in seconds.
-        backoff_factor: multiplier per further retry.
-        jitter: fractional jitter added on top (0.25 = up to +25%).
-        seed: seed of the jitter stream (same seed → same delays).
-    """
-
-    max_retries: int = 2
-    backoff_base: float = 0.02
-    backoff_factor: float = 2.0
-    jitter: float = 0.25
-    seed: int = 0
-
-    def delay(self, key: int, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (1-based) of item ``key``."""
-        rng = random.Random(
-            (self.seed << 24) ^ (key << 8) ^ attempt
-        )
-        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
-        return base * (1.0 + self.jitter * rng.random())
 
 
 @dataclass

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 from ..align.parallel import WorkerPool
+from ..common.retry import RetryPolicy
 from ..workloads.generator import generate_pair_set
 from .http import running_server
 from .service import AlignmentService, ServeConfig, _serve_shard
@@ -146,36 +147,59 @@ def _client_worker(
     schedule: List[Tuple[str, str]],
     latencies: List[int],
     errors: List[int],
+    retry: Optional[RetryPolicy] = None,
 ) -> None:
-    """One load-generator client: its own connection, its own schedule."""
+    """One load-generator client: its own connection, its own schedule.
+
+    A ``429`` response is retried under the shared seeded
+    :class:`~repro.common.retry.RetryPolicy` — sleeping at least the
+    server's ``Retry-After`` hint — so a rate-limited bench degrades to
+    back-pressure instead of error noise.  Retries exhausted, the 429
+    counts as an error like any other non-200.
+    """
+    policy = retry if retry is not None else RetryPolicy(max_retries=0)
     parts = urlsplit(base_url)
     conn = http.client.HTTPConnection(
         parts.hostname, parts.port, timeout=60
     )
     try:
-        for pattern, text in schedule:
+        for index, (pattern, text) in enumerate(schedule):
             body = json.dumps({"pattern": pattern, "text": text})
             start = time.perf_counter_ns()
-            try:
-                conn.request(
-                    "POST",
-                    "/align",
-                    body=body,
-                    headers={"Content-Type": "application/json"},
-                )
-                response = conn.getresponse()
-                payload = response.read()
+            attempt = 0
+            while True:
+                try:
+                    conn.request(
+                        "POST",
+                        "/align",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    payload = response.read()
+                except (OSError, http.client.HTTPException):
+                    errors.append(-1)
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        parts.hostname, parts.port, timeout=60
+                    )
+                    break
+                if response.status == 429 and attempt < policy.max_retries:
+                    attempt += 1
+                    hint = 0.0
+                    header = response.getheader("Retry-After")
+                    if header:
+                        try:
+                            hint = float(header)
+                        except ValueError:
+                            hint = 0.0
+                    time.sleep(max(hint, policy.delay(index, attempt)))
+                    continue
                 if response.status != 200 or not payload:
                     errors.append(response.status)
-                    continue
-            except (OSError, http.client.HTTPException):
-                errors.append(-1)
-                conn.close()
-                conn = http.client.HTTPConnection(
-                    parts.hostname, parts.port, timeout=60
-                )
-                continue
-            latencies.append(time.perf_counter_ns() - start)
+                    break
+                latencies.append(time.perf_counter_ns() - start)
+                break
     finally:
         conn.close()
 
@@ -278,7 +302,13 @@ def run_serve_bench(
         threads = [
             threading.Thread(
                 target=_client_worker,
-                args=(base_url, shard, latencies, errors),
+                args=(
+                    base_url,
+                    shard,
+                    latencies,
+                    errors,
+                    RetryPolicy(max_retries=2, seed=seed + index),
+                ),
                 name=f"bench-client-{index}",
             )
             for index, shard in enumerate(shards)

@@ -8,6 +8,8 @@ Endpoints:
     optional ``"traceback": false`` requests distance-only alignment.
     Response: ``{"pairs": n, "results": [{score, cigar, exact,
     text_start, text_end, cached}, ...]}`` in input order.  Saturation
+    — and, when configured, per-client rate limiting keyed on the
+    ``X-Client-Id`` header (peer address when absent) —
     returns ``429`` with a ``Retry-After`` header; malformed input
     (including empty sequences) returns ``400``; a request that outlives
     the service's ``request_timeout`` returns ``504``; any unexpected
@@ -36,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Iterator, List, Optional, Tuple
 
 from ..obs import runtime as obs
+from .ratelimit import RateLimitedError
 from .service import AlignmentService, ServeError, ServiceSaturatedError
 
 #: Refuse request bodies larger than this (defense against misdirected uploads).
@@ -99,6 +102,13 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         """Silence per-request stderr logging; obs metrics cover it."""
 
+    def _client_id(self) -> str:
+        """Rate-limit key: ``X-Client-Id`` header, else the peer address."""
+        header = self.headers.get("X-Client-Id", "").strip()
+        if header:
+            return header[:128]
+        return self.client_address[0]
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/health":
             self._send_json(200, self.service.health())
@@ -129,9 +139,19 @@ class AlignmentRequestHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length)
         try:
             pairs, traceback = _parse_align_request(body)
+            limiter = self.service.rate_limiter
+            if limiter is not None:
+                limiter.check(self._client_id(), cost=len(pairs))
             results = self.service.align_pairs(pairs, traceback=traceback)
         except RequestError as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        except RateLimitedError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
             return
         except ServiceSaturatedError as exc:
             self._send_json(

@@ -1,0 +1,136 @@
+"""Per-client token-bucket rate limiting for the alignment service.
+
+Each client (identified by the ``X-Client-Id`` request header, falling
+back to the peer address) gets its own token bucket: tokens accrue at
+``rate`` per second up to ``burst``, and every admitted request spends
+one token per pair.  A request that cannot be paid for is rejected with
+a :class:`RateLimitedError` carrying a ``retry_after`` hint — the exact
+time until the bucket holds enough tokens — which the HTTP layer turns
+into ``429`` + ``Retry-After``.
+
+Requests costing more than ``burst`` tokens are admitted once the bucket
+is *full* (the bucket briefly goes negative); otherwise a single large
+batch could never be served at all.
+
+The limiter is self-contained and clock-injectable so tests can drive
+it deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from .service import ServeError
+
+#: Stop tracking more than this many distinct clients; the least
+#: recently seen bucket is evicted (it refills to ``burst`` anyway).
+MAX_TRACKED_CLIENTS = 4096
+
+
+class RateLimitedError(ServeError):
+    """A client exceeded its token budget (maps to HTTP 429).
+
+    Attributes:
+        client: the client id whose bucket ran dry.
+        retry_after: seconds until the bucket can pay for this request.
+    """
+
+    def __init__(self, client: str, retry_after: float) -> None:
+        super().__init__(
+            f"client {client!r} rate-limited; retry after {retry_after:.3f}s"
+        )
+        self.client = client
+        self.retry_after = retry_after
+
+
+class _Bucket:
+    """One client's token bucket (protected by the limiter's lock)."""
+
+    __slots__ = ("tokens", "stamp")
+
+    def __init__(self, tokens: float, stamp: float) -> None:
+        self.tokens = tokens
+        self.stamp = stamp
+
+
+class RateLimiter:
+    """Token buckets keyed by client id.
+
+    Args:
+        rate: tokens (pairs) replenished per second, per client.
+        burst: bucket capacity; also the largest cost payable at once
+            without dipping into debt.
+        clock: monotonic time source (test hook).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ServeError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ServeError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, _Bucket]" = OrderedDict()
+        self.allowed = 0
+        self.rejected = 0
+
+    def check(self, client: str, cost: int = 1) -> None:
+        """Admit ``cost`` tokens for ``client`` or raise.
+
+        Raises:
+            RateLimitedError: with the precise ``retry_after`` hint when
+                the client's bucket cannot pay.
+        """
+        if cost < 1:
+            cost = 1
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.pop(client, None)
+            if bucket is None:
+                bucket = _Bucket(self.burst, now)
+            else:
+                elapsed = max(0.0, now - bucket.stamp)
+                bucket.tokens = min(
+                    self.burst, bucket.tokens + elapsed * self.rate
+                )
+                bucket.stamp = now
+            # A cost above the burst capacity is payable only when the
+            # bucket is full; cap the price so it is admittable at all.
+            price = min(float(cost), self.burst)
+            if bucket.tokens < price:
+                retry_after = (price - bucket.tokens) / self.rate
+                self._buckets[client] = bucket
+                self._evict()
+                self.rejected += 1
+                raise RateLimitedError(client, retry_after)
+            bucket.tokens -= float(cost)
+            self._buckets[client] = bucket
+            self._evict()
+            self.allowed += 1
+
+    def _evict(self) -> None:
+        """Drop least-recently-seen buckets beyond the tracking cap."""
+        while len(self._buckets) > MAX_TRACKED_CLIENTS:
+            self._buckets.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        """Gauges for ``/metrics``."""
+        with self._lock:
+            return {
+                "rate_per_second": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "allowed": self.allowed,
+                "rejected": self.rejected,
+            }

@@ -151,6 +151,10 @@ class ServeConfig:
             re-executes the shard inline.
         request_timeout: seconds a blocking helper waits for one request.
         retry_after: the ``Retry-After`` hint handed to rejected clients.
+        rate_limit_rps: per-client token-bucket refill rate in pairs per
+            second (0 disables rate limiting).
+        rate_limit_burst: per-client bucket capacity in pairs (0 means
+            ``max(coalesce_max_pairs, rate_limit_rps)``).
         start_method: multiprocessing start method override (testing hook).
     """
 
@@ -162,6 +166,8 @@ class ServeConfig:
     dispatch_timeout: float = 30.0
     request_timeout: float = 60.0
     retry_after: float = 0.25
+    rate_limit_rps: float = 0.0
+    rate_limit_burst: float = 0.0
     start_method: Optional[str] = None
 
 
@@ -222,6 +228,19 @@ class AlignmentService:
             workers, start_method=self.config.start_method
         )
         self.cache = AlignmentCache(self.config.cache_size)
+        # Imported here, not at module top: ratelimit derives its error
+        # from ServeError, so the modules would import-cycle otherwise.
+        from .ratelimit import RateLimiter
+
+        self.rate_limiter: Optional[RateLimiter] = None
+        if self.config.rate_limit_rps > 0:
+            burst = self.config.rate_limit_burst or max(
+                float(self.config.coalesce_max_pairs),
+                self.config.rate_limit_rps,
+            )
+            self.rate_limiter = RateLimiter(
+                self.config.rate_limit_rps, burst
+            )
         self._fingerprint = aligner_fingerprint(self.aligner)
         self.coalescer = Coalescer(
             self._dispatch,
@@ -691,4 +710,9 @@ class AlignmentService:
                 "fallback_reason": self.fallback_reason,
             },
             "requests": requests,
+            "rate_limit": (
+                self.rate_limiter.snapshot()
+                if self.rate_limiter is not None
+                else {"rate_per_second": 0.0}
+            ),
         }

@@ -1,0 +1,89 @@
+"""Distributed chaos campaigns: real processes, real faults, exact proof.
+
+Marked ``chaos`` (like the resilience campaigns) so CI can run the drill
+standalone; the campaign here is deliberately small so the default suite
+stays fast — ``repro chaos --dist`` runs the full 100-fault version.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.align import FullGmxAligner
+from repro.dist import NodeSupervisor, run_dist_campaign
+
+HAS_PROCESSES = bool(multiprocessing.get_all_start_methods())
+
+needs_processes = pytest.mark.skipif(
+    not HAS_PROCESSES, reason="no multiprocessing start method available"
+)
+
+pytestmark = [pytest.mark.chaos, needs_processes]
+
+
+@pytest.mark.slow
+def test_small_campaign_survives_every_fault_kind():
+    report = run_dist_campaign(
+        seed=13,
+        faults=8,
+        nodes=2,
+        length=32,
+        lease_timeout=1.0,
+    )
+    assert report.identical, "batch must be byte-identical to serial"
+    assert report.accounted, "every planned fault needs a terminal outcome"
+    assert report.exactly_once, "journal must hold one record per shard"
+    assert report.ok
+    assert report.faults == 8
+    assert sum(report.outcomes.values()) == 8
+    # Only terminal outcomes may appear in the ledger histogram.
+    assert set(report.outcomes) <= {
+        "absorbed", "retried", "expired", "stale-discarded", "degraded"
+    }
+    assert report.journal_entries == report.shards
+
+
+@pytest.mark.slow
+def test_campaign_is_seed_deterministic_in_plan():
+    from repro.dist import NodeFaultPlan
+
+    a = NodeFaultPlan.generate(
+        41, 12, 30, hang_seconds=2.0, slow_seconds=0.3
+    )
+    b = NodeFaultPlan.generate(
+        41, 12, 30, hang_seconds=2.0, slow_seconds=0.3
+    )
+    assert a.to_json() == b.to_json()
+
+
+@pytest.mark.slow
+def test_supervisor_respawns_on_same_port():
+    supervisor = NodeSupervisor(FullGmxAligner(), "sup0")
+    try:
+        supervisor.start()
+        port = supervisor.port
+        assert supervisor.incarnation == 1
+        assert not supervisor.ensure_alive()  # healthy: no respawn
+        supervisor.process.terminate()
+        supervisor.process.join(timeout=5.0)
+        assert supervisor.ensure_alive()  # dead: respawned
+        assert supervisor.port == port  # same port, stable URL
+        assert supervisor.incarnation == 2
+        assert supervisor.respawns == 1
+    finally:
+        supervisor.stop()
+
+
+def test_report_render_and_dict_round_trip():
+    # Shape-only check that doesn't boot processes: build a report from a
+    # minimal campaign and exercise its presentation paths.
+    report = run_dist_campaign(
+        seed=3, faults=2, nodes=1, length=24, lease_timeout=0.8
+    )
+    text = report.render()
+    assert "dist chaos campaign:" in text
+    assert "byte-identical to serial" in text
+    payload = report.to_dict()
+    assert payload["ok"] == report.ok
+    assert payload["faults"] == 2
+    assert set(payload["planned"]) == {"kill", "hang", "slow", "partition"}

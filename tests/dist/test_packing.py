@@ -1,0 +1,89 @@
+"""Predicted-cost shard packing and min-ETA node selection."""
+
+import pytest
+
+from repro.align import FullGmxAligner
+from repro.dist import pack_shards, pick_node
+from repro.workloads import generate_pair_set
+
+
+def _pairs(count=12, length=48, seed=9):
+    pair_set = generate_pair_set("pack", length, 0.1, count, seed=seed)
+    return [(p.pattern, p.text) for p in pair_set]
+
+
+class TestPackShards:
+    def test_contiguous_and_complete(self):
+        pairs = _pairs(11)
+        shards = pack_shards(FullGmxAligner(), pairs, shard_size=3)
+        assert shards[0].lo == 0
+        assert shards[-1].hi == len(pairs)
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+        rebuilt = [pair for shard in shards for pair in shard.pairs]
+        assert rebuilt == pairs
+
+    def test_uniform_batch_packs_like_plain_sharding(self):
+        pairs = _pairs(12)
+        shards = pack_shards(FullGmxAligner(), pairs, shard_size=4)
+        assert [shard.size for shard in shards] == [4, 4, 4]
+
+    def test_costs_are_positive_and_annotated(self):
+        shards = pack_shards(FullGmxAligner(), _pairs(6), shard_size=2)
+        assert all(shard.cost > 0 for shard in shards)
+
+    def test_monster_pair_splits_shard(self):
+        # One pair 8x longer than the rest must not ride with cheap ones.
+        pairs = _pairs(6, length=32)
+        monster = list(generate_pair_set("monster", 256, 0.1, 1, seed=1))[0]
+        pairs.insert(3, (monster.pattern, monster.text))
+        shards = pack_shards(FullGmxAligner(), pairs, shard_size=4)
+        monster_shards = [
+            shard for shard in shards if (monster.pattern, monster.text)
+            in shard.pairs
+        ]
+        assert len(monster_shards) == 1
+        assert monster_shards[0].size == 1
+
+    def test_single_pair_always_fits(self):
+        pairs = _pairs(1)
+        shards = pack_shards(
+            FullGmxAligner(), pairs, shard_size=4, cost_budget=1
+        )
+        assert len(shards) == 1
+        assert shards[0].pairs == pairs
+
+    def test_empty_batch(self):
+        assert pack_shards(FullGmxAligner(), []) == []
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ValueError, match="shard size must be positive"):
+            pack_shards(FullGmxAligner(), _pairs(2), shard_size=0)
+
+
+class TestPickNode:
+    def test_no_candidates(self):
+        assert pick_node([], 100) is None
+
+    def test_fresh_nodes_probe_by_name(self):
+        # No history anywhere: deterministic name tiebreak.
+        chosen = pick_node(
+            [("b", 0, 0.0), ("a", 0, 0.0), ("c", 0, 0.0)], 100
+        )
+        assert chosen == "a"
+
+    def test_min_eta_wins(self):
+        # fast node: (0 + 100) / 100 = 1s; slow node: (0 + 100) / 10 = 10s
+        chosen = pick_node([("fast", 0, 100.0), ("slow", 0, 10.0)], 100)
+        assert chosen == "fast"
+
+    def test_outstanding_cost_counts(self):
+        # Equal speeds, but one node is already loaded.
+        chosen = pick_node(
+            [("busy", 500, 100.0), ("idle", 0, 100.0)], 100
+        )
+        assert chosen == "idle"
+
+    def test_unprobed_node_beats_loaded_one(self):
+        chosen = pick_node([("probed", 300, 50.0), ("fresh", 0, 0.0)], 100)
+        assert chosen == "fresh"

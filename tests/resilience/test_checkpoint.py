@@ -81,11 +81,67 @@ class TestJournal:
         with pytest.raises(CheckpointError):
             CheckpointJournal(path, self.META)
 
-    def test_torn_trailing_write_rejected_loudly(self, tmp_path, results):
+    def test_torn_trailing_write_dropped_with_warning(self, tmp_path, results):
+        """A crash mid-append leaves a torn tail; resume must survive it.
+
+        The torn record was never acknowledged to the engine, so dropping
+        it is safe — the item simply re-runs.  Intact records before the
+        tear must still load.
+        """
         path = tmp_path / "run.journal"
         journal = CheckpointJournal(path, self.META)
         journal.record(0, 2, checksum=123, results=results)
         with path.open("a") as handle:
             handle.write('{"lo": 2, "hi": 4, "chec')  # torn write
+        with pytest.warns(UserWarning, match="torn trailing journal entry"):
+            reopened = CheckpointJournal(path, self.META)
+        looked_up = reopened.lookup(0, 2, checksum=123)
+        assert looked_up is not None
+        assert looked_up[0] == results
+        assert reopened.lookup(2, 4, checksum=0) is None
+        # The journal stays usable: the re-run item can be re-recorded.
+        reopened.record(2, 4, checksum=456, results=results)
+        assert CheckpointJournal(path, self.META).has(2, 4)
+
+    def test_torn_tail_valid_json_wrong_shape_dropped(self, tmp_path, results):
+        """A tail that parses but lacks lo/hi is equally torn — drop it."""
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(0, 2, checksum=123, results=results)
+        with path.open("a") as handle:
+            handle.write('{"garbage": true}\n')
+        with pytest.warns(UserWarning, match="torn trailing"):
+            reopened = CheckpointJournal(path, self.META)
+        assert reopened.lookup(0, 2, checksum=123) is not None
+
+    def test_mid_file_garbage_still_rejected_loudly(self, tmp_path, results):
+        """Garbage *followed by* intact records is corruption, not a torn
+        append — refuse to guess."""
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(0, 2, checksum=123, results=results)
+        with path.open("a") as handle:
+            handle.write('{"lo": 2, "hi": 4, "chec\n')  # torn mid-file
+        with path.open("a") as handle:
+            entry = journal.entries[(0, 2)].copy()
+            entry["lo"], entry["hi"] = 2, 4
+            import json
+
+            handle.write(json.dumps(entry) + "\n")  # intact record after
         with pytest.raises(CheckpointError):
             CheckpointJournal(path, self.META)
+
+    def test_record_provenance_epoch_and_node(self, tmp_path, results):
+        """Dist provenance fields round-trip without affecting lookup."""
+        path = tmp_path / "run.journal"
+        journal = CheckpointJournal(path, self.META)
+        journal.record(
+            0, 2, checksum=123, results=results, epoch=3, node="node-1"
+        )
+        reopened = CheckpointJournal(path, self.META)
+        assert reopened.has(0, 2)
+        assert not reopened.has(2, 4)
+        entry = reopened.entries[(0, 2)]
+        assert entry["epoch"] == 3
+        assert entry["node"] == "node-1"
+        assert reopened.lookup(0, 2, checksum=123) is not None

@@ -1,0 +1,163 @@
+"""WorkerPool generation/rebuild races under concurrent submitters.
+
+A rebuild abandons in-flight handles of the old pool by contract; these
+tests pin what *must* survive the race: the pool object itself stays
+usable, the generation counter moves monotonically, and post-rebuild
+submissions produce correct results — whatever the interleaving.
+"""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.align import FullGmxAligner, PoolError, WorkerPool
+from repro.align.parallel import _align_shard
+from repro.workloads import generate_pair_set
+
+HAS_PROCESSES = bool(multiprocessing.get_all_start_methods())
+
+needs_processes = pytest.mark.skipif(
+    not HAS_PROCESSES, reason="no multiprocessing start method available"
+)
+
+
+def _payload(pairs=2, seed=3):
+    pair_set = generate_pair_set("pool-race", 40, 0.1, pairs, seed=seed)
+    shard = [(p.pattern, p.text) for p in pair_set]
+    return (FullGmxAligner(), shard, True, False, False)
+
+
+@needs_processes
+@pytest.mark.slow
+class TestRebuildRaces:
+    def test_concurrent_submitters_during_rebuild(self):
+        """Submits racing a rebuild either complete or are abandoned —
+        never wedge the pool or corrupt another submitter's result."""
+        pool = WorkerPool(2)
+        payload = _payload()
+        expected = _align_shard(payload)[0]
+        stop = threading.Event()
+        outcomes = []
+        lock = threading.Lock()
+
+        def submitter():
+            while not stop.is_set():
+                try:
+                    handle = pool.submit(_align_shard, payload)
+                    results = handle.get(timeout=5.0)[0]
+                except multiprocessing.TimeoutError:
+                    with lock:
+                        outcomes.append("abandoned")
+                    continue
+                except (PoolError, OSError, EOFError, BrokenPipeError):
+                    # The submit crossed a teardown window; acceptable.
+                    with lock:
+                        outcomes.append("torn")
+                    continue
+                assert results == expected  # a reply is never corrupted
+                with lock:
+                    outcomes.append("ok")
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        try:
+            with pool:
+                for thread in threads:
+                    thread.start()
+                for _ in range(3):
+                    time.sleep(0.2)  # let submits land mid-generation
+                    pool.rebuild()
+                # Wait for at least one post-rebuild round trip before
+                # stopping, so the test proves recovery, not just survival.
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    with lock:
+                        if "ok" in outcomes:
+                            break
+                    time.sleep(0.05)
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                assert not any(t.is_alive() for t in threads)
+                assert pool.rebuilds == 3
+                assert pool.generation == 4  # initial warm + 3 rebuilds
+                # The pool survived the race: a fresh submit still works.
+                handle = pool.submit(_align_shard, payload)
+                assert handle.get(timeout=30.0)[0] == expected
+        finally:
+            stop.set()
+            pool.close()
+        assert outcomes.count("ok") >= 1
+
+    def test_generation_visible_to_concurrent_readers(self):
+        """Generation observed by racing readers only ever increases."""
+        pool = WorkerPool(2)
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                observed.append(pool.generation)
+
+        thread = threading.Thread(target=reader)
+        try:
+            with pool:
+                thread.start()
+                for _ in range(3):
+                    time.sleep(0.05)
+                    pool.rebuild()
+                final = pool.generation
+                stop.set()
+                thread.join(timeout=10.0)
+        finally:
+            stop.set()
+            pool.close()
+        assert final == 4  # initial warm + 3 rebuilds
+        assert observed == sorted(observed)  # never goes backwards
+        assert observed[-1] <= final
+
+    def test_rebuild_after_close_stays_closed(self):
+        pool = WorkerPool(2)
+        pool.start()
+        pool.close()
+        pool.rebuild()  # must not resurrect a closed pool
+        assert pool.closed
+        with pytest.raises(PoolError):
+            pool.submit(_align_shard, _payload())
+
+    def test_concurrent_rebuilds_are_serialized(self):
+        """N racing rebuild() calls leave exactly one live pool."""
+        pool = WorkerPool(2)
+        barrier = threading.Barrier(3)
+
+        def rebuilder():
+            barrier.wait()
+            pool.rebuild()
+
+        threads = [threading.Thread(target=rebuilder) for _ in range(3)]
+        try:
+            with pool:
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+                assert pool.rebuilds == 3
+                payload = _payload()
+                handle = pool.submit(_align_shard, payload)
+                expected = _align_shard(payload)[0]
+                assert handle.get(timeout=30.0)[0] == expected
+        finally:
+            pool.close()
+
+
+class TestInlineRebuild:
+    def test_inline_pool_rebuild_is_noop_but_safe(self):
+        pool = WorkerPool(1)
+        payload = _payload()
+        expected = _align_shard(payload)[0]
+        with pool:
+            assert pool.submit(_align_shard, payload).get()[0] == expected
+            pool.rebuild()
+            assert pool.rebuilds == 0  # nothing to tear down inline
+            assert pool.submit(_align_shard, payload).get()[0] == expected
