@@ -28,12 +28,18 @@
 # worker node, coordinator, dist chaos) plus the multi-node chaos drill
 # through the CLI (`repro chaos --dist`: 3 supervised localhost worker
 # processes, seeded node faults, byte-identical + exactly-once proof).
+# `stream-test` runs the chromosome-scale streaming suites (chunker,
+# canonical CIGAR forms, stitcher, pipeline + engines, chunking
+# invariance + window conformance properties, the tracemalloc O(chunk)
+# memory gate), the seqio streaming tests, the BENCH_stream.json
+# benchmark, and a scaled end-to-end conformance drill through the CLI
+# (1 Mbp reference x 100 kbp query, 50 Hirschberg-verified windows).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 COV_MIN ?= 80
 
-.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize serve-test dist-test
+.PHONY: test test-fast test-slow test-chaos test-cov test-backends bench verify lint sanitize serve-test dist-test stream-test
 
 test:
 	$(PYTEST) -x -q
@@ -74,6 +80,15 @@ dist-test:
 	$(PYTEST) -q tests/dist
 	PYTHONPATH=src $(PYTHON) -m repro chaos --dist \
 		--seed 29 --faults 30 --nodes 3 --length 32 --lease-timeout 1.2
+
+stream-test:
+	$(PYTEST) -q tests/stream tests/workloads/test_seqio.py
+	$(PYTEST) -q benchmarks/test_stream_memory.py
+	PYTHONPATH=src $(PYTHON) tests/stream/e2e_fixture.py /tmp/stream-e2e
+	PYTHONPATH=src $(PYTHON) -m repro stream align \
+		/tmp/stream-e2e/e2e_ref.fasta /tmp/stream-e2e/e2e_query.fasta \
+		--record chrE2E --engine pool --workers 2 \
+		--verify-windows 50 --seed 7
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -1,0 +1,139 @@
+"""Streaming memory gate + the BENCH_stream trajectory snapshot.
+
+Runs the chunked streaming pipeline over lazily generated reference
+blocks (the reference is never materialised) at a 1x and a 4x scale and
+enforces the headline claim of the streaming layer: **peak memory is
+O(chunk + query), independent of reference length**.  A pipeline that
+buffered the reference would show a ~4x peak on the scaled run; the gate
+requires the scaled peak to stay within ``peak_ratio_ceiling`` of the
+baseline.
+
+The measured run writes ``BENCH_stream.json``: tracemalloc peaks at both
+scales, the peak ratio, scan throughput, and the alignment outcome.  The
+file is rewritten only when missing or when the ``CONFIG`` identity
+block changed — re-measuring on a different machine never dirties the
+checkout, but changing the workload or the gate makes ``git diff
+--exit-code BENCH_stream.json`` fail in CI until the new snapshot is
+committed alongside the change.
+"""
+
+import gc
+import json
+import random
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.stream import StreamConfig, stream_align
+from repro.workloads.generator import mutate, random_sequence
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+#: The benchmark's identity: changing anything here stales the snapshot.
+CONFIG = {
+    "schema": 1,
+    "workload": "stream-planted-locus-far-end",
+    "chunk_size": 1024,
+    "overlap": 192,
+    "query_length": 800,
+    "locus_error_rate": 0.015,
+    "left_flank": 100_000,
+    "right_flank": 2_000,
+    "scale": 4,
+    "block_size": 4096,
+    "seed": 0xFEED,
+    "peak_ratio_ceiling": 1.5,
+    "gated_on": "4x-reference tracemalloc peak vs 1x baseline",
+}
+
+STREAM_CONFIG = StreamConfig(
+    chunk_size=CONFIG["chunk_size"], overlap=CONFIG["overlap"]
+)
+
+
+def reference_blocks(left_flank: int, locus: str):
+    """Lazily generated flank + locus + flank blocks, never joined.
+
+    The locus sits at the *far* end of the reference so the scan cannot
+    stop early — both runs traverse their whole reference.
+    """
+    rng = random.Random(CONFIG["seed"])
+    block_size = CONFIG["block_size"]
+
+    def flank(length: int):
+        for lo in range(0, length, block_size):
+            yield random_sequence(min(block_size, length - lo), rng)
+
+    yield from flank(left_flank)
+    for lo in range(0, len(locus), block_size):
+        yield locus[lo:lo + block_size]
+    yield from flank(CONFIG["right_flank"])
+
+
+def measure(left_flank: int, query: str, locus: str) -> dict:
+    """One streamed run under tracemalloc; peak bytes + throughput."""
+    blocks = reference_blocks(left_flank, locus)
+    gc.collect()
+    tracemalloc.start()
+    started = time.perf_counter()
+    try:
+        result = stream_align(blocks, query, config=STREAM_CONFIG)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    elapsed = time.perf_counter() - started
+    # The run itself must have been clean: the planted locus found with
+    # a near-optimal score after scanning the entire reference.
+    assert result.score <= round(
+        CONFIG["locus_error_rate"] * CONFIG["query_length"]
+    )
+    assert result.reference_length >= left_flank
+    return {
+        "reference_length": result.reference_length,
+        "peak_bytes": peak,
+        "seconds": round(elapsed, 4),
+        "scan_bases_per_second": round(result.reference_length / elapsed),
+        "score": result.score,
+        "chunks": result.counters.chunks,
+        "chunks_aligned": result.counters.jobs,
+    }
+
+
+def test_stream_memory_and_snapshot():
+    # -- measure ---------------------------------------------------------
+    rng = random.Random(CONFIG["seed"] + 1)
+    query = random_sequence(CONFIG["query_length"], rng)
+    locus = mutate(query, CONFIG["locus_error_rate"], rng)
+    base = measure(CONFIG["left_flank"], query, locus)
+    scaled = measure(CONFIG["scale"] * CONFIG["left_flank"], query, locus)
+    ratio = scaled["peak_bytes"] / base["peak_bytes"]
+
+    # -- the gate --------------------------------------------------------
+    assert ratio < CONFIG["peak_ratio_ceiling"], (
+        f"peak memory scaled with reference length: "
+        f"{base['peak_bytes']} -> {scaled['peak_bytes']} bytes "
+        f"({ratio:.2f}x) for a {CONFIG['scale']}x reference"
+    )
+
+    # -- the trajectory snapshot ----------------------------------------
+    snapshot = {
+        "config": CONFIG,
+        "base": base,
+        "scaled": scaled,
+        "peak_ratio": round(ratio, 3),
+    }
+
+    existing = None
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = None
+    if existing is None or existing.get("config") != CONFIG:
+        BENCH_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    # Whatever was (or now is) on disk must describe this configuration —
+    # the currency contract CI enforces with `git diff --exit-code`.
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["config"] == CONFIG
+    assert on_disk["peak_ratio"] < CONFIG["peak_ratio_ceiling"]

@@ -18,6 +18,15 @@ from .backends import (
 )
 from .banded_gmx import BandExceededError, BandedGmxAligner
 from .batch import BatchResult, align_batch
+from .chunked import (
+    align_chunked,
+    canonical_cigar,
+    canonicalize_ops,
+    ops_to_runs,
+    runs_to_cigar,
+    runs_to_ops,
+    trim_insertion_flanks,
+)
 from .full_gmx import FullGmxAligner, align_pair
 from .parallel import (
     BatchTelemetry,
@@ -51,8 +60,15 @@ __all__ = [
     "WindowedGmxAligner",
     "align_batch",
     "align_batch_sharded",
+    "align_chunked",
     "align_pair",
     "backend_names",
+    "canonical_cigar",
+    "canonicalize_ops",
+    "ops_to_runs",
+    "runs_to_cigar",
+    "runs_to_ops",
+    "trim_insertion_flanks",
     "get_backend",
     "iter_shards",
     "register_backend",

@@ -73,6 +73,7 @@ DEFAULT_ROOTS = (
     "resilience/engine.py::_process_entry",
     "serve/service.py::_serve_shard",
     "dist/worker.py::_execute_dist_shard",
+    "stream/pipeline.py::_chunk_align_body",
 )
 
 #: Attribute names that act as ambient hooks when assigned on any object.

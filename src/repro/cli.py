@@ -555,6 +555,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="write the bench report as JSON"
     )
 
+    stream = commands.add_parser(
+        "stream", help="chromosome-scale chunked alignment"
+    )
+    stream_commands = stream.add_subparsers(
+        dest="stream_command", required=True
+    )
+    stream_align = stream_commands.add_parser(
+        "align",
+        help="align a query against a long reference, chunked and stitched",
+    )
+    stream_align.add_argument(
+        "reference",
+        help="reference: a literal sequence or a FASTA file path",
+    )
+    stream_align.add_argument(
+        "query", help="query: a literal sequence or a FASTA file path"
+    )
+    stream_align.add_argument(
+        "--record",
+        metavar="NAME",
+        default=None,
+        help="FASTA record to stream from the reference (default: first)",
+    )
+    stream_align.add_argument("--chunk-size", type=int, default=4096)
+    stream_align.add_argument("--overlap", type=int, default=512)
+    stream_align.add_argument(
+        "--engine",
+        choices=("serial", "pool", "resilient"),
+        default="serial",
+        help="chunk-job execution engine (dist needs the Python API)",
+    )
+    stream_align.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (pool/resilient engines)",
+    )
+    stream_align.add_argument(
+        "--shard-size", type=int, default=None, metavar="CHUNKS",
+        help="chunk jobs per shard (default: planned from the cost model)",
+    )
+    stream_align.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="journal chunk shards to FILE and resume from it (resilient)",
+    )
+    stream_align.add_argument(
+        "--verify-windows", type=int, default=0, metavar="N",
+        help="oracle-check N random sub-windows against Hirschberg",
+    )
+    stream_align.add_argument(
+        "--seed", type=int, default=0, help="window-verification seed"
+    )
+    stream_align.add_argument(
+        "--cigar", action="store_true", help="print the full CIGAR"
+    )
+    stream_align.add_argument(
+        "--json", metavar="FILE", help="write the stream report as JSON"
+    )
+
     profile = commands.add_parser(
         "profile",
         help="run another command under tracing and print the hot-path table",
@@ -1226,6 +1283,154 @@ def _cmd_dist_coordinator(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+    import os
+
+    from .resilience import CheckpointError
+    from .stream import StreamConfig, StreamError, stream_align, verify_windows
+
+    if args.chunk_size < 1 or args.overlap < 0:
+        print(
+            f"error: invalid geometry chunk_size={args.chunk_size} "
+            f"overlap={args.overlap}",
+            file=sys.stderr,
+        )
+        return 2
+    config = StreamConfig(chunk_size=args.chunk_size, overlap=args.overlap)
+
+    def load_query(source: str) -> str:
+        if not os.path.exists(source):
+            return source.upper()
+        from .workloads.seqio import iter_fasta_blocks
+
+        return "".join(iter_fasta_blocks(source))
+
+    query = load_query(args.query)
+    try:
+        config.validate()
+        if os.path.exists(args.reference):
+            from .stream import stream_align_fasta
+
+            result = stream_align_fasta(
+                args.reference,
+                query,
+                record=args.record,
+                config=config,
+                engine=args.engine,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                checkpoint=args.checkpoint,
+            )
+        else:
+            result = stream_align(
+                args.reference.upper(),
+                query,
+                config=config,
+                engine=args.engine,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                checkpoint=args.checkpoint,
+            )
+    except (StreamError, CheckpointError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stitched = result.stitched
+    print(
+        f"stream: score {result.score}, reference "
+        f"[{result.text_start}, {result.text_end}) of "
+        f"{result.reference_length}, query {result.query_length}, "
+        f"engine {result.engine}"
+    )
+    counters = result.counters
+    stitch = stitched.counters
+    print(
+        f"filter: {counters.chunks} windows -> {counters.candidates} "
+        f"candidates, {counters.holes_promoted} holes promoted, "
+        f"{counters.spurious_skipped} spurious skipped"
+    )
+    print(
+        f"stitch: {stitch.anchor_seams} anchor seams, "
+        f"{stitch.bridge_seams} bridge seams "
+        f"({stitch.bridge_columns} bridged columns), "
+        f"{stitch.head_unmapped}/{stitch.tail_unmapped} unmapped head/tail"
+    )
+    timings = result.timings
+    print(
+        f"timings: filter {timings.filter_seconds:.3f}s, align "
+        f"{timings.align_seconds:.3f}s, stitch {timings.stitch_seconds:.3f}s"
+    )
+    if args.cigar:
+        print(f"cigar: {stitched.cigar}")
+    window_report = []
+    if args.verify_windows:
+        try:
+            checks = verify_windows(
+                stitched, windows=args.verify_windows, seed=args.seed
+            )
+        except StreamError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        good = sum(1 for check in checks if check.ok)
+        print(
+            f"conformance: {good}/{len(checks)} windows byte-identical "
+            "to the Hirschberg oracle"
+        )
+        window_report = [
+            {
+                "query": [check.query_start, check.query_end],
+                "reference": [check.ref_start, check.ref_end],
+                "score": check.window_score,
+                "oracle_score": check.oracle_score,
+                "identical": check.identical,
+            }
+            for check in checks
+        ]
+        if good != len(checks):
+            return 1
+    if args.json:
+        report = {
+            "score": result.score,
+            "cigar": stitched.cigar,
+            "text_start": result.text_start,
+            "text_end": result.text_end,
+            "reference_length": result.reference_length,
+            "query_length": result.query_length,
+            "engine": result.engine,
+            "config": {
+                "chunk_size": config.chunk_size,
+                "overlap": config.overlap,
+                "k": config.k,
+                "span_pad": config.resolved_span_pad,
+            },
+            "counters": {
+                "chunks": counters.chunks,
+                "candidates": counters.candidates,
+                "holes_promoted": counters.holes_promoted,
+                "spurious_skipped": counters.spurious_skipped,
+                "jobs": counters.jobs,
+            },
+            "stitch": {
+                "anchor_seams": stitch.anchor_seams,
+                "bridge_seams": stitch.bridge_seams,
+                "bridge_columns": stitch.bridge_columns,
+                "skipped_alignments": stitch.skipped_alignments,
+                "max_heap_depth": stitch.max_heap_depth,
+            },
+            "timings": {
+                "filter_seconds": timings.filter_seconds,
+                "align_seconds": timings.align_seconds,
+                "stitch_seconds": timings.stitch_seconds,
+            },
+            "windows": window_report,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from pathlib import Path
     from time import perf_counter_ns
@@ -1325,6 +1530,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "dist": _cmd_dist,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
+        "stream": _cmd_stream,
         "profile": _cmd_profile,
     }
     try:

@@ -8,5 +8,13 @@ batching.
 
 from .index import KmerIndex, Seed
 from .mapper import Mapping, ReadMapper
+from .windows import QuerySketch, WindowVote
 
-__all__ = ["KmerIndex", "Mapping", "ReadMapper", "Seed"]
+__all__ = [
+    "KmerIndex",
+    "Mapping",
+    "QuerySketch",
+    "ReadMapper",
+    "Seed",
+    "WindowVote",
+]

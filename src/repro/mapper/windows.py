@@ -1,0 +1,137 @@
+"""Window-candidate filtering for the chunked streaming pipeline.
+
+The mapper's :class:`~repro.mapper.index.KmerIndex` indexes the
+*reference* — O(reference) memory, exactly what a chromosome-scale
+stream cannot afford.  This module inverts the roles: the **query** is
+sketched once (sampled k-mers, O(query / stride) memory) and each
+reference chunk is scanned against the sketch as it streams past.  A
+chunk whose k-mers vote a coherent diagonal is a *candidate window*; the
+vote's diagonal predicts which query span the chunk aligns to, so the
+expensive aligner only ever sees O(chunk)-sized problems.
+
+This is the seed-location-filtering pre-pass of the compute-in-SRAM
+papers applied at chunk granularity: cheap exact-match voting gates the
+expensive DP, and chunks with no query support are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+DNA_ALPHABET = frozenset("ACGT")
+
+
+@dataclass(frozen=True)
+class WindowVote:
+    """The diagonal vote of one reference chunk against a query sketch.
+
+    Attributes:
+        votes: sampled k-mer hits supporting the winning diagonal bucket.
+        diagonal: representative diagonal (reference − query position) of
+            the winning bucket.
+        total_hits: all sketch hits in the chunk, any diagonal.
+    """
+
+    votes: int
+    diagonal: int
+    total_hits: int
+
+
+class QuerySketch:
+    """Sampled k-mer sketch of the query, probed by streaming chunks.
+
+    Memory is O(len(query) / stride) entries; k-mers containing
+    non-ACGT characters are skipped (``N`` runs never vote), and k-mers
+    occurring more than ``max_occurrences`` times are dropped as
+    repeats — their votes would smear across every diagonal.
+    """
+
+    def __init__(
+        self,
+        query: str,
+        *,
+        k: int = 16,
+        stride: int = 8,
+        max_occurrences: int = 64,
+    ) -> None:
+        if k < 4:
+            raise ValueError(f"k must be >= 4, got {k}")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if max_occurrences < 1:
+            raise ValueError(
+                f"max_occurrences must be >= 1, got {max_occurrences}"
+            )
+        self.query = query
+        self.k = k
+        self.stride = stride
+        self.max_occurrences = max_occurrences
+        offsets: Dict[str, List[int]] = {}
+        dropped = set()
+        for position in range(0, max(0, len(query) - k + 1), stride):
+            kmer = query[position:position + k]
+            if not DNA_ALPHABET.issuperset(kmer):
+                continue
+            if kmer in dropped:
+                continue
+            bucket = offsets.setdefault(kmer, [])
+            bucket.append(position)
+            if len(bucket) > max_occurrences:
+                del offsets[kmer]
+                dropped.add(kmer)
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def lookup(self, kmer: str) -> Tuple[int, ...]:
+        """Query offsets at which ``kmer`` was sampled (possibly empty)."""
+        return tuple(self._offsets.get(kmer, ()))
+
+    def scan_window(
+        self,
+        chunk: str,
+        chunk_start: int,
+        *,
+        bucket: int = 32,
+    ) -> Optional[WindowVote]:
+        """Vote the chunk's k-mers against the sketch.
+
+        Every chunk position is probed (the query side is the sampled
+        one, so sampling both sides would miss shared k-mers entirely).
+        Votes accumulate per diagonal *bucket* — ``bucket`` absorbs
+        indel drift within the chunk — and the winning bucket is the
+        one with the most votes, ties broken toward the smallest
+        diagonal for determinism.
+
+        Returns ``None`` when no sampled k-mer of the query occurs in
+        the chunk.
+        """
+        if bucket < 1:
+            raise ValueError(f"bucket must be >= 1, got {bucket}")
+        k = self.k
+        offsets = self._offsets
+        counts: Dict[int, int] = {}
+        total = 0
+        for index in range(len(chunk) - k + 1):
+            hits = offsets.get(chunk[index:index + k])
+            if not hits:
+                continue
+            reference_position = chunk_start + index
+            for query_position in hits:
+                diagonal = reference_position - query_position
+                counts[diagonal // bucket] = (
+                    counts.get(diagonal // bucket, 0) + 1
+                )
+                total += 1
+        if not counts:
+            return None
+        best_bucket = min(
+            counts, key=lambda key: (-counts[key], key)
+        )
+        return WindowVote(
+            votes=counts[best_bucket],
+            diagonal=best_bucket * bucket + bucket // 2,
+            total_hits=total,
+        )

@@ -816,6 +816,7 @@ def align_batch_resilient(
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     checkpoint: Optional[str] = None,
+    journal_meta: Optional[dict] = None,
     fallback: Optional[Aligner] = None,
     start_method: Optional[str] = None,
 ) -> ResilientBatchResult:
@@ -847,6 +848,11 @@ def align_batch_resilient(
         checkpoint: journal path for checkpoint/resume
             (:mod:`.checkpoint`); an existing compatible journal is
             resumed from automatically.
+        journal_meta: extra provenance merged into the journal header —
+            callers whose work depends on more than the aligner and
+            traceback flag (e.g. the stream pipeline's chunk geometry)
+            add it here so a journal written under different parameters
+            is rejected on resume instead of silently replayed.
         fallback: aligner of last resort for poison pairs (default BPM).
         start_method: force a multiprocessing start method.
 
@@ -882,14 +888,19 @@ def align_batch_resilient(
 
     journal = None
     if checkpoint is not None:
-        journal = CheckpointJournal(
-            checkpoint,
-            {
-                "aligner": type(aligner).__name__,
-                "traceback": traceback,
-                "plan": fault_plan.fingerprint if fault_plan else None,
-            },
-        )
+        meta = {
+            "aligner": type(aligner).__name__,
+            "traceback": traceback,
+            "plan": fault_plan.fingerprint if fault_plan else None,
+        }
+        if journal_meta:
+            overlap = set(meta) & set(journal_meta)
+            if overlap:
+                raise ValueError(
+                    f"journal_meta may not override reserved keys {sorted(overlap)}"
+                )
+            meta.update(journal_meta)
+        journal = CheckpointJournal(checkpoint, meta)
 
     supervisor = _Supervisor(
         aligner,

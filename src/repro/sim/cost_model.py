@@ -258,6 +258,33 @@ def predict_nw(n: int, m: int, *, traceback: bool = True, distance: int = 0) -> 
     return stats
 
 
+def predict_hirschberg(
+    n: int, m: int, *, traceback: bool = True, distance: int = 0
+) -> KernelStats:
+    """Predict linear-memory Hirschberg stats (mirrors ``HirschbergAligner``).
+
+    The divide-and-conquer recursion executes ~2x the cells of one
+    distance-only NW sweep while never holding more than two score rows —
+    the canonical time-for-memory trade the stream pipeline's bridge
+    repair relies on.
+    """
+    stats = KernelStats()
+    cells = 2 * n * m
+    stats.dp_cells = cells
+    stats.add_instr("int_alu", 5 * cells)
+    stats.add_instr("load", cells)
+    stats.add_instr("store", cells)
+    stats.add_instr("branch", 2 * n)
+    stats.dp_bytes_written += 4 * cells
+    stats.dp_bytes_read += 12 * cells
+    stats.hot_bytes = 4 * 4 * (m + 1)
+    stats.dp_bytes_peak = 4 * 4 * (m + 1)
+    if traceback:
+        ops = _expected_ops(n, m, distance)
+        stats.add_instr("int_alu", 2 * ops)
+    return stats
+
+
 def predict_bpm(
     n: int, m: int, *, traceback: bool = True, distance: int = 0, word_size: int = 64
 ) -> KernelStats:
@@ -448,6 +475,7 @@ PREDICTORS = {
     "Full(DP)": predict_nw,
     "Full(BPM)": predict_bpm,
     "Banded(Edlib)": predict_edlib,
+    "Hirschberg": predict_hirschberg,
     "Windowed(GenASM-CPU)": predict_genasm_cpu,
     "Darwin(GACT)": predict_darwin_gact,
 }
@@ -489,8 +517,44 @@ def predict_pair_cost(aligner, n: int, m: int, *, traceback: bool = True) -> int
                 traceback=traceback,
                 word_size=getattr(aligner, "word_size", 64),
             )
+        elif name == "EdlibAligner":
+            stats = predict_edlib(
+                n,
+                m,
+                traceback=traceback,
+                word_size=getattr(aligner, "word_size", 64),
+            )
+        elif name == "HirschbergAligner":
+            stats = predict_hirschberg(n, m, traceback=traceback)
         else:
             return n * m
     except (ValueError, ZeroDivisionError):
         return n * m
     return max(1, stats.total_instructions)
+
+
+#: Predicted-instruction budget per shard of stream chunk jobs — sized so
+#: a shard is coarse enough to amortise dispatch but small enough that a
+#: retried or re-leased shard stays cheap.
+DEFAULT_STREAM_SHARD_COST = 50_000_000
+
+
+def plan_stream_shard_size(
+    aligner,
+    n: int,
+    m: int,
+    *,
+    target_cost: int = DEFAULT_STREAM_SHARD_COST,
+    traceback: bool = True,
+    max_shard: int = 64,
+) -> int:
+    """Chunk jobs per shard for the streaming pipeline's batch engines.
+
+    Uses :func:`predict_pair_cost` on the representative chunk-job shape
+    ``n x m`` (query span x window) so shards carry a roughly constant
+    predicted cost regardless of chunk geometry or engine.
+    """
+    if n <= 0 or m <= 0:
+        return 1
+    cost = predict_pair_cost(aligner, n, m, traceback=traceback)
+    return max(1, min(max_shard, target_cost // max(1, cost)))

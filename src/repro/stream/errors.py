@@ -1,0 +1,12 @@
+"""Typed failures of the chunked streaming pipeline."""
+
+from __future__ import annotations
+
+
+class StreamError(RuntimeError):
+    """Raised when a streamed alignment cannot be assembled.
+
+    Covers unusable inputs (empty query/reference), filters that find no
+    candidate window at all, and stitch-time contract violations such as
+    non-contiguous chunk submissions.
+    """

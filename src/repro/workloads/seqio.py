@@ -195,6 +195,83 @@ def iter_fasta(path: Union[str, Path]) -> Iterator[Tuple[str, str]]:
         yield name, "".join(chunks)
 
 
+def iter_fasta_blocks(
+    path: Union[str, Path],
+    *,
+    record: Optional[str] = None,
+    block_size: int = 1 << 16,
+) -> Iterator[str]:
+    """Stream one FASTA record's sequence as ~``block_size`` blocks.
+
+    Unlike :func:`iter_fasta`, the record is never materialised: sequence
+    lines are coalesced into blocks and yielded as soon as they fill, so a
+    multi-megabase chromosome costs O(block) memory to read.  This is the
+    input path of the chunked streaming pipeline (:mod:`repro.stream`).
+
+    Args:
+        record: name of the record to stream (first whitespace-delimited
+            token of its header).  ``None`` streams the first record.
+        block_size: target block length in bases; the final block may be
+            shorter.
+
+    Raises:
+        SeqFormatError: if the file has no records, the named record is
+            absent, or the selected record has no sequence lines.
+    """
+    path = Path(path)
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    name = None
+    found = False
+    emitted = False
+    header_line = 0
+    record_index = 0
+    buffer: List[str] = []
+    buffered = 0
+    with path.open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if found:
+                    break
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                header_line = line_number
+                record_index += 1
+                found = record is None or name == record
+            elif name is None:
+                raise SeqFormatError(
+                    "sequence data before the first '>' header",
+                    path=path, record=1, line=line_number,
+                )
+            elif found:
+                buffer.append(line)
+                buffered += len(line)
+                if buffered >= block_size:
+                    block = "".join(buffer)
+                    for lo in range(0, buffered - block_size + 1, block_size):
+                        yield block[lo:lo + block_size]
+                        emitted = True
+                    tail = block[buffered - buffered % block_size:]
+                    buffer = [tail] if tail else []
+                    buffered = len(tail)
+    if not found:
+        if record is None:
+            raise SeqFormatError("no FASTA records found", path=path)
+        raise SeqFormatError(
+            f"record {record!r} not found", path=path,
+        )
+    if buffer:
+        yield "".join(buffer)
+        emitted = True
+    if not emitted:
+        raise SeqFormatError(
+            f"header {name!r} has no sequence lines",
+            path=path, record=record_index, line=header_line,
+        )
+
+
 def iter_fastq(path: Union[str, Path]) -> Iterator[Tuple[str, str, str]]:
     """Stream a FASTQ file as (name, sequence, quality) records.
 

@@ -1,0 +1,2 @@
+"""Tests of :mod:`repro.stream` — chunked alignment, stitching, and the
+window-conformance harness."""

@@ -1,0 +1,74 @@
+"""Shared case builders for the stream suite.
+
+Every test in this package aligns a query against a reference that
+embeds a mutated copy of it at a *planted locus* between random flanks —
+the streamed pipeline must find the locus through the k-mer filter and
+recover an alignment as good as a whole-sequence oracle run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from conftest import mutate_dna, random_dna
+
+
+@dataclass(frozen=True)
+class PlantedCase:
+    """A query embedded (mutated) into a reference at a known locus."""
+
+    reference: str
+    query: str
+    locus_start: int
+    locus_end: int
+    edits: int
+
+
+def planted_case(
+    rng: random.Random,
+    *,
+    query_len: int = 2000,
+    left_flank: int = 3000,
+    right_flank: int = 3000,
+    edits: int = 20,
+) -> PlantedCase:
+    """Build a reference = flank + mutate(query) + flank case."""
+    query = random_dna(query_len, rng)
+    locus = mutate_dna(query, edits, rng)
+    left = random_dna(left_flank, rng)
+    right = random_dna(right_flank, rng)
+    return PlantedCase(
+        reference=left + locus + right,
+        query=query,
+        locus_start=len(left),
+        locus_end=len(left) + len(locus),
+        edits=edits,
+    )
+
+
+def blocks_of(sequence: str, block_size: int):
+    """Cut a string into blocks — a stand-in for a FASTA block stream."""
+    for lo in range(0, len(sequence), block_size):
+        yield sequence[lo:lo + block_size]
+
+
+def lazy_reference_blocks(
+    seed: int,
+    left_flank: int,
+    locus: str,
+    right_flank: int,
+    block_size: int = 4096,
+):
+    """Yield flank+locus+flank reference blocks without ever holding the
+    whole reference in memory — the input shape of the O(chunk) memory
+    regression test."""
+    rng = random.Random(seed)
+
+    def flank(length: int):
+        for lo in range(0, length, block_size):
+            yield random_dna(min(block_size, length - lo), rng)
+
+    yield from flank(left_flank)
+    yield from blocks_of(locus, block_size)
+    yield from flank(right_flank)

@@ -1,0 +1,52 @@
+"""Generate the scaled end-to-end conformance fixture (CLI drill).
+
+Writes a planted-locus FASTA pair — a ~1 Mbp reference embedding a
+mutated ~100 kbp query — for the `make stream-test` / CI drill that
+runs `repro stream align ... --verify-windows` against it.
+
+Usage::
+
+    python tests/stream/e2e_fixture.py OUTDIR [REF_LEN] [QUERY_LEN]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+from repro.workloads.generator import mutate, random_sequence
+
+
+def write_fasta(path: Path, name: str, sequence: str, width: int = 80) -> None:
+    lines = [f">{name}"]
+    lines.extend(
+        sequence[lo:lo + width] for lo in range(0, len(sequence), width)
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main(argv) -> int:
+    outdir = Path(argv[1])
+    ref_len = int(argv[2]) if len(argv) > 2 else 1_000_000
+    query_len = int(argv[3]) if len(argv) > 3 else 100_000
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    rng = random.Random(0xE2E)
+    query = random_sequence(query_len, rng)
+    locus = mutate(query, 0.02, rng)
+    flank = max(0, ref_len - len(locus)) // 2
+    reference = (
+        random_sequence(flank, rng) + locus + random_sequence(flank, rng)
+    )
+    write_fasta(outdir / "e2e_ref.fasta", "chrE2E", reference)
+    write_fasta(outdir / "e2e_query.fasta", "query", query)
+    print(
+        f"wrote {outdir}/e2e_ref.fasta ({len(reference)} bp) and "
+        f"{outdir}/e2e_query.fasta ({len(query)} bp), locus at {flank}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

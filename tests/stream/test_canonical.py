@@ -1,0 +1,176 @@
+"""CIGAR algebra tests: run round-trips, flank trimming, and the
+canonical normal form that makes co-optimal alignments byte-comparable.
+
+The property test is the load-bearing one: Edlib and Hirschberg walk
+tie-broken traceback choices differently, so their raw op lists diverge
+on almost every non-trivial pair — but both canonicalise to the same
+normal form.  On a failure the pair is ddmin-shrunk with
+:func:`conformance.oracle.shrink_case` before asserting, so the report
+is a minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.align import canonical_cigar, canonicalize_ops
+from repro.align.chunked import (
+    append_run,
+    ops_to_runs,
+    runs_consumed,
+    runs_to_cigar,
+    runs_to_ops,
+    trim_insertion_flanks,
+)
+from repro.baselines import EdlibAligner, HirschbergAligner
+from repro.core.cigar import AlignmentError, edit_cost
+
+from conftest import mutate_dna, random_dna
+from conformance.oracle import shrink_case
+
+
+class TestRunAlgebra:
+    def test_ops_runs_round_trip(self):
+        ops = list("MMMXXIDDM")
+        runs = ops_to_runs(ops)
+        assert runs == [("M", 3), ("X", 2), ("I", 1), ("D", 2), ("M", 1)]
+        assert runs_to_ops(runs) == ops
+        assert runs_to_cigar(runs) == "3M2X1I2D1M"
+
+    def test_append_run_coalesces(self):
+        runs = [("M", 2)]
+        append_run(runs, "M", 3)
+        append_run(runs, "D", 1)
+        append_run(runs, "D", 1)
+        assert runs == [("M", 5), ("D", 2)]
+
+    def test_append_zero_length_is_noop(self):
+        runs = [("M", 2)]
+        append_run(runs, "I", 0)
+        assert runs == [("M", 2)]
+
+    def test_runs_consumed(self):
+        # D consumes pattern only, I consumes text only (core/cigar.py).
+        assert runs_consumed([("M", 3), ("D", 2), ("I", 4)]) == (5, 7)
+
+
+class TestTrimInsertionFlanks:
+    def test_trims_both_flanks(self):
+        core, leading, trailing = trim_insertion_flanks(list("IIMMXDI"))
+        assert core == list("MMXD")
+        assert (leading, trailing) == (2, 1)
+
+    def test_no_flanks(self):
+        core, leading, trailing = trim_insertion_flanks(list("MDM"))
+        assert core == list("MDM")
+        assert (leading, trailing) == (0, 0)
+
+    def test_all_insertions_collapse_to_leading(self):
+        core, leading, trailing = trim_insertion_flanks(list("III"))
+        assert core == []
+        assert (leading, trailing) == (3, 0)
+
+
+class TestCanonicalizeRules:
+    def test_rejects_mismatched_consumption(self):
+        with pytest.raises(AlignmentError, match="consume"):
+            canonicalize_ops("AC", "AC", ["M"])
+
+    def test_relabels_from_characters(self):
+        # An M over unequal characters becomes X and vice versa.
+        assert canonicalize_ops("AC", "AG", ["M", "M"]) == ["M", "X"]
+        assert canonicalize_ops("AC", "AC", ["X", "X"]) == ["M", "M"]
+
+    def test_adjacent_gap_pair_resolves_to_substitution(self):
+        # An adjacent I/D pair (cost 2) is never optimal — both orderings
+        # canonicalise to the single substitution the band DP finds.
+        assert canonicalize_ops("AG", "AT", list("MID")) == canonicalize_ops(
+            "AG", "AT", list("MDI")
+        )
+        assert canonicalize_ops("AG", "AT", list("MID")) == ["M", "X"]
+
+    def test_gap_slides_left_through_matches(self):
+        # Deleting any of three identical As costs the same; canonical
+        # form puts the gap leftmost.
+        ops = canonicalize_ops("AAAG", "AAG", list("MMDM"))
+        assert ops == canonicalize_ops("AAAG", "AAG", list("DMMM"))
+        assert ops[0] == "D"
+
+    def test_mismatch_gap_order_tie(self):
+        # 1X1D and 1D1X are cost-equal; both canonicalise identically.
+        a = canonicalize_ops("AG", "T", list("XD"))
+        b = canonicalize_ops("AG", "T", list("DX"))
+        assert a == b
+
+    def test_balanced_detour_collapses(self):
+        # I...D around matches vs two mismatches on the diagonal:
+        # equal cost, the diagonal form wins (fewer gap columns).
+        pattern, text = "GGGA", "CGGG"
+        detour = list("IMMMD")
+        diagonal = list("XMMX")
+        assert edit_cost(detour) == edit_cost(diagonal) == 2
+        assert canonicalize_ops(pattern, text, detour) == canonicalize_ops(
+            pattern, text, diagonal
+        )
+
+    def test_split_gap_consolidates(self):
+        # 1I1M1I vs 2I1M over pattern "A", text "GAA": cost-equal.
+        a = canonicalize_ops("A", "GAA", list("IMI"))
+        b = canonicalize_ops("A", "GAA", list("IIM"))
+        assert a == b
+
+    def test_cost_and_consumption_preserved(self):
+        rng = random.Random(7)
+        aligner = EdlibAligner()
+        for _ in range(25):
+            pattern = random_dna(rng.randrange(1, 120), rng)
+            text = mutate_dna(pattern, rng.randrange(0, 12), rng)
+            if not text:
+                continue
+            outcome = aligner.align(pattern, text, traceback=True)
+            ops = list(outcome.alignment.ops)
+            canonical = canonicalize_ops(pattern, text, ops)
+            assert edit_cost(canonical) == edit_cost(ops)
+            assert runs_consumed(ops_to_runs(canonical)) == (
+                len(pattern),
+                len(text),
+            )
+
+
+class TestCanonicalFormProperty:
+    """Edlib and Hirschberg tracebacks canonicalise identically."""
+
+    @pytest.mark.parametrize("case_seed", range(60))
+    def test_cross_aligner_normal_form(self, case_seed):
+        rng = random.Random(0xCA0 + case_seed)
+        pattern = random_dna(rng.randrange(1, 200), rng)
+        text = mutate_dna(pattern, rng.randrange(0, 24), rng)
+        if not text:
+            text = "A"
+
+        edlib = EdlibAligner()
+        hirschberg = HirschbergAligner()
+
+        def mismatch(p: str, t: str) -> bool:
+            if not p or not t:
+                return False
+            a = edlib.align(p, t, traceback=True)
+            b = hirschberg.align(p, t, traceback=True)
+            return canonical_cigar(p, t, a.alignment.ops) != canonical_cigar(
+                p, t, b.alignment.ops
+            )
+
+        if mismatch(pattern, text):
+            small_p, small_t = shrink_case(pattern, text, mismatch)
+            a = edlib.align(small_p, small_t, traceback=True)
+            b = hirschberg.align(small_p, small_t, traceback=True)
+            pytest.fail(
+                "canonical forms diverge (ddmin-shrunk reproducer): "
+                f"pattern={small_p!r} text={small_t!r} "
+                f"edlib={canonical_cigar(small_p, small_t, a.alignment.ops)} "
+                f"hirschberg="
+                f"{canonical_cigar(small_p, small_t, b.alignment.ops)} "
+                f"case_seed={case_seed}"
+            )

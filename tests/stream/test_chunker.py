@@ -1,0 +1,130 @@
+"""Chunk-splitter unit tests: geometry validation and edge cases."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.stream import chunk_spans, iter_reference_chunks, validate_chunking
+
+from conftest import random_dna
+
+
+def reassemble(chunks, overlap: int) -> str:
+    """Rebuild the reference from overlapping chunks via their steps."""
+    out = []
+    for chunk in chunks:
+        if not out:
+            out.append(chunk.sequence)
+        else:
+            out.append(chunk.sequence[overlap:])
+    return "".join(out)
+
+
+class TestValidateChunking:
+    def test_overlap_equal_to_chunk_rejected(self):
+        with pytest.raises(ValueError, match="cannot advance"):
+            validate_chunking(64, 64)
+
+    def test_overlap_larger_than_chunk_rejected(self):
+        with pytest.raises(ValueError, match="cannot advance"):
+            validate_chunking(64, 100)
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            validate_chunking(0, 0)
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            validate_chunking(64, -1)
+
+    def test_zero_overlap_allowed(self):
+        validate_chunking(1, 0)
+
+
+class TestChunkSpans:
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            chunk_spans(-1, 64, 16)
+
+    def test_empty_reference_has_no_spans(self):
+        assert chunk_spans(0, 64, 16) == []
+
+    def test_chunk_larger_than_reference_is_single_span(self):
+        assert chunk_spans(10, 64, 16) == [(0, 10)]
+
+    def test_exact_fit_emits_one_chunk(self):
+        assert chunk_spans(64, 64, 16) == [(0, 64)]
+
+    def test_spans_cover_and_overlap(self):
+        spans = chunk_spans(1000, 128, 32)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 1000
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert s1 == s0 + (128 - 32)
+            assert s1 < e0  # consecutive windows share the overlap
+            assert e0 - s0 == 128
+
+    def test_final_chunk_may_be_short(self):
+        spans = chunk_spans(130, 128, 32)
+        assert spans == [(0, 128), (96, 130)]
+
+
+class TestIterReferenceChunks:
+    def test_empty_reference_yields_nothing(self):
+        assert list(iter_reference_chunks("", 64, 16)) == []
+        assert list(iter_reference_chunks(iter(()), 64, 16)) == []
+
+    def test_matches_offline_spans(self):
+        rng = random.Random(1)
+        reference = random_dna(1037, rng)
+        chunks = list(iter_reference_chunks(reference, 128, 32))
+        assert [(c.start, c.end) for c in chunks] == chunk_spans(
+            len(reference), 128, 32
+        )
+        for chunk in chunks:
+            assert chunk.sequence == reference[chunk.start:chunk.end]
+            assert len(chunk) == chunk.end - chunk.start
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    def test_only_last_chunk_is_final(self):
+        rng = random.Random(2)
+        chunks = list(iter_reference_chunks(random_dna(500, rng), 128, 32))
+        assert [c.is_final for c in chunks] == [False] * (len(chunks) - 1) + [True]
+
+    def test_chunk_larger_than_reference(self):
+        chunks = list(iter_reference_chunks("ACGT", 64, 16))
+        assert len(chunks) == 1
+        assert chunks[0].sequence == "ACGT"
+        assert chunks[0].is_final
+
+    def test_block_stream_equals_string_input(self):
+        rng = random.Random(3)
+        reference = random_dna(4096 + 17, rng)
+        from_string = list(iter_reference_chunks(reference, 256, 64))
+        for block_size in (1, 7, 255, 256, 1000, 10_000):
+            blocks = (
+                reference[lo:lo + block_size]
+                for lo in range(0, len(reference), block_size)
+            )
+            assert list(iter_reference_chunks(blocks, 256, 64)) == from_string
+
+    def test_empty_blocks_are_skipped(self):
+        rng = random.Random(4)
+        reference = random_dna(300, rng)
+        blocks = ["", reference[:100], "", "", reference[100:], ""]
+        assert list(iter_reference_chunks(blocks, 128, 32)) == list(
+            iter_reference_chunks(reference, 128, 32)
+        )
+
+    def test_reference_reassembles_from_chunks(self):
+        rng = random.Random(5)
+        reference = random_dna(999, rng)
+        chunks = list(iter_reference_chunks(reference, 100, 25))
+        assert reassemble(chunks, 25) == reference
+
+    def test_invalid_geometry_raises_before_iteration(self):
+        with pytest.raises(ValueError):
+            # Generator functions defer execution; validation must not.
+            iter_reference_chunks("ACGT", 16, 16)

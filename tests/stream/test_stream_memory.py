@@ -1,0 +1,57 @@
+"""Peak-memory regression: streaming must stay O(chunk + query).
+
+The reference is fed as lazily generated blocks (never materialised), so
+the only O(reference) state the pipeline *could* accumulate is its own —
+buffered chunks, job texts, stitch parts.  tracemalloc peaks for a 1x and
+a 4x reference must therefore be within noise of each other; a peak that
+scales with reference length fails the suite.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import tracemalloc
+
+from repro.stream import StreamConfig, stream_align
+
+from .cases import lazy_reference_blocks
+from conftest import mutate_dna, random_dna
+
+CONFIG = StreamConfig(chunk_size=1024, overlap=192)
+
+#: 1x reference geometry; the scaled run multiplies the left flank only,
+#: so the whole reference is scanned in both runs (the locus sits at the
+#: far end and the scan cannot stop early).
+LEFT_FLANK = 100_000
+RIGHT_FLANK = 2_000
+SCALE = 4
+
+
+def peak_bytes(left_flank: int, query: str, locus: str) -> int:
+    blocks = lazy_reference_blocks(0xFEED, left_flank, locus, RIGHT_FLANK)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        result = stream_align(blocks, query, config=CONFIG)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert result.score <= 30
+    assert result.reference_length >= left_flank
+    return peak
+
+
+def test_peak_memory_does_not_scale_with_reference():
+    rng = random.Random(0xFEED + 1)
+    query = random_dna(800, rng)
+    locus = mutate_dna(query, 12, rng)
+    base = peak_bytes(LEFT_FLANK, query, locus)
+    scaled = peak_bytes(SCALE * LEFT_FLANK, query, locus)
+    # A pipeline that buffered the reference would add ~300 KiB here
+    # (SCALE-1 extra flank bytes); O(chunk) peaks differ only by noise.
+    assert base < 32 * 1024 * 1024, f"baseline peak unexpectedly large: {base}"
+    assert scaled < 1.5 * base, (
+        f"peak memory scaled with reference length: {base} -> {scaled} bytes "
+        f"for a {SCALE}x reference"
+    )

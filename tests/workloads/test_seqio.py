@@ -7,7 +7,9 @@ from repro.workloads.seqio import (
     SeqFormatError,
     detect_format,
     iter_fasta,
+    iter_fasta_blocks,
     iter_fastq,
+    iter_pairs,
     load_pairs,
     pair_files,
     read_sequences,
@@ -170,3 +172,91 @@ class TestPairFiles:
             list(pair_files(patterns, texts))
         assert info.value.path == str(patterns)
         assert info.value.record == 2
+
+
+class TestFastaBlocks:
+    """iter_fasta_blocks: the streaming input path of repro.stream."""
+
+    def write_fasta(self, tmp_path, records, width=60):
+        lines = []
+        for name, sequence in records:
+            lines.append(f">{name}")
+            lines.extend(
+                sequence[lo:lo + width]
+                for lo in range(0, len(sequence), width)
+            )
+        path = tmp_path / "ref.fasta"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_blocks_reassemble_wrapped_record(self, tmp_path):
+        sequence = ("ACGTAGGTCA" * 701)[:7003]
+        path = self.write_fasta(tmp_path, [("chr1", sequence)])
+        blocks = list(iter_fasta_blocks(path, block_size=256))
+        assert "".join(blocks) == sequence
+        # Every block except the final one is exactly block_size.
+        assert all(len(block) == 256 for block in blocks[:-1])
+        assert 0 < len(blocks[-1]) <= 256
+
+    def test_block_size_exceeding_record_yields_one_block(self, tmp_path):
+        sequence = "ACGT" * 50
+        path = self.write_fasta(tmp_path, [("chr1", sequence)])
+        assert list(iter_fasta_blocks(path, block_size=1 << 20)) == [sequence]
+
+    def test_default_streams_first_record(self, tmp_path):
+        path = self.write_fasta(
+            tmp_path, [("chrA", "AAAA" * 30), ("chrB", "CCCC" * 30)]
+        )
+        assert "".join(iter_fasta_blocks(path, block_size=16)) == "AAAA" * 30
+
+    def test_named_record_selected_by_first_token(self, tmp_path):
+        path = self.write_fasta(
+            tmp_path,
+            [("chrA extra description", "AAAA" * 30), ("chrB", "CCCC" * 30)],
+        )
+        assert (
+            "".join(iter_fasta_blocks(path, record="chrB", block_size=16))
+            == "CCCC" * 30
+        )
+
+    def test_missing_record_rejected(self, tmp_path):
+        path = self.write_fasta(tmp_path, [("chrA", "ACGT" * 8)])
+        with pytest.raises(SeqFormatError, match="not found"):
+            list(iter_fasta_blocks(path, record="chrZ"))
+
+    def test_no_records_rejected(self, tmp_path):
+        path = tmp_path / "ref.fasta"
+        path.write_text("\n")
+        with pytest.raises(SeqFormatError, match="no FASTA records"):
+            list(iter_fasta_blocks(path))
+
+    def test_sequence_before_header_rejected(self, tmp_path):
+        path = tmp_path / "ref.fasta"
+        path.write_text("ACGT\n>late\nACGT\n")
+        with pytest.raises(SeqFormatError, match="before the first"):
+            list(iter_fasta_blocks(path))
+
+    def test_header_without_sequence_rejected(self, tmp_path):
+        path = self.write_fasta(tmp_path, [("chrA", "")])
+        with pytest.raises(SeqFormatError, match="no sequence lines"):
+            list(iter_fasta_blocks(path, record="chrA"))
+
+    def test_invalid_block_size_rejected(self, tmp_path):
+        path = self.write_fasta(tmp_path, [("chrA", "ACGT")])
+        with pytest.raises(ValueError, match="block_size"):
+            list(iter_fasta_blocks(path, block_size=0))
+
+
+class TestLargeRecords:
+    def test_iter_pairs_streams_records_larger_than_io_buffer(self, tmp_path):
+        # A single reference line far larger than any stdio buffer: the
+        # pair must arrive intact, in one piece, without materialising
+        # the rest of the file.
+        big_text = "ACGT" * 100_000  # 400 kB on one line
+        path = tmp_path / "big.seq"
+        path.write_text(f">AC\n<{big_text}\n>GG\n<GGT\n")
+        pairs = list(iter_pairs(path))
+        assert [(p.pattern, len(p.text)) for p in pairs] == [
+            ("AC", len(big_text)), ("GG", 3),
+        ]
+        assert pairs[0].text == big_text
